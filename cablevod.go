@@ -1,0 +1,239 @@
+// Package cablevod is a library and simulation framework for cooperative
+// proxy-cache video-on-demand on Hybrid Fiber-Coax cable networks,
+// reproducing "Deploying Video-on-Demand Services on Cable Networks"
+// (Allen, Zhao, Wolski — ICDCS 2007).
+//
+// The system model: set-top boxes in each coaxial neighborhood pool a
+// fixed amount of disk into a cooperative cache coordinated by an index
+// server at the headend. Programs are split into 5-minute segments at the
+// 8.06 Mb/s MPEG-2 stream rate and striped across peers. A request is
+// served by a peer broadcast on a cache hit and by the central media
+// server on a miss; simple LRU/LFU strategies decide cache contents.
+//
+// Quick start:
+//
+//	tr, err := cablevod.GenerateTrace(cablevod.TraceOptions{
+//		Users: 5_000, Programs: 1_000, Days: 7, Seed: 1,
+//	})
+//	if err != nil { ... }
+//	res, err := cablevod.Run(cablevod.Config{
+//		NeighborhoodSize: 500,
+//		PerPeerStorage:   cablevod.GB * 10,
+//		Strategy:         cablevod.LFU,
+//	}, tr)
+//	if err != nil { ... }
+//	fmt.Printf("server load %v, savings %.0f%%\n",
+//		res.Server.Mean, 100*res.SavingsVsDemand)
+//
+// The paper's full evaluation (every table and figure) is reproducible
+// through RunExperiment and the cmd/experiments binary; see EXPERIMENTS.md
+// for measured-vs-paper numbers.
+package cablevod
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/experiments"
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// Re-exported value types.
+type (
+	// BitRate is a data rate in bits per second.
+	BitRate = units.BitRate
+	// ByteSize is a storage amount in bytes.
+	ByteSize = units.ByteSize
+	// Trace is a VoD session trace.
+	Trace = trace.Trace
+	// Record is one viewing session.
+	Record = trace.Record
+	// UserID identifies a subscriber.
+	UserID = trace.UserID
+	// ProgramID identifies a catalog program.
+	ProgramID = trace.ProgramID
+	// Result is a simulation outcome.
+	Result = core.Result
+	// Counters are simulation event totals.
+	Counters = core.Counters
+	// Strategy selects a caching strategy.
+	Strategy = core.Strategy
+	// FillMode selects segment-availability semantics.
+	FillMode = core.FillMode
+	// TraceOptions parameterizes synthetic trace generation.
+	TraceOptions = synth.Config
+	// Report is an experiment outcome table.
+	Report = experiments.Report
+	// Scale sizes an experiment workload.
+	Scale = experiments.Scale
+)
+
+// Common units.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+	KB   = units.KB
+	MB   = units.MB
+	GB   = units.GB
+	TB   = units.TB
+
+	// StreamRate is the 8.06 Mb/s MPEG-2 SDTV stream rate.
+	StreamRate = units.StreamRate
+)
+
+// Strategies.
+const (
+	LRU       = core.StrategyLRU
+	LFU       = core.StrategyLFU
+	Oracle    = core.StrategyOracle
+	GlobalLFU = core.StrategyGlobalLFU
+)
+
+// Fill modes.
+const (
+	// FillImmediate is the paper's instant-placement model (default).
+	FillImmediate = core.FillImmediate
+	// FillOnBroadcast fills the cache only from complete miss broadcasts.
+	FillOnBroadcast = core.FillOnBroadcast
+)
+
+// Config describes a simulation run over a trace. It is a flattened view
+// of the internal configuration with the paper's defaults.
+type Config struct {
+	// NeighborhoodSize is the number of subscribers per headend
+	// (100-1,000 in real deployments).
+	NeighborhoodSize int
+
+	// PerPeerStorage is each set-top box's cache contribution
+	// (default 10 GB).
+	PerPeerStorage ByteSize
+
+	// MaxStreamsPerPeer bounds concurrent streams per box (default 2).
+	MaxStreamsPerPeer int
+
+	// CoaxCapacity is the VoD-available coax bandwidth (default
+	// 3.3 Gb/s).
+	CoaxCapacity BitRate
+
+	// Strategy picks the caching strategy (default LFU).
+	Strategy Strategy
+
+	// LFUHistory is the LFU sliding window (default 72 h).
+	LFUHistory time.Duration
+
+	// OracleLookahead is the oracle future window (default 3 days).
+	OracleLookahead time.Duration
+
+	// GlobalLag batches global popularity publication (0 = live).
+	GlobalLag time.Duration
+
+	// Fill selects segment availability semantics (default
+	// FillImmediate).
+	Fill FillMode
+
+	// Replicas keeps N copies of every cached segment (default 1).
+	Replicas int
+
+	// PrefixSegments caches only the first N segments per program
+	// (0 = whole program).
+	PrefixSegments int
+
+	// WarmupDays excludes leading days from reported statistics.
+	WarmupDays int
+}
+
+func (c Config) internal() core.Config {
+	return core.Config{
+		Topology: hfc.Config{
+			NeighborhoodSize:  c.NeighborhoodSize,
+			PerPeerStorage:    c.PerPeerStorage,
+			MaxStreamsPerPeer: c.MaxStreamsPerPeer,
+			CoaxCapacity:      c.CoaxCapacity,
+		},
+		Strategy:        c.Strategy,
+		LFUHistory:      c.LFUHistory,
+		OracleLookahead: c.OracleLookahead,
+		GlobalLag:       c.GlobalLag,
+		Fill:            c.Fill,
+		Replicas:        c.Replicas,
+		PrefixSegments:  c.PrefixSegments,
+		WarmupDays:      c.WarmupDays,
+	}
+}
+
+// Run simulates the cooperative-cache VoD system over a trace.
+func Run(cfg Config, tr *Trace) (*Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("cablevod: nil trace")
+	}
+	return core.Run(cfg.internal(), tr)
+}
+
+// GenerateTrace produces a synthetic PowerInfo-like workload trace.
+// DefaultTraceOptions returns the paper-calibrated defaults.
+func GenerateTrace(opts TraceOptions) (*Trace, error) {
+	return synth.Generate(opts)
+}
+
+// DefaultTraceOptions returns generator options calibrated to the
+// PowerInfo trace statistics reported in the paper.
+func DefaultTraceOptions() TraceOptions {
+	return synth.DefaultConfig()
+}
+
+// LoadTrace reads a trace file (.csv or .gob).
+func LoadTrace(path string) (*Trace, error) {
+	return trace.LoadFile(path)
+}
+
+// SaveTrace writes a trace file (.csv or .gob).
+func SaveTrace(tr *Trace, path string) error {
+	if tr == nil {
+		return fmt.Errorf("cablevod: nil trace")
+	}
+	return tr.SaveFile(path)
+}
+
+// Workload scales.
+var (
+	// FullScale is the paper-scale workload (41,698 users, 8,278
+	// programs, 14 days).
+	FullScale = experiments.FullScale
+	// QuickScale is a shortened window for benchmarks.
+	QuickScale = experiments.QuickScale
+)
+
+// RunExperiment reproduces one paper artifact ("fig8", "tab16a", ...) at
+// the given scale. ListExperiments enumerates valid IDs.
+func RunExperiment(id string, scale Scale) (*Report, error) {
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	w, err := experiments.NewWorkload(scale)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(w)
+}
+
+// ExperimentInfo describes one reproducible artifact.
+type ExperimentInfo struct {
+	ID    string
+	Title string
+	Heavy bool
+}
+
+// ListExperiments enumerates every reproducible paper artifact.
+func ListExperiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Heavy: e.Heavy})
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package cablevod
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func smallTraceOptions() TraceOptions {
+	opts := DefaultTraceOptions()
+	opts.Users = 800
+	opts.Programs = 150
+	opts.Days = 3
+	opts.BacklogDays = 20
+	return opts
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		NeighborhoodSize: 400,
+		PerPeerStorage:   2 * GB,
+		Strategy:         LFU,
+		WarmupDays:       1,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Sessions == 0 {
+		t.Error("no sessions simulated")
+	}
+	if res.SavingsVsDemand <= 0 {
+		t.Errorf("no savings: %v", res.SavingsVsDemand)
+	}
+	if res.Server.Mean > res.Demand.Mean {
+		t.Error("server load above demand")
+	}
+}
+
+func TestPublicStrategies(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{LRU, LFU, Oracle, GlobalLFU} {
+		res, err := Run(Config{
+			NeighborhoodSize: 400,
+			PerPeerStorage:   GB,
+			Strategy:         s,
+			GlobalLag:        30 * time.Minute,
+		}, tr)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Counters.SegmentRequests == 0 {
+			t.Errorf("%v: no segments", s)
+		}
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.gob")
+	if err := SaveTrace(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("round trip: %d vs %d records", got.Len(), tr.Len())
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	if _, err := Run(Config{NeighborhoodSize: 10}, nil); err == nil {
+		t.Error("expected error for nil trace")
+	}
+	if err := SaveTrace(nil, "x.gob"); err == nil {
+		t.Error("expected error for nil trace")
+	}
+	if _, err := RunExperiment("bogus", FullScale()); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestListExperimentsCoversEveryArtifact(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range ListExperiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "tab16a", "fig16b", "fig16c",
+	} {
+		if !ids[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}
+
+func TestRunExperimentTinyScale(t *testing.T) {
+	rep, err := RunExperiment("fig7", Scale{Users: 800, Programs: 150, Days: 3, WarmupDays: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 24 {
+		t.Errorf("fig7 rows = %d, want 24", len(rep.Cells))
+	}
+}

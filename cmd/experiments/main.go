@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig8,fig14
+//	experiments -all            # every artifact (the scaling grid is slow)
+//	experiments -all -light     # every artifact except the scaling grid
+//	experiments -scale quick    # shorter workload window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cablevod/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list artifacts and exit")
+		runIDs    = fs.String("run", "", "comma-separated artifact ids to run")
+		all       = fs.Bool("all", false, "run every artifact")
+		light     = fs.Bool("light", false, "with -all, skip the heavy scaling artifacts")
+		scaleName = fs.String("scale", "full", "workload scale: full, quick or tiny")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%-14s %s%s\n", e.ID, e.Title, heavy)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiments.FullScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	case "tiny":
+		scale = experiments.TinyScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want full, quick or tiny)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	var selected []experiments.Experiment
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			if *light && e.Heavy {
+				continue
+			}
+			selected = append(selected, e)
+		}
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	default:
+		return fmt.Errorf("need -list, -run IDS or -all")
+	}
+
+	w, err := experiments.NewWorkload(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d users, %d programs, %d days (%d warmup), seed %d\n\n",
+		scale.Users, scale.Programs, scale.Days, scale.WarmupDays, scale.Seed)
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("# completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

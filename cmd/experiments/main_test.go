@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunList(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleArtifactTiny(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-run", "fig7", "-scale", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleArtifactsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system experiments in -short mode")
+	}
+	quietStdout(t)
+	if err := run([]string{"-run", "fig2,fig14", "-scale", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	cases := [][]string{
+		{},                // no mode selected
+		{"-run", "bogus"}, // unknown artifact
+		{"-scale", "bogus", "-run", "fig7"},
+		{"-bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command tracegen generates a synthetic PowerInfo-like VoD workload
+// trace calibrated to the statistics the paper reports, and writes it to
+// a .csv or .gob file.
+//
+// Usage:
+//
+//	tracegen -out trace.gob [-users 41698] [-programs 8278] [-days 14] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cablevod"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "trace.gob", "output file (.csv or .gob)")
+		users    = fs.Int("users", 41_698, "subscriber population")
+		programs = fs.Int("programs", 8_278, "catalog size")
+		days     = fs.Int("days", 14, "trace length in days")
+		seed     = fs.Uint64("seed", 1, "generator seed")
+		quiet    = fs.Bool("q", false, "suppress the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := cablevod.DefaultTraceOptions()
+	opts.Users = *users
+	opts.Programs = *programs
+	opts.Days = *days
+	opts.Seed = *seed
+
+	start := time.Now()
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		return err
+	}
+	if err := cablevod.SaveTrace(tr, *out); err != nil {
+		return err
+	}
+	if !*quiet {
+		s := tr.Summarize()
+		fmt.Printf("wrote %s: %d sessions, %d users, %d programs, %v span (generated in %v)\n",
+			*out, s.Records, s.Users, s.Programs, s.Span, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

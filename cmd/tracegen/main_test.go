@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cablevod"
+)
+
+// quietStdout silences the command's stdout for the test's duration.
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunGeneratesTrace(t *testing.T) {
+	quietStdout(t)
+	out := filepath.Join(t.TempDir(), "t.gob")
+	err := run([]string{"-out", out, "-users", "300", "-programs", "50", "-days", "2", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cablevod.LoadTrace(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty trace generated")
+	}
+	s := tr.Summarize()
+	if s.Programs > 50 {
+		t.Errorf("programs = %d, want <= 50", s.Programs)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	quietStdout(t)
+	out := filepath.Join(t.TempDir(), "t.csv")
+	if err := run([]string{"-out", out, "-users", "200", "-programs", "40", "-days", "1", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cablevod.LoadTrace(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-users", "0", "-out", filepath.Join(t.TempDir(), "t.gob")}); err == nil {
+		t.Error("expected error for zero users")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag error")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/t.gob", "-users", "100", "-programs", "10", "-days", "1"}); err == nil {
+		t.Error("expected error for unwritable path")
+	}
+}

@@ -1,0 +1,163 @@
+// Command traceinfo prints workload analytics for a VoD trace: the
+// summary statistics, the diurnal load curve (Figure 7), the popularity
+// skew (Figure 2), the session-length distribution (Figure 3) and the
+// introduction-decay series (Figure 12).
+//
+// Usage:
+//
+//	traceinfo -trace trace.gob
+//	traceinfo -synth            # analyze a freshly generated default trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cablevod"
+	"cablevod/internal/popularity"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	var (
+		path  = fs.String("trace", "", "trace file (.csv or .gob)")
+		synth = fs.Bool("synth", false, "analyze a freshly generated default trace")
+		days  = fs.Int("synth-days", 14, "days for -synth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *cablevod.Trace
+	var err error
+	switch {
+	case *synth:
+		opts := cablevod.DefaultTraceOptions()
+		opts.Days = *days
+		tr, err = cablevod.GenerateTrace(opts)
+	case *path != "":
+		tr, err = cablevod.LoadTrace(*path)
+	default:
+		return fmt.Errorf("need -trace FILE or -synth")
+	}
+	if err != nil {
+		return err
+	}
+
+	printSummary(tr)
+	printDiurnal(tr)
+	printSkew(tr)
+	printSessionLengths(tr)
+	printDecay(tr)
+	return nil
+}
+
+func printSummary(tr *cablevod.Trace) {
+	s := tr.Summarize()
+	fmt.Println("== summary ==")
+	fmt.Printf("sessions            %d\n", s.Records)
+	fmt.Printf("users               %d\n", s.Users)
+	fmt.Printf("programs            %d\n", s.Programs)
+	fmt.Printf("span                %v (%d days)\n", s.Span, int(s.Span.Hours()/24))
+	fmt.Printf("sessions/user-day   %.2f\n", s.SessionsPerUserDay)
+	fmt.Printf("mean session        %v\n", s.MeanSessionLength.Round(time.Second))
+	fmt.Printf("median session      %v\n", s.MedianSessionLength.Round(time.Second))
+	fmt.Println()
+}
+
+func printDiurnal(tr *cablevod.Trace) {
+	fmt.Println("== hourly demand (fig 7) ==")
+	rates := tr.HourlyRate()
+	max := cablevod.BitRate(0)
+	for _, r := range rates {
+		if r > max {
+			max = r
+		}
+	}
+	for h, r := range rates {
+		bar := ""
+		if max > 0 {
+			bar = barOf(int(40 * float64(r) / float64(max)))
+		}
+		fmt.Printf("%02d  %7.2f Gb/s  %s\n", h, r.Gbps(), bar)
+	}
+	fmt.Println()
+}
+
+func barOf(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func printSkew(tr *cablevod.Trace) {
+	fmt.Println("== popularity skew, 15-min session initiations (fig 2) ==")
+	_, end := tr.Span()
+	from := end - 7*units.Day
+	if from < 0 {
+		from = 0
+	}
+	series := tr.PopularityQuantiles(from, end, 15*time.Minute, []float64{0.99, 0.95})
+	if len(series) == 3 {
+		fmt.Printf("maximum       %d\n", series[0].Max())
+		fmt.Printf("99%% quantile  %d\n", series[1].Max())
+		fmt.Printf("95%% quantile  %d\n", series[2].Max())
+	}
+	fmt.Println()
+}
+
+func printSessionLengths(tr *cablevod.Trace) {
+	fmt.Println("== session lengths, most popular program (figs 3/6) ==")
+	top := tr.MostPopular(1)
+	if len(top) == 0 {
+		return
+	}
+	lengths, probs := tr.SessionLengthECDF(top[0])
+	full := tr.ProgramLength(top[0])
+	fmt.Printf("program %d, %d sessions, length %v\n", top[0], len(lengths), full)
+	for _, mark := range []time.Duration{2 * time.Minute, 8 * time.Minute, 30 * time.Minute, full / 2, full} {
+		p := 0.0
+		for i, l := range lengths {
+			if l <= mark {
+				p = probs[i]
+			}
+		}
+		fmt.Printf("P(len <= %8v) = %.2f\n", mark.Round(time.Second), p)
+	}
+	inferred := tr.Clone()
+	inferred.ProgramLengths = map[trace.ProgramID]time.Duration{}
+	n := inferred.InferProgramLengths(trace.DefaultInferOptions())
+	fmt.Printf("completion jumps detected: %d programs; top program inferred %v (true %v)\n",
+		n, inferred.ProgramLengths[top[0]], full)
+	fmt.Println()
+}
+
+func printDecay(tr *cablevod.Trace) {
+	fmt.Println("== popularity after introduction (fig 12) ==")
+	_, end := tr.Span()
+	days := int(end / units.Day)
+	if days > 11 {
+		days = 11
+	}
+	if days < 2 {
+		fmt.Println("(trace too short)")
+		return
+	}
+	series := popularity.IntroductionDecay(tr, 25, days, units.Day)
+	for d, v := range series {
+		fmt.Printf("day %2d  %6.2f avg concurrent sessions\n", d, v)
+	}
+}

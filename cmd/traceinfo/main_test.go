@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cablevod"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunOnTraceFile(t *testing.T) {
+	quietStdout(t)
+	opts := cablevod.DefaultTraceOptions()
+	opts.Users, opts.Programs, opts.Days = 400, 80, 3
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.gob")
+	if err := cablevod.SaveTrace(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSynthMode(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-synth", "-synth-days", "2"}); err != nil {
+		// The default synth population is large; tolerate only success.
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run(nil); err == nil {
+		t.Error("expected error without -trace or -synth")
+	}
+	if err := run([]string{"-trace", "/nope.gob"}); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag error")
+	}
+}

@@ -1,0 +1,131 @@
+// Command vodsim runs one cooperative-cache VoD simulation over a trace
+// (from a file or freshly synthesized) and prints the paper's metrics:
+// peak-hour server load with 5%/95% quantiles, savings against the
+// uncached baseline, hit ratios, and coax utilization.
+//
+// Usage:
+//
+//	vodsim -synth -neighborhood 1000 -storage 10GB -strategy lfu
+//	vodsim -trace trace.gob -strategy oracle -warmup 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cablevod"
+	"cablevod/internal/core"
+	"cablevod/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vodsim", flag.ContinueOnError)
+	var (
+		path     = fs.String("trace", "", "trace file (.csv or .gob)")
+		synth    = fs.Bool("synth", false, "synthesize the default trace instead of loading one")
+		days     = fs.Int("synth-days", 14, "days for -synth")
+		users    = fs.Int("synth-users", 41_698, "users for -synth")
+		programs = fs.Int("synth-programs", 8_278, "programs for -synth")
+		seed     = fs.Uint64("seed", 1, "seed for -synth")
+
+		neighborhood = fs.Int("neighborhood", 1000, "subscribers per headend")
+		storage      = fs.String("storage", "10GB", "per-peer cache contribution")
+		strategyName = fs.String("strategy", "lfu", "caching strategy: lru, lfu, oracle, global-lfu")
+		history      = fs.Duration("history", 72*time.Hour, "LFU history window")
+		lag          = fs.Duration("lag", 0, "global popularity publication lag")
+		warmup       = fs.Int("warmup", 7, "days excluded from statistics")
+		fillMode     = fs.String("fill", "immediate", "segment availability: immediate or on-broadcast")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *cablevod.Trace
+	var err error
+	switch {
+	case *synth:
+		opts := cablevod.DefaultTraceOptions()
+		opts.Days = *days
+		opts.Users = *users
+		opts.Programs = *programs
+		opts.Seed = *seed
+		tr, err = cablevod.GenerateTrace(opts)
+	case *path != "":
+		tr, err = cablevod.LoadTrace(*path)
+	default:
+		return fmt.Errorf("need -trace FILE or -synth")
+	}
+	if err != nil {
+		return err
+	}
+
+	strategy, err := core.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	perPeer, err := units.ParseByteSize(*storage)
+	if err != nil {
+		return err
+	}
+	var fill cablevod.FillMode
+	switch *fillMode {
+	case "immediate":
+		fill = cablevod.FillImmediate
+	case "on-broadcast":
+		fill = cablevod.FillOnBroadcast
+	default:
+		return fmt.Errorf("unknown fill mode %q", *fillMode)
+	}
+
+	cfg := cablevod.Config{
+		NeighborhoodSize: *neighborhood,
+		PerPeerStorage:   perPeer,
+		Strategy:         strategy,
+		LFUHistory:       *history,
+		GlobalLag:        *lag,
+		Fill:             fill,
+		WarmupDays:       *warmup,
+	}
+	start := time.Now()
+	res, err := cablevod.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	printResult(res, time.Since(start))
+	return nil
+}
+
+func printResult(res *cablevod.Result, elapsed time.Duration) {
+	c := res.Counters
+	fmt.Printf("strategy            %v (fill %v)\n", res.Config.Strategy, res.Config.Fill)
+	fmt.Printf("neighborhoods       %d x %d subscribers\n", res.Neighborhoods, res.Config.Topology.NeighborhoodSize)
+	fmt.Printf("cache/neighborhood  %v\n", res.Config.TotalCachePerNeighborhood())
+	fmt.Printf("trace days          %d (warmup %d)\n", res.Days, res.Config.WarmupDays)
+	fmt.Println()
+	fmt.Printf("server load (peak)  %.2f Gb/s  [p05 %.2f, p95 %.2f]\n",
+		res.Server.Mean.Gbps(), res.Server.P05.Gbps(), res.Server.P95.Gbps())
+	fmt.Printf("uncached demand     %.2f Gb/s\n", res.Demand.Mean.Gbps())
+	fmt.Printf("savings             %.1f%%\n", 100*res.SavingsVsDemand)
+	fmt.Printf("segment hit ratio   %.1f%%\n", 100*c.HitRatio())
+	fmt.Printf("coax traffic (peak) %.0f Mb/s avg, %.0f Mb/s p95\n",
+		res.Coax.Mean.Mbps(), res.Coax.P95.Mbps())
+	fmt.Println()
+	fmt.Printf("sessions            %d\n", c.Sessions)
+	fmt.Printf("segment requests    %d\n", c.SegmentRequests)
+	fmt.Printf("  hits              %d\n", c.Hits)
+	fmt.Printf("  first-fetch miss  %d\n", c.MissFirstFetch)
+	fmt.Printf("  not-cached miss   %d\n", c.MissNotCached)
+	fmt.Printf("  unplaced miss     %d\n", c.MissUnplaced)
+	fmt.Printf("  peer-busy miss    %d\n", c.MissPeerBusy)
+	fmt.Printf("  broadcast fills   %d\n", c.Fills)
+	fmt.Printf("elapsed             %v\n", elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cablevod"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func smallTraceFile(t *testing.T) string {
+	t.Helper()
+	opts := cablevod.DefaultTraceOptions()
+	opts.Users, opts.Programs, opts.Days = 300, 60, 2
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.gob")
+	if err := cablevod.SaveTrace(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	quietStdout(t)
+	path := smallTraceFile(t)
+	for _, strat := range []string{"lru", "lfu", "oracle", "global-lfu"} {
+		if err := run([]string{
+			"-trace", path, "-neighborhood", "150", "-storage", "1GB",
+			"-strategy", strat, "-warmup", "0",
+		}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunFillModes(t *testing.T) {
+	quietStdout(t)
+	path := smallTraceFile(t)
+	for _, fill := range []string{"immediate", "on-broadcast"} {
+		if err := run([]string{"-trace", path, "-neighborhood", "150", "-fill", fill, "-warmup", "0"}); err != nil {
+			t.Errorf("%s: %v", fill, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	path := smallTraceFile(t)
+	cases := [][]string{
+		{},                      // neither -trace nor -synth
+		{"-trace", "/nope.gob"}, // missing file
+		{"-trace", path, "-strategy", "bogus"},
+		{"-trace", path, "-storage", "bogus"},
+		{"-trace", path, "-fill", "bogus"},
+		{"-bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestRunSynth(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{
+		"-synth", "-synth-users", "300", "-synth-programs", "60", "-synth-days", "2",
+		"-neighborhood", "150", "-warmup", "0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Capacity planning: a cable operator wants the central VoD servers to
+// stay under a target peak rate. This example sweeps the per-peer storage
+// contribution and reports the smallest set-top disk slice that meets the
+// target — the core dimensioning question behind Figures 8 and 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cablevod"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("capacity_planning: ")
+
+	const (
+		neighborhoodSize = 500
+		targetGbps       = 0.40 // what the origin servers can sustain
+	)
+
+	opts := cablevod.DefaultTraceOptions()
+	opts.Users = 8_000
+	opts.Programs = 1_600
+	opts.Days = 7
+	opts.Seed = 7
+
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("population %d, catalog %d programs, target server load %.2f Gb/s\n\n",
+		opts.Users, opts.Programs, targetGbps)
+	fmt.Printf("%-10s %-12s %-12s %-9s %s\n",
+		"per-peer", "cache/nbhd", "server Gb/s", "savings", "meets target")
+
+	var chosen cablevod.ByteSize
+	for _, perPeer := range []cablevod.ByteSize{
+		1 * cablevod.GB, 2 * cablevod.GB, 5 * cablevod.GB,
+		10 * cablevod.GB, 20 * cablevod.GB,
+	} {
+		res, err := cablevod.Run(cablevod.Config{
+			NeighborhoodSize: neighborhoodSize,
+			PerPeerStorage:   perPeer,
+			Strategy:         cablevod.LFU,
+			WarmupDays:       2,
+		}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := res.Server.Mean.Gbps() <= targetGbps
+		mark := ""
+		if meets {
+			mark = "yes"
+			if chosen == 0 {
+				chosen = perPeer
+			}
+		}
+		fmt.Printf("%-10v %-12v %-12.2f %-9s %s\n",
+			perPeer, res.Config.TotalCachePerNeighborhood(),
+			res.Server.Mean.Gbps(),
+			fmt.Sprintf("%.0f%%", 100*res.SavingsVsDemand), mark)
+	}
+
+	fmt.Println()
+	if chosen > 0 {
+		fmt.Printf("recommendation: provision %v per set-top box\n", chosen)
+	} else {
+		fmt.Println("recommendation: target unreachable with caching alone; add origin capacity")
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate a small synthetic VoD workload, run the
+// cooperative-cache simulation with the paper's defaults, and print the
+// headline numbers. Runs in a few seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cablevod"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// A small city: 5,000 subscribers, 1,000-program catalog, one week.
+	opts := cablevod.DefaultTraceOptions()
+	opts.Users = 5_000
+	opts.Programs = 1_000
+	opts.Days = 7
+	opts.Seed = 42
+
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("workload: %d sessions from %d subscribers over %d days\n",
+		s.Records, s.Users, opts.Days)
+
+	// 500-subscriber coaxial neighborhoods, each set-top box
+	// contributing 10 GB to the cooperative cache, LFU strategy.
+	res, err := cablevod.Run(cablevod.Config{
+		NeighborhoodSize: 500,
+		PerPeerStorage:   10 * cablevod.GB,
+		Strategy:         cablevod.LFU,
+		WarmupDays:       2,
+	}, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("neighborhoods:     %d (cache %v each)\n",
+		res.Neighborhoods, res.Config.TotalCachePerNeighborhood())
+	fmt.Printf("uncached demand:   %.2f Gb/s at peak\n", res.Demand.Mean.Gbps())
+	fmt.Printf("with P2P cache:    %.2f Gb/s at peak\n", res.Server.Mean.Gbps())
+	fmt.Printf("server savings:    %.0f%%\n", 100*res.SavingsVsDemand)
+	fmt.Printf("segment hit ratio: %.0f%%\n", 100*res.Counters.HitRatio())
+	fmt.Printf("coax load:         %.0f Mb/s average during peak hours\n",
+		res.Coax.Mean.Mbps())
+}

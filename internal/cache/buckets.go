@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"fmt"
+
+	"cablevod/internal/trace"
+)
+
+// bucketSet is the O(1) frequency-bucket structure underlying the LFU,
+// Oracle and global-LFU policies: a doubly-linked list of count buckets in
+// ascending order, each holding a recency-ordered doubly-linked list of
+// cached programs (front = least recently used). Victim order is therefore
+// (count ascending, recency ascending) — LFU with LRU tie-break, exactly
+// the paper's rule.
+type bucketSet struct {
+	first *bucket
+	nodes map[trace.ProgramID]*entryNode
+}
+
+type bucket struct {
+	count      int
+	head, tail *entryNode
+	prev, next *bucket
+}
+
+type entryNode struct {
+	program    trace.ProgramID
+	bucket     *bucket
+	prev, next *entryNode
+}
+
+func newBucketSet() *bucketSet {
+	return &bucketSet{nodes: make(map[trace.ProgramID]*entryNode)}
+}
+
+func (s *bucketSet) len() int { return len(s.nodes) }
+
+func (s *bucketSet) contains(p trace.ProgramID) bool {
+	_, ok := s.nodes[p]
+	return ok
+}
+
+// count returns the bucket count of a tracked program; it panics for
+// untracked programs (callers check contains first).
+func (s *bucketSet) count(p trace.ProgramID) int {
+	n, ok := s.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("cache: program %d not tracked", p))
+	}
+	return n.bucket.count
+}
+
+// add starts tracking p with the given count, as most recently used within
+// its bucket. Adding a tracked program panics.
+func (s *bucketSet) add(p trace.ProgramID, count int) {
+	if _, ok := s.nodes[p]; ok {
+		panic(fmt.Sprintf("cache: program %d already tracked", p))
+	}
+	n := &entryNode{program: p}
+	s.nodes[p] = n
+	s.attach(n, count, true)
+}
+
+// remove stops tracking p. Removing an untracked program panics.
+func (s *bucketSet) remove(p trace.ProgramID) {
+	n, ok := s.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("cache: program %d not tracked", p))
+	}
+	s.detach(n)
+	delete(s.nodes, p)
+}
+
+// touch marks p most recently used within its current bucket.
+func (s *bucketSet) touch(p trace.ProgramID) {
+	n, ok := s.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("cache: program %d not tracked", p))
+	}
+	count := n.bucket.count
+	s.detach(n)
+	s.attach(n, count, true)
+}
+
+// setCount moves p to the bucket for count. Increases mark the entry most
+// recently used in the target bucket (it was just accessed); decreases
+// mark it least recently used (it decayed).
+func (s *bucketSet) setCount(p trace.ProgramID, count int) {
+	n, ok := s.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("cache: program %d not tracked", p))
+	}
+	old := n.bucket.count
+	if old == count {
+		return
+	}
+	s.detach(n)
+	s.attach(n, count, count > old)
+}
+
+// min returns the victim-ordered first program and its count.
+func (s *bucketSet) min() (trace.ProgramID, int, bool) {
+	if s.first == nil {
+		return 0, 0, false
+	}
+	return s.first.head.program, s.first.count, true
+}
+
+// ascend calls yield for every tracked program in victim order (count
+// ascending, least recently used first) until yield returns false. The
+// structure must not be mutated during iteration.
+func (s *bucketSet) ascend(yield func(p trace.ProgramID, count int) bool) {
+	for b := s.first; b != nil; b = b.next {
+		for n := b.head; n != nil; n = n.next {
+			if !yield(n.program, b.count) {
+				return
+			}
+		}
+	}
+}
+
+// attach inserts n into the bucket with the given count (creating it in
+// sorted position if needed), at the tail when mru is true, else the head.
+func (s *bucketSet) attach(n *entryNode, count int, mru bool) {
+	// Find the bucket with this count or the insertion point.
+	var prev *bucket
+	b := s.first
+	for b != nil && b.count < count {
+		prev = b
+		b = b.next
+	}
+	if b == nil || b.count != count {
+		nb := &bucket{count: count, prev: prev, next: b}
+		if prev != nil {
+			prev.next = nb
+		} else {
+			s.first = nb
+		}
+		if b != nil {
+			b.prev = nb
+		}
+		b = nb
+	}
+	n.bucket = b
+	if mru || b.head == nil {
+		// Append at tail (most recently used).
+		n.prev = b.tail
+		n.next = nil
+		if b.tail != nil {
+			b.tail.next = n
+		} else {
+			b.head = n
+		}
+		b.tail = n
+	} else {
+		// Prepend at head (least recently used).
+		n.next = b.head
+		n.prev = nil
+		b.head.prev = n
+		b.head = n
+	}
+}
+
+// detach unlinks n from its bucket, deleting the bucket if emptied.
+func (s *bucketSet) detach(n *entryNode) {
+	b := n.bucket
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next, n.bucket = nil, nil, nil
+	if b.head == nil {
+		if b.prev != nil {
+			b.prev.next = b.next
+		} else {
+			s.first = b.next
+		}
+		if b.next != nil {
+			b.next.prev = b.prev
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cablevod/internal/trace"
+)
+
+func collect(s *bucketSet) []trace.ProgramID {
+	var out []trace.ProgramID
+	s.ascend(func(p trace.ProgramID, _ int) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+func idsEqual(a, b []trace.ProgramID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBucketSetAddAndOrder(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 5)
+	s.add(2, 1)
+	s.add(3, 3)
+	s.add(4, 1) // same count as 2, added later => more recent
+	got := collect(s)
+	want := []trace.ProgramID{2, 4, 3, 1}
+	if !idsEqual(got, want) {
+		t.Errorf("victim order = %v, want %v", got, want)
+	}
+	if p, c, ok := s.min(); !ok || p != 2 || c != 1 {
+		t.Errorf("min() = (%d, %d, %v), want (2, 1, true)", p, c, ok)
+	}
+}
+
+func TestBucketSetTouch(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 0)
+	s.add(2, 0)
+	s.add(3, 0)
+	s.touch(1) // 1 becomes most recent
+	got := collect(s)
+	want := []trace.ProgramID{2, 3, 1}
+	if !idsEqual(got, want) {
+		t.Errorf("order after touch = %v, want %v", got, want)
+	}
+}
+
+func TestBucketSetSetCountUpAndDown(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 2)
+	s.add(2, 2)
+	s.add(3, 2)
+	s.setCount(2, 5) // up: most recent in new bucket
+	s.setCount(3, 1) // down
+	got := collect(s)
+	want := []trace.ProgramID{3, 1, 2}
+	if !idsEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+	if s.count(2) != 5 || s.count(3) != 1 {
+		t.Errorf("counts = %d, %d", s.count(2), s.count(3))
+	}
+}
+
+func TestBucketSetDecayedEntryIsLRUWithinBucket(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 1)
+	s.add(2, 2)
+	// 2 decays into 1's bucket: decays go to the LRU side.
+	s.setCount(2, 1)
+	got := collect(s)
+	want := []trace.ProgramID{2, 1}
+	if !idsEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestBucketSetRemove(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 1)
+	s.add(2, 2)
+	s.remove(1)
+	if s.contains(1) {
+		t.Error("removed program still tracked")
+	}
+	if s.len() != 1 {
+		t.Errorf("len = %d, want 1", s.len())
+	}
+	if p, _, ok := s.min(); !ok || p != 2 {
+		t.Errorf("min after remove = %d", p)
+	}
+	s.remove(2)
+	if _, _, ok := s.min(); ok {
+		t.Error("min on empty set should report !ok")
+	}
+}
+
+func TestBucketSetPanics(t *testing.T) {
+	s := newBucketSet()
+	s.add(1, 0)
+	for name, f := range map[string]func(){
+		"double add":       func() { s.add(1, 0) },
+		"remove unknown":   func() { s.remove(9) },
+		"touch unknown":    func() { s.touch(9) },
+		"count unknown":    func() { s.count(9) },
+		"setCount unknown": func() { s.setCount(9, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestBucketSetAscendEarlyStop(t *testing.T) {
+	s := newBucketSet()
+	for i := trace.ProgramID(1); i <= 10; i++ {
+		s.add(i, int(i))
+	}
+	n := 0
+	s.ascend(func(trace.ProgramID, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("ascend visited %d entries, want 3", n)
+	}
+}
+
+// Property: ascend always yields counts in non-decreasing order, regardless
+// of the operation sequence applied.
+func TestBucketSetOrderInvariant(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		P     uint8
+		Count uint8
+	}
+	f := func(ops []op) bool {
+		s := newBucketSet()
+		tracked := map[trace.ProgramID]bool{}
+		for _, o := range ops {
+			p := trace.ProgramID(o.P % 16)
+			switch o.Kind % 4 {
+			case 0:
+				if !tracked[p] {
+					s.add(p, int(o.Count%8))
+					tracked[p] = true
+				}
+			case 1:
+				if tracked[p] {
+					s.remove(p)
+					delete(tracked, p)
+				}
+			case 2:
+				if tracked[p] {
+					s.touch(p)
+				}
+			case 3:
+				if tracked[p] {
+					s.setCount(p, int(o.Count%8))
+				}
+			}
+		}
+		// Invariants: ascend yields each tracked program exactly once,
+		// counts non-decreasing.
+		seen := map[trace.ProgramID]bool{}
+		last := -1
+		okOrder := true
+		s.ascend(func(p trace.ProgramID, c int) bool {
+			if c < last {
+				okOrder = false
+			}
+			last = c
+			if seen[p] {
+				okOrder = false
+			}
+			seen[p] = true
+			return true
+		})
+		if !okOrder || len(seen) != len(tracked) {
+			return false
+		}
+		for p := range tracked {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package cache implements the caching strategies of Section IV-B.2 — LRU,
+// LFU with a sliding history window, the idealized Oracle, and the
+// global-popularity LFU variants of Figure 13 — together with a
+// capacity-enforcing Cache container that applies a strategy at program
+// granularity.
+//
+// The index server admits and evicts whole programs (the paper's model);
+// segment placement across peers is handled by the core package on top of
+// the admission decisions made here.
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// alwaysAdmit is the candidate value meaning "admit regardless of victim
+// values" (used by LRU, where a fresh access always wins).
+const alwaysAdmit = int(^uint(0) >> 1) // math.MaxInt
+
+// Policy is a cache replacement strategy at program granularity. The Cache
+// container drives it; implementations maintain whatever bookkeeping their
+// strategy needs (recency lists, frequency windows, future indexes).
+//
+// Time must advance monotonically across calls.
+type Policy interface {
+	// Name identifies the strategy ("lru", "lfu", "oracle", ...).
+	Name() string
+
+	// Advance moves the policy's clock to now, processing any pending
+	// decay (history-window expiry, oracle window slide, publications).
+	Advance(now time.Duration)
+
+	// OnRequest records that p was requested at now, before the hit or
+	// miss is resolved. For cached programs this refreshes recency.
+	OnRequest(p trace.ProgramID, now time.Duration)
+
+	// CandidateValue returns the retention value of the (uncached)
+	// program p for admission comparison against victims.
+	CandidateValue(p trace.ProgramID, now time.Duration) int
+
+	// OnAdmit adds p to the policy's cached set.
+	OnAdmit(p trace.ProgramID, now time.Duration)
+
+	// OnEvict removes p from the policy's cached set.
+	OnEvict(p trace.ProgramID)
+
+	// EvictionOrder yields cached programs from least to most valuable
+	// (with least-recently-used tie-break) until yield returns false.
+	EvictionOrder(yield func(p trace.ProgramID, value int) bool)
+}
+
+// AccessResult reports what a cache access did.
+type AccessResult struct {
+	// Hit is true when the program was already cached.
+	Hit bool
+	// Admitted is true when a missed program was added to the cache.
+	Admitted bool
+	// Evicted lists programs removed to make room, in eviction order.
+	Evicted []trace.ProgramID
+}
+
+// Cache is a byte-capacity cache of whole programs governed by a Policy.
+// It is the index server's view of the neighborhood's pooled storage: the
+// sum of the space every peer contributes (Section IV-B.3).
+type Cache struct {
+	policy   Policy
+	capacity units.ByteSize
+	used     units.ByteSize
+	sizes    map[trace.ProgramID]units.ByteSize
+
+	hits   uint64
+	misses uint64
+}
+
+// New returns an empty cache with the given byte capacity and policy.
+func New(capacity units.ByteSize, policy Policy) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %v", capacity)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	return &Cache{
+		policy:   policy,
+		capacity: capacity,
+		sizes:    make(map[trace.ProgramID]units.ByteSize),
+	}, nil
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() units.ByteSize { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() units.ByteSize { return c.used }
+
+// Len returns the number of cached programs.
+func (c *Cache) Len() int { return len(c.sizes) }
+
+// Contains reports whether p is cached.
+func (c *Cache) Contains(p trace.ProgramID) bool {
+	_, ok := c.sizes[p]
+	return ok
+}
+
+// Hits and Misses return the access counters.
+func (c *Cache) Hits() uint64   { return c.hits }
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRatio returns hits / (hits + misses), or 0 before any access.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Policy returns the governing policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Access processes a request for program p of the given stored size at
+// time now, applying the strategy's admission and eviction rules.
+func (c *Cache) Access(p trace.ProgramID, size units.ByteSize, now time.Duration) AccessResult {
+	if size < 0 {
+		panic(fmt.Sprintf("cache: negative program size for %d", p))
+	}
+	c.policy.Advance(now)
+	c.policy.OnRequest(p, now)
+
+	if c.Contains(p) {
+		c.hits++
+		return AccessResult{Hit: true}
+	}
+	c.misses++
+
+	if size == 0 || size > c.capacity {
+		return AccessResult{}
+	}
+
+	// Fast path: fits without eviction.
+	if c.used+size <= c.capacity {
+		c.admit(p, size, now)
+		return AccessResult{Admitted: true}
+	}
+
+	// Collect victims in eviction order until the candidate fits. The
+	// candidate is admitted only if it is at least as valuable as every
+	// victim it displaces (ties admit: a fresh access wins LRU
+	// tie-breaks by definition).
+	candidate := c.policy.CandidateValue(p, now)
+	need := c.used + size - c.capacity
+	var victims []trace.ProgramID
+	var freed units.ByteSize
+	ok := true
+	c.policy.EvictionOrder(func(v trace.ProgramID, value int) bool {
+		if value > candidate {
+			ok = false
+			return false
+		}
+		victims = append(victims, v)
+		freed += c.sizes[v]
+		return freed < need
+	})
+	if !ok || freed < need {
+		return AccessResult{}
+	}
+	for _, v := range victims {
+		c.evict(v)
+	}
+	c.admit(p, size, now)
+	return AccessResult{Admitted: true, Evicted: victims}
+}
+
+// Evict forcibly removes p (used when external constraints, e.g. peer
+// storage reshuffling, require dropping a program). It reports whether p
+// was cached.
+func (c *Cache) Evict(p trace.ProgramID) bool {
+	if !c.Contains(p) {
+		return false
+	}
+	c.evict(p)
+	return true
+}
+
+// Contents returns the cached programs in eviction order (least valuable
+// first).
+func (c *Cache) Contents() []trace.ProgramID {
+	out := make([]trace.ProgramID, 0, len(c.sizes))
+	c.policy.EvictionOrder(func(p trace.ProgramID, _ int) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+func (c *Cache) admit(p trace.ProgramID, size units.ByteSize, now time.Duration) {
+	c.sizes[p] = size
+	c.used += size
+	c.policy.OnAdmit(p, now)
+}
+
+func (c *Cache) evict(p trace.ProgramID) {
+	c.used -= c.sizes[p]
+	delete(c.sizes, p)
+	c.policy.OnEvict(p)
+}

@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+)
+
+// Global popularity sharing (Figure 13): instead of ranking programs by
+// the accesses seen within one neighborhood, index servers may use usage
+// data aggregated across every peer in the system. The paper evaluates a
+// live global feed, lagged feeds updated in 30-minute and 2-hour batches,
+// and the purely local baseline.
+//
+// Global is the shared aggregator; GlobalLFU is the per-neighborhood
+// policy view of it. All neighborhoods' requests must be recorded through
+// their GlobalLFU policies for the shared counts to be meaningful.
+
+// Global aggregates windowed access counts across all neighborhoods.
+type Global struct {
+	history time.Duration
+	lag     time.Duration
+
+	counts map[trace.ProgramID]int
+	expiry []expiryEvent
+	head   int
+	now    time.Duration
+
+	// published is the snapshot policies see when lag > 0; version ticks
+	// on every publication so policies can rebuild lazily.
+	published   map[trace.ProgramID]int
+	version     uint64
+	nextPublish time.Duration
+
+	// subscribers maps a program to the policies currently caching it,
+	// for live (lag == 0) bucket updates.
+	subscribers map[trace.ProgramID]map[*GlobalLFU]struct{}
+}
+
+// NewGlobal returns a shared aggregator with the given history window and
+// publication lag (0 = live).
+func NewGlobal(history, lag time.Duration) (*Global, error) {
+	if history < 0 {
+		return nil, fmt.Errorf("cache: negative global history %v", history)
+	}
+	if lag < 0 {
+		return nil, fmt.Errorf("cache: negative global lag %v", lag)
+	}
+	return &Global{
+		history:     history,
+		lag:         lag,
+		counts:      make(map[trace.ProgramID]int),
+		published:   make(map[trace.ProgramID]int),
+		nextPublish: lag,
+		subscribers: make(map[trace.ProgramID]map[*GlobalLFU]struct{}),
+	}, nil
+}
+
+// NewPolicy returns a policy view of the aggregator for one neighborhood.
+func (g *Global) NewPolicy() *GlobalLFU {
+	return &GlobalLFU{global: g, set: newBucketSet()}
+}
+
+// advance slides the window and publishes snapshots as time passes.
+func (g *Global) advance(now time.Duration) {
+	if now <= g.now {
+		return
+	}
+	g.now = now
+	for g.head < len(g.expiry) && g.expiry[g.head].at <= now {
+		e := g.expiry[g.head]
+		g.head++
+		g.counts[e.program]--
+		if g.counts[e.program] <= 0 {
+			delete(g.counts, e.program)
+		}
+		g.notify(e.program)
+	}
+	if g.head > 1024 && g.head*2 > len(g.expiry) {
+		n := copy(g.expiry, g.expiry[g.head:])
+		g.expiry = g.expiry[:n]
+		g.head = 0
+	}
+	if g.lag > 0 && now >= g.nextPublish {
+		g.publish()
+		for g.nextPublish <= now {
+			g.nextPublish += g.lag
+		}
+	}
+}
+
+func (g *Global) record(p trace.ProgramID, now time.Duration) {
+	g.advance(now)
+	if g.history == 0 {
+		return
+	}
+	g.counts[p]++
+	g.expiry = append(g.expiry, expiryEvent{program: p, at: now + g.history})
+	g.notify(p)
+}
+
+// count returns the count a policy should see at time now.
+func (g *Global) count(p trace.ProgramID) int {
+	if g.lag == 0 {
+		return g.counts[p]
+	}
+	return g.published[p]
+}
+
+func (g *Global) publish() {
+	g.published = make(map[trace.ProgramID]int, len(g.counts))
+	for p, c := range g.counts {
+		g.published[p] = c
+	}
+	g.version++
+}
+
+// notify pushes a live count change to every policy caching p.
+func (g *Global) notify(p trace.ProgramID) {
+	if g.lag != 0 {
+		return
+	}
+	for pol := range g.subscribers[p] {
+		pol.set.setCount(p, g.counts[p])
+	}
+}
+
+func (g *Global) subscribe(p trace.ProgramID, pol *GlobalLFU) {
+	subs, ok := g.subscribers[p]
+	if !ok {
+		subs = make(map[*GlobalLFU]struct{})
+		g.subscribers[p] = subs
+	}
+	subs[pol] = struct{}{}
+}
+
+func (g *Global) unsubscribe(p trace.ProgramID, pol *GlobalLFU) {
+	subs := g.subscribers[p]
+	delete(subs, pol)
+	if len(subs) == 0 {
+		delete(g.subscribers, p)
+	}
+}
+
+// GlobalLFU is an LFU policy whose frequency data comes from the shared
+// Global aggregator instead of the local neighborhood history.
+type GlobalLFU struct {
+	global  *Global
+	set     *bucketSet
+	version uint64
+}
+
+var _ Policy = (*GlobalLFU)(nil)
+
+// Name returns "global-lfu".
+func (l *GlobalLFU) Name() string { return "global-lfu" }
+
+// Advance slides the shared window and adopts any new published snapshot.
+func (l *GlobalLFU) Advance(now time.Duration) {
+	l.global.advance(now)
+	if l.global.lag > 0 && l.version != l.global.version {
+		l.rebuild()
+		l.version = l.global.version
+	}
+}
+
+// rebuild re-scores every cached program from the published snapshot, in
+// current victim order so ties keep a deterministic recency order.
+func (l *GlobalLFU) rebuild() {
+	type pair struct {
+		p trace.ProgramID
+		c int
+	}
+	updates := make([]pair, 0, l.set.len())
+	l.set.ascend(func(p trace.ProgramID, _ int) bool {
+		updates = append(updates, pair{p: p, c: l.global.count(p)})
+		return true
+	})
+	for _, u := range updates {
+		l.set.setCount(u.p, u.c)
+	}
+}
+
+// OnRequest records the access into the shared aggregator and refreshes
+// local recency.
+func (l *GlobalLFU) OnRequest(p trace.ProgramID, now time.Duration) {
+	l.Advance(now)
+	l.global.record(p, now)
+	if l.set.contains(p) {
+		if l.global.lag == 0 {
+			l.set.setCount(p, l.global.count(p))
+		}
+		l.set.touch(p)
+	}
+}
+
+// CandidateValue returns the globally aggregated count visible now.
+func (l *GlobalLFU) CandidateValue(p trace.ProgramID, now time.Duration) int {
+	l.Advance(now)
+	return l.global.count(p)
+}
+
+// OnAdmit starts tracking p at its visible global count.
+func (l *GlobalLFU) OnAdmit(p trace.ProgramID, _ time.Duration) {
+	l.set.add(p, l.global.count(p))
+	if l.global.lag == 0 {
+		l.global.subscribe(p, l)
+	}
+}
+
+// OnEvict stops tracking p.
+func (l *GlobalLFU) OnEvict(p trace.ProgramID) {
+	l.set.remove(p)
+	if l.global.lag == 0 {
+		l.global.unsubscribe(p, l)
+	}
+}
+
+// EvictionOrder yields cached programs from least to most globally
+// popular, least recently used first within a score.
+func (l *GlobalLFU) EvictionOrder(yield func(p trace.ProgramID, value int) bool) {
+	l.set.ascend(yield)
+}

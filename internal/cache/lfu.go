@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+)
+
+// LFU is the paper's Least Frequently Used strategy: the index server
+// keeps a history of all events in the last History hours and caches the
+// programs accessed most frequently in that window, breaking ties with
+// LRU (Section IV-B.2). History 0 degenerates into plain LRU, matching
+// Figure 11's leftmost point.
+type LFU struct {
+	history time.Duration
+
+	counts map[trace.ProgramID]int
+	set    *bucketSet
+
+	// expiry is a FIFO of recorded accesses; times are monotone, so a
+	// plain queue suffices to decay counts as the window slides.
+	expiry []expiryEvent
+	head   int
+	now    time.Duration
+}
+
+type expiryEvent struct {
+	program trace.ProgramID
+	at      time.Duration // time the access leaves the window
+}
+
+var _ Policy = (*LFU)(nil)
+
+// NewLFU returns an LFU policy with the given history window.
+func NewLFU(history time.Duration) (*LFU, error) {
+	if history < 0 {
+		return nil, fmt.Errorf("cache: negative LFU history %v", history)
+	}
+	return &LFU{
+		history: history,
+		counts:  make(map[trace.ProgramID]int),
+		set:     newBucketSet(),
+	}, nil
+}
+
+// Name returns "lfu".
+func (l *LFU) Name() string { return "lfu" }
+
+// History returns the history window length.
+func (l *LFU) History() time.Duration { return l.history }
+
+// Advance slides the history window to end at now, decaying counts.
+func (l *LFU) Advance(now time.Duration) {
+	if now < l.now {
+		panic(fmt.Sprintf("cache: LFU time went backwards: %v < %v", now, l.now))
+	}
+	l.now = now
+	for l.head < len(l.expiry) && l.expiry[l.head].at <= now {
+		e := l.expiry[l.head]
+		l.head++
+		l.counts[e.program]--
+		if l.counts[e.program] <= 0 {
+			delete(l.counts, e.program)
+		}
+		if l.set.contains(e.program) {
+			l.set.setCount(e.program, l.count(e.program))
+		}
+	}
+	if l.head > 1024 && l.head*2 > len(l.expiry) {
+		n := copy(l.expiry, l.expiry[l.head:])
+		l.expiry = l.expiry[:n]
+		l.head = 0
+	}
+}
+
+// OnRequest records an access, growing p's windowed count.
+func (l *LFU) OnRequest(p trace.ProgramID, now time.Duration) {
+	l.Advance(now)
+	if l.history > 0 {
+		l.counts[p]++
+		l.expiry = append(l.expiry, expiryEvent{program: p, at: now + l.history})
+	}
+	if l.set.contains(p) {
+		l.set.setCount(p, l.count(p))
+		l.set.touch(p)
+	}
+}
+
+// CandidateValue returns p's current windowed access count.
+func (l *LFU) CandidateValue(p trace.ProgramID, now time.Duration) int {
+	l.Advance(now)
+	return l.count(p)
+}
+
+// OnAdmit starts tracking p at its current count.
+func (l *LFU) OnAdmit(p trace.ProgramID, _ time.Duration) {
+	l.set.add(p, l.count(p))
+}
+
+// OnEvict stops tracking p.
+func (l *LFU) OnEvict(p trace.ProgramID) {
+	l.set.remove(p)
+}
+
+// EvictionOrder yields cached programs from least to most frequently
+// accessed, least recently used first within a frequency.
+func (l *LFU) EvictionOrder(yield func(p trace.ProgramID, value int) bool) {
+	l.set.ascend(yield)
+}
+
+func (l *LFU) count(p trace.ProgramID) int { return l.counts[p] }

@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"time"
+
+	"cablevod/internal/trace"
+)
+
+// LRU is the paper's Least Recently Used strategy: a queue of cached
+// programs ordered by last access; misses are admitted immediately and the
+// program at the end of the queue is discarded when the cache is full
+// (Section IV-B.2).
+type LRU struct {
+	// buckets with a single count (0) degenerate into one LRU list.
+	set *bucketSet
+}
+
+var _ Policy = (*LRU)(nil)
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU {
+	return &LRU{set: newBucketSet()}
+}
+
+// Name returns "lru".
+func (l *LRU) Name() string { return "lru" }
+
+// Advance is a no-op: recency state needs no decay.
+func (l *LRU) Advance(time.Duration) {}
+
+// OnRequest refreshes the recency of cached programs.
+func (l *LRU) OnRequest(p trace.ProgramID, _ time.Duration) {
+	if l.set.contains(p) {
+		l.set.touch(p)
+	}
+}
+
+// CandidateValue always admits: a freshly accessed program is by
+// definition the most recently used.
+func (l *LRU) CandidateValue(trace.ProgramID, time.Duration) int { return alwaysAdmit }
+
+// OnAdmit starts tracking p as most recently used.
+func (l *LRU) OnAdmit(p trace.ProgramID, _ time.Duration) {
+	l.set.add(p, 0)
+}
+
+// OnEvict stops tracking p.
+func (l *LRU) OnEvict(p trace.ProgramID) {
+	l.set.remove(p)
+}
+
+// EvictionOrder yields cached programs least recently used first. Victim
+// values are 0 so any candidate wins.
+func (l *LRU) EvictionOrder(yield func(p trace.ProgramID, value int) bool) {
+	l.set.ascend(func(p trace.ProgramID, _ int) bool {
+		return yield(p, 0)
+	})
+}

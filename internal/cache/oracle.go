@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+)
+
+// DefaultOracleLookahead is the paper's oracle window: it "caches the
+// files that will be used the most frequently in the next three days"
+// (Section VI-A).
+const DefaultOracleLookahead = 3 * 24 * time.Hour
+
+// Oracle is the idealized benchmark strategy: it values every program by
+// the number of accesses it will receive in the next Lookahead of
+// simulated time, which is impossible to implement in practice and serves
+// as the ceiling for achievable cache performance.
+//
+// Scores are maintained event-wise: an access at time t enters the score
+// window at t-Lookahead and leaves it at t, so every indexed access costs
+// O(1) amortized over the run.
+type Oracle struct {
+	lookahead time.Duration
+
+	counts map[trace.ProgramID]int
+	set    *bucketSet
+
+	// incs and decs are the precomputed window-entry and window-exit
+	// streams, consumed monotonically.
+	incs    []futureAccess
+	decs    []futureAccess
+	incHead int
+	decHead int
+	now     time.Duration
+	started bool
+}
+
+var _ Policy = (*Oracle)(nil)
+
+// NewOracle returns an oracle over the given future index.
+func NewOracle(idx *FutureIndex, lookahead time.Duration) (*Oracle, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("cache: oracle requires a future index")
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("cache: oracle lookahead must be positive, got %v", lookahead)
+	}
+	o := &Oracle{
+		lookahead: lookahead,
+		counts:    make(map[trace.ProgramID]int),
+		set:       newBucketSet(),
+		decs:      idx.all,
+	}
+	// Entry stream: the same accesses shifted back by the lookahead
+	// (already sorted since shifting preserves order).
+	o.incs = make([]futureAccess, len(idx.all))
+	for i, a := range idx.all {
+		o.incs[i] = futureAccess{at: a.at - lookahead, program: a.program}
+	}
+	return o, nil
+}
+
+// Name returns "oracle".
+func (o *Oracle) Name() string { return "oracle" }
+
+// Lookahead returns the future window length.
+func (o *Oracle) Lookahead() time.Duration { return o.lookahead }
+
+// Advance slides the future window to [now, now+lookahead).
+func (o *Oracle) Advance(now time.Duration) {
+	if o.started && now < o.now {
+		panic(fmt.Sprintf("cache: oracle time went backwards: %v < %v", now, o.now))
+	}
+	o.now = now
+	o.started = true
+	for o.incHead < len(o.incs) && o.incs[o.incHead].at <= now {
+		p := o.incs[o.incHead].program
+		o.incHead++
+		o.counts[p]++
+		if o.set.contains(p) {
+			o.set.setCount(p, o.counts[p])
+		}
+	}
+	// An access at time t leaves the window once t <= now: it is no
+	// longer in the future. (The access happening *now* is being served
+	// now; retaining has no further value from that access.)
+	for o.decHead < len(o.decs) && o.decs[o.decHead].at <= now {
+		p := o.decs[o.decHead].program
+		o.decHead++
+		o.counts[p]--
+		if o.counts[p] <= 0 {
+			delete(o.counts, p)
+		}
+		if o.set.contains(p) {
+			o.set.setCount(p, o.counts[p])
+		}
+	}
+}
+
+// OnRequest refreshes recency for cached programs.
+func (o *Oracle) OnRequest(p trace.ProgramID, now time.Duration) {
+	o.Advance(now)
+	if o.set.contains(p) {
+		o.set.touch(p)
+	}
+}
+
+// CandidateValue returns the number of future accesses to p within the
+// lookahead window.
+func (o *Oracle) CandidateValue(p trace.ProgramID, now time.Duration) int {
+	o.Advance(now)
+	return o.counts[p]
+}
+
+// OnAdmit starts tracking p at its future-access count.
+func (o *Oracle) OnAdmit(p trace.ProgramID, _ time.Duration) {
+	o.set.add(p, o.counts[p])
+}
+
+// OnEvict stops tracking p.
+func (o *Oracle) OnEvict(p trace.ProgramID) {
+	o.set.remove(p)
+}
+
+// EvictionOrder yields cached programs with the fewest future accesses
+// first.
+func (o *Oracle) EvictionOrder(yield func(p trace.ProgramID, value int) bool) {
+	o.set.ascend(yield)
+}

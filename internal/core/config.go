@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: a cooperative
+// proxy-cache VoD system for HFC cable networks (Section IV). Set-top
+// boxes in each coaxial neighborhood pool their storage into a cache run
+// by an index server at the headend; programs are divided into 5-minute
+// segments placed on individual peers; requests are served by peer
+// broadcast on a hit and by the central media server on a miss, with the
+// cache filled opportunistically from miss broadcasts.
+//
+// The package also contains the trace-driven discrete-event simulation of
+// Section V used to evaluate the system.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/hfc"
+	"cablevod/internal/units"
+)
+
+// Strategy selects the caching strategy run by every index server.
+type Strategy int
+
+// Available strategies (Section IV-B.2 and Figure 13).
+const (
+	// StrategyLRU is the Least Recently Used queue.
+	StrategyLRU Strategy = iota + 1
+	// StrategyLFU ranks programs by access frequency over a sliding
+	// history window, ties broken by LRU.
+	StrategyLFU
+	// StrategyOracle caches the programs most frequently used in the
+	// next three days — the impossible ideal benchmark.
+	StrategyOracle
+	// StrategyGlobalLFU is LFU fed by usage data aggregated across all
+	// neighborhoods, optionally on a publication lag.
+	StrategyGlobalLFU
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyLRU:
+		return "lru"
+	case StrategyLFU:
+		return "lfu"
+	case StrategyOracle:
+		return "oracle"
+	case StrategyGlobalLFU:
+		return "global-lfu"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "lru":
+		return StrategyLRU, nil
+	case "lfu":
+		return StrategyLFU, nil
+	case "oracle":
+		return StrategyOracle, nil
+	case "global-lfu", "global":
+		return StrategyGlobalLFU, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q (want lru, lfu, oracle or global-lfu)", name)
+	}
+}
+
+// Default strategy parameters.
+const (
+	// DefaultLFUHistory is the history window used for LFU outside the
+	// Figure-11 sweep: long enough to beat LRU (gains appear past 24 h)
+	// but inside the staleness knee at one week.
+	DefaultLFUHistory = 72 * time.Hour
+)
+
+// FillMode selects how an admitted program's segments become available on
+// peers.
+type FillMode int
+
+// Fill modes.
+const (
+	// FillImmediate is the paper's model (Section IV-B.1): on admission
+	// the index server "locates a collection of peers to store the
+	// segments" and the program is servable from peers right away. The
+	// admitting session itself is still billed to the central server
+	// (Figure 4's miss flow).
+	FillImmediate FillMode = iota + 1
+
+	// FillOnBroadcast is the conservative deployment model: a segment
+	// becomes available only after a complete miss broadcast that a
+	// storing peer absorbed off the wire (Figure 4, step 4). This is the
+	// ablation quantifying the paper's implicit instant-placement
+	// assumption.
+	FillOnBroadcast
+)
+
+// String names the fill mode.
+func (m FillMode) String() string {
+	switch m {
+	case FillImmediate:
+		return "immediate"
+	case FillOnBroadcast:
+		return "on-broadcast"
+	default:
+		return fmt.Sprintf("fillmode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology configures the cable plant.
+	Topology hfc.Config
+
+	// Strategy picks the caching strategy (default LFU).
+	Strategy Strategy
+
+	// LFUHistory is the LFU window (default 72 h). Zero means "use the
+	// default"; use NoHistory for an explicit zero-length window (= LRU).
+	LFUHistory time.Duration
+
+	// NoHistory forces an explicit zero LFU history.
+	NoHistory bool
+
+	// OracleLookahead is the oracle's future window (default 3 days).
+	OracleLookahead time.Duration
+
+	// GlobalLag batches global popularity publication (0 = live).
+	GlobalLag time.Duration
+
+	// WarmupDays excludes the first N days of the trace from reported
+	// statistics so cold caches do not skew peak averages. The paper's
+	// trace spans seven months, so its caches are warm for essentially
+	// the whole evaluation; short synthetic runs need this explicitly.
+	WarmupDays int
+
+	// Fill selects segment-availability semantics (default
+	// FillImmediate, the paper's model).
+	Fill FillMode
+
+	// Replicas is the number of copies kept per cached segment
+	// (default 1, the paper's model). Extra replicas trade storage for
+	// fewer peer-busy misses.
+	Replicas int
+
+	// PrefixSegments caches only the first N segments of each program
+	// (0 = whole program) — the prefix-caching extension motivated by
+	// the paper's session-attrition data.
+	PrefixSegments int
+
+	// DisableCacheFill turns off opportunistic caching of miss
+	// broadcasts under FillOnBroadcast (ablation).
+	DisableCacheFill bool
+
+	// DisablePeerStreamLimit lifts the two-stream set-top constraint
+	// (ablation: Section V-C says the cache must trigger a miss when the
+	// serving peer is saturated).
+	DisablePeerStreamLimit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == 0 {
+		c.Strategy = StrategyLFU
+	}
+	if c.LFUHistory == 0 && !c.NoHistory {
+		c.LFUHistory = DefaultLFUHistory
+	}
+	if c.NoHistory {
+		c.LFUHistory = 0
+	}
+	if c.OracleLookahead == 0 {
+		c.OracleLookahead = cache.DefaultOracleLookahead
+	}
+	if c.Fill == 0 {
+		c.Fill = FillImmediate
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	switch c.Strategy {
+	case StrategyLRU, StrategyLFU, StrategyOracle, StrategyGlobalLFU:
+	default:
+		return fmt.Errorf("core: invalid strategy %d", c.Strategy)
+	}
+	if c.LFUHistory < 0 {
+		return fmt.Errorf("core: negative LFU history %v", c.LFUHistory)
+	}
+	if c.OracleLookahead <= 0 {
+		return fmt.Errorf("core: oracle lookahead must be positive, got %v", c.OracleLookahead)
+	}
+	if c.GlobalLag < 0 {
+		return fmt.Errorf("core: negative global lag %v", c.GlobalLag)
+	}
+	if c.WarmupDays < 0 {
+		return fmt.Errorf("core: negative warmup %d days", c.WarmupDays)
+	}
+	switch c.Fill {
+	case FillImmediate, FillOnBroadcast:
+	default:
+		return fmt.Errorf("core: invalid fill mode %d", c.Fill)
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("core: replicas must be >= 1, got %d", c.Replicas)
+	}
+	if c.PrefixSegments < 0 {
+		return fmt.Errorf("core: negative prefix segments %d", c.PrefixSegments)
+	}
+	return nil
+}
+
+// TotalCachePerNeighborhood returns the pooled cache size one
+// neighborhood contributes under this configuration.
+func (c Config) TotalCachePerNeighborhood() units.ByteSize {
+	cfg := c.Topology
+	per := cfg.PerPeerStorage
+	if per == 0 {
+		per = hfc.DefaultPerPeerStorage
+	}
+	return per * units.ByteSize(cfg.NeighborhoodSize)
+}

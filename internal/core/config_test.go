@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/hfc"
+	"cablevod/internal/units"
+)
+
+func TestStrategyString(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{StrategyLRU, "lru"},
+		{StrategyLFU, "lfu"},
+		{StrategyOracle, "oracle"},
+		{StrategyGlobalLFU, "global-lfu"},
+		{Strategy(99), "strategy(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"lru":        StrategyLRU,
+		"lfu":        StrategyLFU,
+		"oracle":     StrategyOracle,
+		"global-lfu": StrategyGlobalLFU,
+		"global":     StrategyGlobalLFU,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Topology: hfc.Config{NeighborhoodSize: 100}}.withDefaults()
+	if cfg.Strategy != StrategyLFU {
+		t.Errorf("default strategy = %v, want lfu", cfg.Strategy)
+	}
+	if cfg.LFUHistory != DefaultLFUHistory {
+		t.Errorf("default history = %v", cfg.LFUHistory)
+	}
+	if cfg.OracleLookahead != 3*24*time.Hour {
+		t.Errorf("default lookahead = %v", cfg.OracleLookahead)
+	}
+}
+
+func TestConfigNoHistory(t *testing.T) {
+	cfg := Config{Topology: hfc.Config{NeighborhoodSize: 100}, NoHistory: true}.withDefaults()
+	if cfg.LFUHistory != 0 {
+		t.Errorf("NoHistory left history = %v", cfg.LFUHistory)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Topology: hfc.Config{NeighborhoodSize: 100}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Topology: hfc.Config{NeighborhoodSize: 0}},
+		{Topology: hfc.Config{NeighborhoodSize: 10}, Strategy: Strategy(42)},
+		{Topology: hfc.Config{NeighborhoodSize: 10}, LFUHistory: -time.Hour},
+		{Topology: hfc.Config{NeighborhoodSize: 10}, OracleLookahead: -time.Hour},
+		{Topology: hfc.Config{NeighborhoodSize: 10}, GlobalLag: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTotalCachePerNeighborhood(t *testing.T) {
+	cfg := Config{Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: units.GB}}
+	if got := cfg.TotalCachePerNeighborhood(); got != units.TB {
+		t.Errorf("total = %v, want 1 TB", got)
+	}
+	// Defaulted per-peer storage.
+	cfg = Config{Topology: hfc.Config{NeighborhoodSize: 100}}
+	if got := cfg.TotalCachePerNeighborhood(); got != units.TB {
+		t.Errorf("defaulted total = %v, want 1 TB", got)
+	}
+}

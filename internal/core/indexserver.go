@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/hfc"
+	"cablevod/internal/segment"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// ServerOptions tunes an IndexServer beyond the paper's defaults.
+type ServerOptions struct {
+	// EnforceStreamLimit applies the 2-stream set-top constraint to
+	// serving and cache-fill streams (Section V-C).
+	EnforceStreamLimit bool
+	// Fill selects segment-availability semantics.
+	Fill FillMode
+	// BroadcastFill enables absorbing miss broadcasts under
+	// FillOnBroadcast.
+	BroadcastFill bool
+	// Replicas is the number of copies kept per segment (default 1, the
+	// paper's model). Extra replicas spread serving load and reduce
+	// peer-busy misses at the cost of storage.
+	Replicas int
+	// PrefixSegments caches only the first N segments of each program
+	// (0 = whole program). Motivated by the paper's attrition data:
+	// half of all sessions end inside the first two segments.
+	PrefixSegments int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Fill == 0 {
+		o.Fill = FillImmediate
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	}
+	return o
+}
+
+// Validate checks the options.
+func (o ServerOptions) Validate() error {
+	o = o.withDefaults()
+	switch o.Fill {
+	case FillImmediate, FillOnBroadcast:
+	default:
+		return fmt.Errorf("core: invalid fill mode %d", o.Fill)
+	}
+	if o.Replicas < 1 {
+		return fmt.Errorf("core: replicas must be >= 1, got %d", o.Replicas)
+	}
+	if o.PrefixSegments < 0 {
+		return fmt.Errorf("core: negative prefix segments %d", o.PrefixSegments)
+	}
+	return nil
+}
+
+// IndexServer is the headend coordinator of one neighborhood's cooperative
+// cache (Section IV-B): it monitors every request to compute popularity,
+// decides cache contents at program granularity, places 5-minute segments
+// on individual peers, and directs hits to the holding peer's broadcast.
+type IndexServer struct {
+	nb    *hfc.Neighborhood
+	cache *cache.Cache
+
+	// placement maps a cached program to the peers holding each segment
+	// (one entry per replica); empty slots are not yet filled.
+	placement map[trace.ProgramID][][]*hfc.SetTopBox
+
+	// lengths resolves program playback lengths.
+	lengths func(trace.ProgramID) time.Duration
+
+	opts ServerOptions
+
+	// fillCursor rotates placement across peers: with equal
+	// contributions, round-robin keeps storage balanced without
+	// scanning the whole neighborhood per fill.
+	fillCursor int
+}
+
+// NewIndexServer builds the index server for one neighborhood. The cache
+// capacity is the pooled storage of the neighborhood's peers; pol decides
+// program admission and eviction.
+func NewIndexServer(
+	nb *hfc.Neighborhood,
+	pol cache.Policy,
+	lengths func(trace.ProgramID) time.Duration,
+	opts ServerOptions,
+) (*IndexServer, error) {
+	if nb == nil {
+		return nil, fmt.Errorf("core: nil neighborhood")
+	}
+	if lengths == nil {
+		return nil, fmt.Errorf("core: nil length resolver")
+	}
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := cache.New(nb.TotalCacheCapacity(), pol)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexServer{
+		nb:        nb,
+		cache:     c,
+		placement: make(map[trace.ProgramID][][]*hfc.SetTopBox),
+		lengths:   lengths,
+		opts:      opts,
+	}, nil
+}
+
+// Neighborhood returns the neighborhood this server coordinates.
+func (is *IndexServer) Neighborhood() *hfc.Neighborhood { return is.nb }
+
+// Cache returns the program-granularity cache.
+func (is *IndexServer) Cache() *cache.Cache { return is.cache }
+
+// cachedSegments returns how many leading segments of p the cache keeps.
+func (is *IndexServer) cachedSegments(p trace.ProgramID) int {
+	n := segment.Count(is.lengths(p))
+	if is.opts.PrefixSegments > 0 && n > is.opts.PrefixSegments {
+		return is.opts.PrefixSegments
+	}
+	return n
+}
+
+// admissionSize returns the storage the cache charges for admitting p:
+// the cached prefix, once per replica.
+func (is *IndexServer) admissionSize(p trace.ProgramID) units.ByteSize {
+	length := is.lengths(p)
+	var size units.ByteSize
+	for idx := 0; idx < is.cachedSegments(p); idx++ {
+		size += segment.SizeOf(length, idx)
+	}
+	return size * units.ByteSize(is.opts.Replicas)
+}
+
+// OnSessionStart records a session request with the caching strategy and
+// applies any admission/eviction it triggers. It returns the cache access
+// result.
+func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cache.AccessResult {
+	res := is.cache.Access(p, is.admissionSize(p), now)
+	for _, victim := range res.Evicted {
+		is.releasePlacement(victim)
+	}
+	if res.Admitted {
+		slots := make([][]*hfc.SetTopBox, is.cachedSegments(p))
+		is.placement[p] = slots
+		if is.opts.Fill == FillImmediate {
+			is.placeAll(p, slots)
+		}
+	}
+	return res
+}
+
+// placeAll reserves storage for every cached segment of a newly admitted
+// program, one copy per replica (the FillImmediate model). Segments that
+// find no peer with space stay unplaced and miss until churn frees room.
+func (is *IndexServer) placeAll(p trace.ProgramID, slots [][]*hfc.SetTopBox) {
+	length := is.lengths(p)
+	for idx := range slots {
+		size := segment.SizeOf(length, idx)
+		for r := 0; r < is.opts.Replicas; r++ {
+			peer := is.pickFillPeer(size, false, slots[idx])
+			if peer == nil {
+				break
+			}
+			if !peer.Reserve(size) {
+				break
+			}
+			slots[idx] = append(slots[idx], peer)
+		}
+	}
+}
+
+// ServeOutcome describes how one segment request was served.
+type ServeOutcome int
+
+// Segment service outcomes.
+const (
+	// ServedByPeer: cache hit, a holding peer broadcasts (Figure 5).
+	ServedByPeer ServeOutcome = iota + 1
+	// MissNotCached: the program is not in the neighborhood cache.
+	MissNotCached
+	// MissUnplaced: the program is cached but this segment has no copy
+	// on any peer (not yet filled, beyond the cached prefix, or the
+	// placement table and session disagree).
+	MissUnplaced
+	// MissPeerBusy: every peer holding the segment is already active on
+	// its maximum number of streams, which triggers a miss (Section
+	// V-C).
+	MissPeerBusy
+)
+
+// String names the outcome.
+func (o ServeOutcome) String() string {
+	switch o {
+	case ServedByPeer:
+		return "hit"
+	case MissNotCached:
+		return "miss-not-cached"
+	case MissUnplaced:
+		return "miss-unplaced"
+	case MissPeerBusy:
+		return "miss-peer-busy"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// IsMiss reports whether the outcome required the central server.
+func (o ServeOutcome) IsMiss() bool { return o != ServedByPeer }
+
+// ServeSegment resolves one segment request. On a hit it claims a stream
+// slot on a holding peer and returns it so the caller can schedule the
+// release when the broadcast ends. With replication, copies are tried in
+// placement order and the first available peer serves.
+func (is *IndexServer) ServeSegment(p trace.ProgramID, idx int) (ServeOutcome, *hfc.SetTopBox) {
+	slots, ok := is.placement[p]
+	if !ok {
+		return MissNotCached, nil
+	}
+	if idx < 0 || idx >= len(slots) || len(slots[idx]) == 0 {
+		return MissUnplaced, nil
+	}
+	for _, peer := range slots[idx] {
+		if !is.opts.EnforceStreamLimit {
+			peer.ForceOpenStream()
+			return ServedByPeer, peer
+		}
+		if peer.OpenStream() {
+			return ServedByPeer, peer
+		}
+	}
+	return MissPeerBusy, nil
+}
+
+// TryFill places one more copy of segment idx of a cached program on a
+// peer reading the in-flight miss broadcast (Figure 4, step 4). It
+// returns the filling peer (holding an open stream the caller must
+// release at broadcast end), or nil when no fill happened.
+func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
+	if is.opts.Fill != FillOnBroadcast || !is.opts.BroadcastFill {
+		return nil
+	}
+	slots, ok := is.placement[p]
+	if !ok || idx < 0 || idx >= len(slots) || len(slots[idx]) >= is.opts.Replicas {
+		return nil
+	}
+	size := segment.SizeOf(is.lengths(p), idx)
+	peer := is.pickFillPeer(size, true, slots[idx])
+	if peer == nil {
+		return nil
+	}
+	if !peer.Reserve(size) {
+		return nil
+	}
+	if is.opts.EnforceStreamLimit {
+		if !peer.OpenStream() {
+			peer.Release(size)
+			return nil
+		}
+	} else {
+		peer.ForceOpenStream()
+	}
+	slots[idx] = append(slots[idx], peer)
+	return peer
+}
+
+// pickFillPeer selects the storing peer for a new segment copy — the
+// index server's load-balancing placement (Section IV-B.1). Peers are
+// tried in rotation starting after the last placement, which balances
+// storage across equal contributions in O(1) amortized instead of a full
+// most-free-space scan per fill. needStream additionally requires a free
+// stream slot (broadcast-fill absorbs the segment off the wire); exclude
+// lists peers already holding a copy.
+func (is *IndexServer) pickFillPeer(size units.ByteSize, needStream bool, exclude []*hfc.SetTopBox) *hfc.SetTopBox {
+	peers := is.nb.Peers()
+	n := len(peers)
+	for i := 0; i < n; i++ {
+		peer := peers[(is.fillCursor+i)%n]
+		if peer.StorageFree() < size {
+			continue
+		}
+		if needStream && is.opts.EnforceStreamLimit && !peer.CanStream() {
+			continue
+		}
+		if contains(exclude, peer) {
+			continue
+		}
+		is.fillCursor = (is.fillCursor + i + 1) % n
+		return peer
+	}
+	return nil
+}
+
+func contains(peers []*hfc.SetTopBox, p *hfc.SetTopBox) bool {
+	for _, e := range peers {
+		if e == p {
+			return true
+		}
+	}
+	return false
+}
+
+// releasePlacement frees every placed copy of an evicted program.
+func (is *IndexServer) releasePlacement(p trace.ProgramID) {
+	slots, ok := is.placement[p]
+	if !ok {
+		return
+	}
+	length := is.lengths(p)
+	for idx, copies := range slots {
+		size := segment.SizeOf(length, idx)
+		for _, peer := range copies {
+			peer.Release(size)
+		}
+	}
+	delete(is.placement, p)
+}
+
+// PlacedSegments returns how many segments of p have at least one copy.
+func (is *IndexServer) PlacedSegments(p trace.ProgramID) int {
+	n := 0
+	for _, copies := range is.placement[p] {
+		if len(copies) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StoredBytes returns the bytes actually reserved on peers (placed
+// copies only; the cache's byte accounting charges the full admission
+// size up front).
+func (is *IndexServer) StoredBytes() units.ByteSize {
+	var total units.ByteSize
+	for _, peer := range is.nb.Peers() {
+		total += peer.StorageUsed()
+	}
+	return total
+}

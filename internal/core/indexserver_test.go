@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/hfc"
+	"cablevod/internal/segment"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// buildNeighborhood returns a neighborhood with n boxes of the given
+// storage.
+func buildNeighborhood(t *testing.T, n int, storage units.ByteSize) *hfc.Neighborhood {
+	t.Helper()
+	users := make([]trace.UserID, n)
+	for i := range users {
+		users[i] = trace.UserID(i)
+	}
+	topo, err := hfc.Build(hfc.Config{NeighborhoodSize: n, PerPeerStorage: storage}, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo.Neighborhoods()[0]
+}
+
+func fixedLengths(l time.Duration) func(trace.ProgramID) time.Duration {
+	return func(trace.ProgramID) time.Duration { return l }
+}
+
+func newIS(t *testing.T, nb *hfc.Neighborhood, fill FillMode) *IndexServer {
+	t.Helper()
+	is, err := NewIndexServer(nb, cache.NewLRU(), fixedLengths(10*time.Minute), ServerOptions{
+		EnforceStreamLimit: true,
+		Fill:               fill,
+		BroadcastFill:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
+func TestNewIndexServerErrors(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	if _, err := NewIndexServer(nil, cache.NewLRU(), fixedLengths(time.Hour), ServerOptions{}); err == nil {
+		t.Error("expected error for nil neighborhood")
+	}
+	if _, err := NewIndexServer(nb, cache.NewLRU(), nil, ServerOptions{}); err == nil {
+		t.Error("expected error for nil length resolver")
+	}
+	if _, err := NewIndexServer(nb, cache.NewLRU(), fixedLengths(time.Hour), ServerOptions{Fill: FillMode(99)}); err == nil {
+		t.Error("expected error for invalid fill mode")
+	}
+	if _, err := NewIndexServer(nb, cache.NewLRU(), fixedLengths(time.Hour), ServerOptions{Replicas: -1}); err == nil {
+		t.Error("expected error for negative replicas")
+	}
+	if _, err := NewIndexServer(nb, cache.NewLRU(), fixedLengths(time.Hour), ServerOptions{PrefixSegments: -1}); err == nil {
+		t.Error("expected error for negative prefix")
+	}
+}
+
+func TestImmediatePlacementPlacesAllSegments(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillImmediate)
+	res := is.OnSessionStart(1, 0)
+	if !res.Admitted {
+		t.Fatal("program not admitted")
+	}
+	// 10-minute program = 2 segments, all placed.
+	if got := is.PlacedSegments(1); got != 2 {
+		t.Errorf("placed = %d, want 2", got)
+	}
+	if got := is.StoredBytes(); got != segment.ProgramSize(10*time.Minute) {
+		t.Errorf("stored = %v, want full program", got)
+	}
+	// Both segments servable.
+	for idx := 0; idx < 2; idx++ {
+		out, peer := is.ServeSegment(1, idx)
+		if out != ServedByPeer || peer == nil {
+			t.Errorf("segment %d outcome = %v", idx, out)
+		}
+		peer.CloseStream()
+	}
+}
+
+func TestImmediatePlacementRoundRobin(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillImmediate)
+	is.OnSessionStart(1, 0)
+	// Two segments land on two distinct peers (striping).
+	slots := is.placement[1]
+	if len(slots[0]) != 1 || len(slots[1]) != 1 {
+		t.Fatalf("copies per segment = %d/%d, want 1/1", len(slots[0]), len(slots[1]))
+	}
+	if slots[0][0] == slots[1][0] {
+		t.Error("both segments placed on the same peer")
+	}
+}
+
+func TestBroadcastModeDoesNotPrePlace(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillOnBroadcast)
+	is.OnSessionStart(1, 0)
+	if got := is.PlacedSegments(1); got != 0 {
+		t.Errorf("placed = %d, want 0 before any broadcast", got)
+	}
+	out, _ := is.ServeSegment(1, 0)
+	if out != MissUnplaced {
+		t.Errorf("outcome = %v, want miss-unplaced", out)
+	}
+	// A complete broadcast fills it.
+	filler := is.TryFill(1, 0)
+	if filler == nil {
+		t.Fatal("fill failed")
+	}
+	filler.CloseStream()
+	out, peer := is.ServeSegment(1, 0)
+	if out != ServedByPeer {
+		t.Errorf("post-fill outcome = %v", out)
+	}
+	peer.CloseStream()
+}
+
+func TestTryFillRespectsMode(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillImmediate)
+	is.OnSessionStart(1, 0)
+	if is.TryFill(1, 0) != nil {
+		t.Error("TryFill must be inert under FillImmediate")
+	}
+}
+
+func TestTryFillUnknownProgram(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillOnBroadcast)
+	if is.TryFill(42, 0) != nil {
+		t.Error("fill succeeded for uncached program")
+	}
+}
+
+func TestServeSegmentOutcomes(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is := newIS(t, nb, FillImmediate)
+	// Unknown program.
+	if out, _ := is.ServeSegment(7, 0); out != MissNotCached {
+		t.Errorf("outcome = %v, want miss-not-cached", out)
+	}
+	is.OnSessionStart(1, 0)
+	// Out-of-range segment index.
+	if out, _ := is.ServeSegment(1, 99); out != MissUnplaced {
+		t.Errorf("outcome = %v, want miss-unplaced", out)
+	}
+	// Saturate the holding peer: occupy both its slots.
+	_, p0 := is.ServeSegment(1, 0)
+	_, p0b := is.ServeSegment(1, 0)
+	if p0 == nil || p0b == nil {
+		t.Fatal("expected two successful serves")
+	}
+	if out, _ := is.ServeSegment(1, 0); out != MissPeerBusy {
+		t.Errorf("outcome = %v, want miss-peer-busy", out)
+	}
+	p0.CloseStream()
+	p0b.CloseStream()
+}
+
+func TestEvictionReleasesAllPlacedStorage(t *testing.T) {
+	// Cache of 2 programs max; admitting a third evicts the LRU one and
+	// must free its per-peer reservations.
+	nb := buildNeighborhood(t, 4, 400*units.MB) // 1.6 GB pool
+	is := newIS(t, nb, FillImmediate)           // program = 604.5 MB
+
+	is.OnSessionStart(1, 1*time.Second)
+	is.OnSessionStart(2, 2*time.Second)
+	before := is.StoredBytes()
+	is.OnSessionStart(3, 3*time.Second) // evicts program 1
+	after := is.StoredBytes()
+	if after > before {
+		t.Errorf("stored grew from %v to %v despite eviction", before, after)
+	}
+	if is.Cache().Contains(1) {
+		t.Error("program 1 still cached")
+	}
+	if got := is.PlacedSegments(1); got != 0 {
+		t.Errorf("evicted program still has %d placed segments", got)
+	}
+	// Bookkeeping identity: placed bytes equals the sum over cached
+	// programs of their placed segment sizes.
+	var want units.ByteSize
+	for _, p := range []trace.ProgramID{2, 3} {
+		for idx, copies := range is.placement[p] {
+			want += segment.SizeOf(10*time.Minute, idx) * units.ByteSize(len(copies))
+		}
+	}
+	if after != want {
+		t.Errorf("stored = %v, want %v", after, want)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	tests := map[ServeOutcome]string{
+		ServedByPeer:     "hit",
+		MissNotCached:    "miss-not-cached",
+		MissUnplaced:     "miss-unplaced",
+		MissPeerBusy:     "miss-peer-busy",
+		ServeOutcome(42): "outcome(42)",
+	}
+	for o, want := range tests {
+		if got := o.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if ServedByPeer.IsMiss() {
+		t.Error("hit reported as miss")
+	}
+	if !MissPeerBusy.IsMiss() {
+		t.Error("busy not reported as miss")
+	}
+}
+
+func TestFillModeString(t *testing.T) {
+	if FillImmediate.String() != "immediate" || FillOnBroadcast.String() != "on-broadcast" {
+		t.Error("fill mode names wrong")
+	}
+	if FillMode(9).String() != "fillmode(9)" {
+		t.Error("unknown fill mode name wrong")
+	}
+}

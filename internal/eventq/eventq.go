@@ -1,0 +1,211 @@
+// Package eventq implements the discrete-event simulation engine that
+// drives trace playback: a future-event list backed by a binary heap, a
+// virtual clock, and a run loop with cancellation.
+//
+// Events at the same timestamp are delivered in (priority, insertion order)
+// so simulations are fully deterministic regardless of map iteration or
+// scheduling jitter.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Priority orders events that share a timestamp. Lower runs first.
+type Priority int
+
+// Standard priorities. SessionEnd runs before SessionStart at the same
+// instant so a peer slot freed at time t can serve a request at time t,
+// and control events run before either.
+const (
+	PriorityControl Priority = iota + 1
+	PrioritySessionEnd
+	PrioritySegment
+	PrioritySessionStart
+)
+
+// Event is a scheduled simulation action.
+type Event interface {
+	// Execute runs the event at its scheduled time.
+	Execute(now time.Duration)
+}
+
+// Func adapts a function to the Event interface.
+type Func func(now time.Duration)
+
+// Execute calls the wrapped function.
+func (f Func) Execute(now time.Duration) { f(now) }
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	item *item
+}
+
+// Cancelled reports whether the handle's event was cancelled.
+func (h Handle) Cancelled() bool { return h.item != nil && h.item.cancelled }
+
+type item struct {
+	at        time.Duration
+	prio      Priority
+	seq       uint64
+	ev        Event
+	cancelled bool
+	index     int
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it, ok := x.(*item)
+	if !ok {
+		panic(fmt.Sprintf("eventq: pushed %T, want *item", x))
+	}
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event future-event list with a virtual clock.
+// The zero value is not usable; construct with New.
+type Queue struct {
+	heap     itemHeap
+	now      time.Duration
+	seq      uint64
+	executed uint64
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue {
+	return &Queue{}
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() time.Duration { return q.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still occupy heap slots until popped, so this is O(n); it is
+// intended for tests and diagnostics.
+func (q *Queue) Len() int {
+	n := 0
+	for _, it := range q.heap {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns how many events have been executed so far.
+func (q *Queue) Executed() uint64 { return q.executed }
+
+// Schedule enqueues ev at absolute time at. Scheduling in the past (before
+// the current clock) panics: it is always a simulation bug.
+func (q *Queue) Schedule(at time.Duration, prio Priority, ev Event) Handle {
+	if ev == nil {
+		panic("eventq: Schedule called with nil event")
+	}
+	if at < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", at, q.now))
+	}
+	it := &item{at: at, prio: prio, seq: q.seq, ev: ev}
+	q.seq++
+	heap.Push(&q.heap, it)
+	return Handle{item: it}
+}
+
+// ScheduleAfter enqueues ev at now+delay.
+func (q *Queue) ScheduleAfter(delay time.Duration, prio Priority, ev Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", delay))
+	}
+	return q.Schedule(q.now+delay, prio, ev)
+}
+
+// Cancel marks the handle's event as cancelled. Cancelling an already
+// executed or already cancelled event is a no-op.
+func (q *Queue) Cancel(h Handle) {
+	if h.item != nil {
+		h.item.cancelled = true
+	}
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (q *Queue) Step() bool {
+	for q.heap.Len() > 0 {
+		popped, ok := heap.Pop(&q.heap).(*item)
+		if !ok {
+			panic("eventq: heap contained non-item")
+		}
+		if popped.cancelled {
+			continue
+		}
+		q.now = popped.at
+		q.executed++
+		popped.ev.Execute(q.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled later remain pending.
+func (q *Queue) RunUntil(deadline time.Duration) {
+	for {
+		next, ok := q.peek()
+		if !ok || next.at > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+func (q *Queue) peek() (*item, bool) {
+	for q.heap.Len() > 0 {
+		top := q.heap[0]
+		if top.cancelled {
+			heap.Pop(&q.heap)
+			continue
+		}
+		return top, true
+	}
+	return nil, false
+}

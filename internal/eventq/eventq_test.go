@@ -1,0 +1,234 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	q := New()
+	var got []int
+	q.Schedule(3*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 3) }))
+	q.Schedule(1*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 1) }))
+	q.Schedule(2*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 2) }))
+	q.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", q.Now())
+	}
+}
+
+func TestSameTimePriorityOrder(t *testing.T) {
+	q := New()
+	var got []string
+	at := time.Minute
+	q.Schedule(at, PrioritySessionStart, Func(func(time.Duration) { got = append(got, "start") }))
+	q.Schedule(at, PrioritySessionEnd, Func(func(time.Duration) { got = append(got, "end") }))
+	q.Schedule(at, PriorityControl, Func(func(time.Duration) { got = append(got, "control") }))
+	q.Schedule(at, PrioritySegment, Func(func(time.Duration) { got = append(got, "segment") }))
+	q.Run()
+	want := []string{"control", "end", "segment", "start"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-time order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeSamePriorityFIFO(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(time.Second, PrioritySegment, Func(func(time.Duration) { got = append(got, i) }))
+	}
+	q.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	ran := false
+	h := q.Schedule(time.Second, PriorityControl, Func(func(time.Duration) { ran = true }))
+	q.Cancel(h)
+	if !h.Cancelled() {
+		t.Error("handle not marked cancelled")
+	}
+	q.Run()
+	if ran {
+		t.Error("cancelled event executed")
+	}
+	if q.Executed() != 0 {
+		t.Errorf("Executed() = %d, want 0", q.Executed())
+	}
+}
+
+func TestCancelAfterRunIsNoOp(t *testing.T) {
+	q := New()
+	h := q.Schedule(time.Second, PriorityControl, Func(func(time.Duration) {}))
+	q.Run()
+	q.Cancel(h) // must not panic
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	q := New()
+	q.Schedule(time.Minute, PriorityControl, Func(func(time.Duration) {}))
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	q.Schedule(time.Second, PriorityControl, Func(func(time.Duration) {}))
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil event")
+		}
+	}()
+	New().Schedule(0, PriorityControl, nil)
+}
+
+func TestScheduleAfter(t *testing.T) {
+	q := New()
+	var at time.Duration
+	q.Schedule(10*time.Second, PriorityControl, Func(func(now time.Duration) {
+		q.ScheduleAfter(5*time.Second, PriorityControl, Func(func(now time.Duration) { at = now }))
+	}))
+	q.Run()
+	if at != 15*time.Second {
+		t.Errorf("chained event ran at %v, want 15s", at)
+	}
+}
+
+func TestScheduleAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	New().ScheduleAfter(-time.Second, PriorityControl, Func(func(time.Duration) {}))
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var got []int
+	q.Schedule(1*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 1) }))
+	q.Schedule(5*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 5) }))
+	q.Schedule(10*time.Second, PriorityControl, Func(func(time.Duration) { got = append(got, 10) }))
+
+	q.RunUntil(5 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("executed %v, want [1 5]", got)
+	}
+	if q.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", q.Now())
+	}
+
+	q.RunUntil(7 * time.Second)
+	if q.Now() != 7*time.Second {
+		t.Errorf("clock = %v, want 7s (deadline advance)", q.Now())
+	}
+	if len(got) != 2 {
+		t.Errorf("no event should have run, got %v", got)
+	}
+
+	q.Run()
+	if len(got) != 3 || got[2] != 10 {
+		t.Errorf("final events = %v, want [1 5 10]", got)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	q := New()
+	count := 0
+	var recur func(now time.Duration)
+	recur = func(now time.Duration) {
+		count++
+		if count < 100 {
+			q.ScheduleAfter(time.Second, PrioritySegment, Func(recur))
+		}
+	}
+	q.Schedule(0, PrioritySegment, Func(recur))
+	q.Run()
+	if count != 100 {
+		t.Errorf("recursive chain ran %d times, want 100", count)
+	}
+	if q.Now() != 99*time.Second {
+		t.Errorf("clock = %v, want 99s", q.Now())
+	}
+}
+
+func TestLenExcludesCancelled(t *testing.T) {
+	q := New()
+	h1 := q.Schedule(time.Second, PriorityControl, Func(func(time.Duration) {}))
+	q.Schedule(2*time.Second, PriorityControl, Func(func(time.Duration) {}))
+	if q.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", q.Len())
+	}
+	q.Cancel(h1)
+	if q.Len() != 1 {
+		t.Fatalf("Len() after cancel = %d, want 1", q.Len())
+	}
+}
+
+// Property: for any batch of (delay, priority) pairs, execution is sorted by
+// (time, priority, insertion order).
+func TestExecutionOrderProperty(t *testing.T) {
+	type spec struct {
+		Delay uint16
+		Prio  uint8
+	}
+	f := func(specs []spec) bool {
+		q := New()
+		type key struct {
+			at   time.Duration
+			prio Priority
+			seq  int
+		}
+		var order []key
+		for i, s := range specs {
+			i := i
+			at := time.Duration(s.Delay) * time.Millisecond
+			prio := Priority(int(s.Prio%4) + 1)
+			q.Schedule(at, prio, Func(func(now time.Duration) {
+				order = append(order, key{at: now, prio: prio, seq: i})
+			}))
+		}
+		q.Run()
+		if len(order) != len(specs) {
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			if a.at > b.at {
+				return false
+			}
+			if a.at == b.at && a.prio > b.prio {
+				return false
+			}
+			if a.at == b.at && a.prio == b.prio && a.seq > b.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/units"
+)
+
+// runSim is the shared harness for full-system experiments.
+func runSim(w *Workload, cfg core.Config) (*core.Result, error) {
+	tr, err := w.Trace()
+	if err != nil {
+		return nil, err
+	}
+	cfg.WarmupDays = w.Scale.WarmupDays
+	return core.Run(cfg, tr)
+}
+
+var strategyColumns = []struct {
+	label string
+	strat core.Strategy
+}{
+	{"Oracle", core.StrategyOracle},
+	{"LFU", core.StrategyLFU},
+	{"LRU", core.StrategyLRU},
+}
+
+// Fig8CacheSizeFixedNeighborhood reproduces Figure 8: average peak-hour
+// server load for total cache sizes of 1, 3, 5 and 10 TB with the
+// neighborhood size fixed at 1,000 peers (per-peer storage varies).
+func Fig8CacheSizeFixedNeighborhood(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig8",
+		Title:        "Server load vs total cache size (neighborhood fixed at 1,000 peers)",
+		Unit:         "Gb/s",
+		RowLabel:     "cache",
+		ColumnLabels: []string{"Oracle", "LFU", "LRU", "p05 LFU", "p95 LFU"},
+		Notes: []string{
+			"paper anchors: 17 Gb/s uncached; ~10 Gb/s at 1 TB; ~2.1 Gb/s at 10 TB",
+		},
+	}
+	for _, perPeer := range []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB} {
+		row := make([]float64, 5)
+		var lfuStats *core.Result
+		for si, sc := range strategyColumns {
+			res, err := runSim(w, core.Config{
+				Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer},
+				Strategy: sc.strat,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %v %s: %w", perPeer, sc.label, err)
+			}
+			row[si] = res.Server.Mean.Gbps()
+			if sc.strat == core.StrategyLFU {
+				lfuStats = res
+			}
+		}
+		row[3] = lfuStats.Server.P05.Gbps()
+		row[4] = lfuStats.Server.P95.Gbps()
+		rep.RowLabels = append(rep.RowLabels, (perPeer * 1000).String())
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// Fig9CacheSizeFixedPerPeer reproduces Figure 9: the same cache-size sweep
+// with per-peer storage fixed at 10 GB and the neighborhood size varying
+// (100 peers = 1 TB ... 1,000 peers = 10 TB).
+func Fig9CacheSizeFixedPerPeer(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig9",
+		Title:        "Server load vs total cache size (per-peer storage fixed at 10 GB)",
+		Unit:         "Gb/s",
+		RowLabel:     "cache",
+		ColumnLabels: []string{"Oracle", "LFU", "LRU"},
+		Notes: []string{
+			"total cache size varies through neighborhood size: 100, 300, 500, 1000 peers",
+		},
+	}
+	for _, size := range []int{100, 300, 500, 1000} {
+		row := make([]float64, 3)
+		for si, sc := range strategyColumns {
+			res, err := runSim(w, core.Config{
+				Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
+				Strategy: sc.strat,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %d peers %s: %w", size, sc.label, err)
+			}
+			row[si] = res.Server.Mean.Gbps()
+		}
+		rep.RowLabels = append(rep.RowLabels, (10 * units.GB * units.ByteSize(size)).String())
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// Fig10NeighborhoodSize reproduces Figure 10: server load for 100-, 500-
+// and 1,000-peer neighborhoods with the total cache size fixed at 1 TB
+// (per-peer storage shrinks as the neighborhood grows). LFU improves with
+// neighborhood size because more usage data sharpens its popularity
+// estimates.
+func Fig10NeighborhoodSize(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig10",
+		Title:        "Server load for neighborhoods of varying sizes (1 TB total cache)",
+		Unit:         "Gb/s",
+		RowLabel:     "peers",
+		ColumnLabels: []string{"Oracle", "LFU", "LRU"},
+	}
+	for _, size := range []int{100, 500, 1000} {
+		perPeer := units.TB / units.ByteSize(size)
+		row := make([]float64, 3)
+		for si, sc := range strategyColumns {
+			res, err := runSim(w, core.Config{
+				Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: perPeer},
+				Strategy: sc.strat,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %d peers %s: %w", size, sc.label, err)
+			}
+			row[si] = res.Server.Mean.Gbps()
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", size))
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// Fig11LFUHistory reproduces Figure 11: the effect of the LFU history
+// window on server load in a 500-peer, 2-TB configuration. History 0 is
+// exactly LRU; gains appear past 24 hours and taper beyond a week.
+func Fig11LFUHistory(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig11",
+		Title:        "Effects of history length on LFU strategy (500 peers, 2 TB)",
+		Unit:         "Gb/s",
+		RowLabel:     "history (days)",
+		ColumnLabels: []string{"LFU"},
+		Notes: []string{
+			"paper anchors: flat vs LRU below 1 day, savings to ~1 week, taper after",
+		},
+	}
+	histories := []time.Duration{
+		0, 6 * time.Hour, 12 * time.Hour,
+		1 * 24 * time.Hour, 2 * 24 * time.Hour, 3 * 24 * time.Hour,
+		5 * 24 * time.Hour, 7 * 24 * time.Hour, 9 * 24 * time.Hour, 12 * 24 * time.Hour,
+	}
+	for _, h := range histories {
+		cfg := core.Config{
+			Topology: hfc.Config{NeighborhoodSize: 500, PerPeerStorage: 4 * units.GB},
+			Strategy: core.StrategyLFU,
+		}
+		if h == 0 {
+			cfg.NoHistory = true
+		} else {
+			cfg.LFUHistory = h
+		}
+		res, err := runSim(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 history %v: %w", h, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.2g", h.Hours()/24))
+		rep.Cells = append(rep.Cells, []float64{res.Server.Mean.Gbps()})
+	}
+	return rep, nil
+}
+
+// Fig13GlobalPopularity reproduces Figure 13: LFU driven by global usage
+// data (live, 30-minute lag, 2-hour lag) against the local baseline, for
+// per-peer storage of 1, 3, 5 and 10 GB in 1,000-peer neighborhoods.
+func Fig13GlobalPopularity(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig13",
+		Title:        "Effects of global popularity data on the LFU strategy",
+		Unit:         "Gb/s",
+		RowLabel:     "per-peer",
+		ColumnLabels: []string{"Global", "Global 30m lag", "Global 2h lag", "Local"},
+		Notes: []string{
+			"paper anchor: global data helps, but the improvement is small",
+		},
+	}
+	variants := []struct {
+		label string
+		strat core.Strategy
+		lag   time.Duration
+	}{
+		{"Global", core.StrategyGlobalLFU, 0},
+		{"Global 30m lag", core.StrategyGlobalLFU, 30 * time.Minute},
+		{"Global 2h lag", core.StrategyGlobalLFU, 2 * time.Hour},
+		{"Local", core.StrategyLFU, 0},
+	}
+	for _, perPeer := range []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB} {
+		row := make([]float64, len(variants))
+		for vi, v := range variants {
+			res, err := runSim(w, core.Config{
+				Topology:  hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer},
+				Strategy:  v.strat,
+				GlobalLag: v.lag,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %v %s: %w", perPeer, v.label, err)
+			}
+			row[vi] = res.Server.Mean.Gbps()
+		}
+		rep.RowLabels = append(rep.RowLabels, perPeer.String())
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}

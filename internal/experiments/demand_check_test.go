@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestFullScaleDemandAnchor verifies the uncached peak demand of the
+// paper-scale workload lands on the paper's 17 Gb/s anchor. This is the
+// master calibration check; it is skipped in -short mode because it
+// generates the full 14-day trace.
+func TestFullScaleDemandAnchor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	w, err := NewWorkload(FullScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := tr.HourlyRate()
+	peak := 0.0
+	for h := 19; h < 23; h++ {
+		peak += rates[h].Gbps()
+	}
+	peak /= 4
+	if peak < 15.5 || peak > 18.5 {
+		t.Errorf("uncached peak demand = %.2f Gb/s, want ~17 (paper anchor)", peak)
+	}
+}

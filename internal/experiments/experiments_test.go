@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tinyWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload(TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadCachesTrace(t *testing.T) {
+	w := tinyWorkload(t)
+	a, err := w.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("workload regenerated the trace")
+	}
+}
+
+func TestScaleValidate(t *testing.T) {
+	bad := []Scale{
+		{Users: 0, Programs: 10, Days: 3},
+		{Users: 10, Programs: 0, Days: 3},
+		{Users: 10, Programs: 10, Days: 0},
+		{Users: 10, Programs: 10, Days: 3, WarmupDays: 3},
+		{Users: 10, Programs: 10, Days: 3, WarmupDays: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, s)
+		}
+	}
+	if err := FullScale().Validate(); err != nil {
+		t.Errorf("FullScale invalid: %v", err)
+	}
+	if err := QuickScale().Validate(); err != nil {
+		t.Errorf("QuickScale invalid: %v", err)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID:           "test",
+		Title:        "Demo",
+		Unit:         "Gb/s",
+		RowLabel:     "row",
+		ColumnLabels: []string{"a", "b"},
+		RowLabels:    []string{"r1", "r2"},
+		Cells:        [][]float64{{1.234, 5}, {math.NaN(), 1234.5}},
+		Notes:        []string{"note"},
+	}
+	out := rep.Render()
+	for _, want := range []string{"== test: Demo (Gb/s) ==", "a", "b", "r1", "1.23", "1234", "# note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportCellBounds(t *testing.T) {
+	rep := &Report{Cells: [][]float64{{1}}}
+	if _, err := rep.Cell(0, 0); err != nil {
+		t.Errorf("valid cell errored: %v", err)
+	}
+	if _, err := rep.Cell(1, 0); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := rep.Cell(0, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig8")
+	if err != nil || e.ID != "fig8" {
+		t.Errorf("Lookup(fig8) = (%v, %v)", e.ID, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("experiment %q has no runner", e.ID)
+		}
+	}
+}
+
+func TestTraceExperimentsOnTinyWorkload(t *testing.T) {
+	w := tinyWorkload(t)
+	for _, id := range []string{"fig2", "fig3", "fig6", "fig7", "fig12"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Cells) == 0 || len(rep.RowLabels) != len(rep.Cells) {
+				t.Errorf("report shape: %d rows, %d labels", len(rep.Cells), len(rep.RowLabels))
+			}
+			if rep.Render() == "" {
+				t.Error("empty render")
+			}
+		})
+	}
+}
+
+func TestFig7PeaksInEvening(t *testing.T) {
+	w := tinyWorkload(t)
+	rep, err := Fig7DiurnalLoad(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 24 {
+		t.Fatalf("rows = %d, want 24", len(rep.Cells))
+	}
+	peak := rep.Cells[20][0]
+	trough := rep.Cells[4][0]
+	if peak <= trough {
+		t.Errorf("hour 20 load %v not above hour 4 load %v", peak, trough)
+	}
+}
+
+func TestFig2SeriesOrdered(t *testing.T) {
+	w := tinyWorkload(t)
+	rep, err := Fig2PopularitySkew(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rep.Cells {
+		if row[0] < row[1] || row[1] < row[2] {
+			t.Errorf("day %d: series not ordered max >= p99 >= p95: %v", i, row)
+		}
+	}
+}
+
+// One small end-to-end system experiment to cover the runSim plumbing.
+func TestSmallSystemExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system experiment in -short mode")
+	}
+	w := tinyWorkload(t)
+	rep, err := Fig14CoaxTraffic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rep.Cells))
+	}
+	// Linearity: traffic at 1000 peers should be well above 200 peers.
+	if rep.Cells[4][0] <= rep.Cells[0][0] {
+		t.Errorf("coax traffic not increasing: %v vs %v", rep.Cells[4][0], rep.Cells[0][0])
+	}
+}
+
+func TestScalingGridTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling grid in -short mode")
+	}
+	w := tinyWorkload(t)
+	rep, err := ScalingGrid(w, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || len(rep.Cells[0]) != 2 {
+		t.Fatalf("grid shape wrong: %v", rep.Cells)
+	}
+	// Server load grows with population. (The catalog axis is flat at
+	// tiny scale — the whole catalog fits in the cache — so it is only
+	// asserted in the full-scale experiments.)
+	if rep.Cells[1][0] <= rep.Cells[0][0] {
+		t.Errorf("2x population load %v not above 1x %v", rep.Cells[1][0], rep.Cells[0][0])
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/units"
+)
+
+// AblationReplication sweeps the per-segment replica count: extra copies
+// spread the serving load of hot segments across peers, trading cache
+// capacity for fewer two-stream peer-busy misses (an extension the paper
+// leaves to future work).
+func AblationReplication(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "abl-replicas",
+		Title:        "Extension: segment replication (1,000 peers, 10 GB per peer, LFU)",
+		Unit:         "Gb/s",
+		RowLabel:     "replicas",
+		ColumnLabels: []string{"server load", "peer-busy misses", "hit %"},
+	}
+	for _, replicas := range []int{1, 2, 3} {
+		res, err := runSim(w, core.Config{
+			Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy: core.StrategyLFU,
+			Replicas: replicas,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("abl-replicas %d: %w", replicas, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", replicas))
+		rep.Cells = append(rep.Cells, []float64{
+			res.Server.Mean.Gbps(),
+			float64(res.Counters.MissPeerBusy),
+			100 * res.Counters.HitRatio(),
+		})
+	}
+	return rep, nil
+}
+
+// AblationPrefixCaching sweeps the cached-prefix length against
+// whole-program caching at a deliberately small cache (1 GB per peer),
+// where the trade-off between breadth (many prefixes) and depth (few
+// whole programs) is sharpest. Motivated by the paper's attrition data —
+// half of all sessions end within the first two segments.
+func AblationPrefixCaching(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "abl-prefix",
+		Title:        "Extension: prefix caching (1,000 peers, 1 GB per peer, LFU)",
+		Unit:         "Gb/s",
+		RowLabel:     "prefix",
+		ColumnLabels: []string{"server load", "hit %", "cached programs"},
+	}
+	for _, prefix := range []int{0, 2, 4, 8} {
+		res, err := runSim(w, core.Config{
+			Topology:       hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 1 * units.GB},
+			Strategy:       core.StrategyLFU,
+			PrefixSegments: prefix,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("abl-prefix %d: %w", prefix, err)
+		}
+		label := fmt.Sprintf("%d segs", prefix)
+		if prefix == 0 {
+			label = "whole"
+		}
+		rep.RowLabels = append(rep.RowLabels, label)
+		rep.Cells = append(rep.Cells, []float64{
+			res.Server.Mean.Gbps(),
+			100 * res.Counters.HitRatio(),
+			avgCachedPrograms(res),
+		})
+	}
+	return rep, nil
+}
+
+// avgCachedPrograms reports cache admissions per neighborhood — a measure
+// of how many distinct programs rotated through the cache.
+func avgCachedPrograms(res *core.Result) float64 {
+	if res.Neighborhoods == 0 {
+		return 0
+	}
+	return float64(res.Counters.Admissions) / float64(res.Neighborhoods)
+}
+
+// AblationSeekWorkload regenerates the workload with the paper's proposed
+// fast-forward jumps (a fraction of sessions starting at later segment
+// boundaries) and measures the impact on cache performance.
+func AblationSeekWorkload(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "abl-seek",
+		Title:        "Extension: fast-forward jump sessions (1,000 peers, 10 GB per peer, LFU)",
+		Unit:         "Gb/s",
+		RowLabel:     "seek prob",
+		ColumnLabels: []string{"server load", "hit %", "demand Gb/s"},
+		Notes: []string{
+			"jumps to predetermined points, the paper's proposed fast-forward mechanism",
+		},
+	}
+	for _, seekProb := range []float64{0, 0.15, 0.30} {
+		cfg := w.Scale.synthConfig()
+		cfg.SeekProb = seekProb
+		tr, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("abl-seek %v: %w", seekProb, err)
+		}
+		res, err := core.Run(core.Config{
+			Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy:   core.StrategyLFU,
+			WarmupDays: w.Scale.WarmupDays,
+		}, tr)
+		if err != nil {
+			return nil, fmt.Errorf("abl-seek %v: %w", seekProb, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.0f%%", 100*seekProb))
+		rep.Cells = append(rep.Cells, []float64{
+			res.Server.Mean.Gbps(),
+			100 * res.Counters.HitRatio(),
+			res.Demand.Mean.Gbps(),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAtTinyScale executes the entire registry on the
+// tiny workload: every runner must produce a well-formed, renderable
+// report. Heavy scaling runners are included — at tiny scale they finish
+// in seconds.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry in -short mode")
+	}
+	w := tinyWorkload(t)
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(w)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID == "" || rep.Title == "" {
+				t.Errorf("%s: missing identity: %+v", e.ID, rep)
+			}
+			if len(rep.Cells) == 0 {
+				t.Fatalf("%s: no cells", e.ID)
+			}
+			if len(rep.RowLabels) != len(rep.Cells) {
+				t.Errorf("%s: %d rows vs %d labels", e.ID, len(rep.Cells), len(rep.RowLabels))
+			}
+			for i, row := range rep.Cells {
+				if len(row) != len(rep.ColumnLabels) {
+					t.Errorf("%s: row %d has %d cells, want %d", e.ID, i, len(row), len(rep.ColumnLabels))
+				}
+			}
+			out := rep.Render()
+			if !strings.Contains(out, rep.ID) {
+				t.Errorf("%s: render missing id", e.ID)
+			}
+		})
+	}
+}
+
+// TestStrategySweepOrderingTiny verifies the headline ordering on the
+// tiny workload for the cache-size experiment: the oracle column never
+// loses to LRU.
+func TestStrategySweepOrderingTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweep in -short mode")
+	}
+	w := tinyWorkload(t)
+	rep, err := Fig8CacheSizeFixedNeighborhood(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rep.Cells {
+		oracle, lru := row[0], row[2]
+		if oracle > lru*1.05+0.01 {
+			t.Errorf("row %d (%s): oracle %v above lru %v", i, rep.RowLabels[i], oracle, lru)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	// ID is the artifact identifier used on the command line.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Heavy marks experiments that multiply the workload (the scaling
+	// grid) and dominate full-suite runtime.
+	Heavy bool
+	// Run executes the experiment on a workload.
+	Run func(w *Workload) (*Report, error)
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig2", Title: "Skew in file popularity during peak hours", Run: Fig2PopularitySkew},
+		{ID: "fig3", Title: "CDF of session lengths (short sessions)", Run: Fig3SessionLengthCDF},
+		{ID: "fig6", Title: "Program-length inference from ECDF jumps", Run: Fig6ProgramLengthInference},
+		{ID: "fig7", Title: "Most popular hours for VoD usage", Run: Fig7DiurnalLoad},
+		{ID: "fig8", Title: "Server load vs cache size (fixed neighborhood)", Run: Fig8CacheSizeFixedNeighborhood},
+		{ID: "fig9", Title: "Server load vs cache size (fixed per-peer storage)", Run: Fig9CacheSizeFixedPerPeer},
+		{ID: "fig10", Title: "Server load vs neighborhood size (1 TB cache)", Run: Fig10NeighborhoodSize},
+		{ID: "fig11", Title: "Effects of history length on LFU", Run: Fig11LFUHistory},
+		{ID: "fig12", Title: "File popularity after introduction", Run: Fig12IntroductionDecay},
+		{ID: "fig13", Title: "Global popularity data for LFU", Run: Fig13GlobalPopularity},
+		{ID: "fig14", Title: "Coax traffic vs neighborhood size", Run: Fig14CoaxTraffic},
+		{ID: "fig15", Title: "Scaling grid bar chart (population x catalog)", Heavy: true, Run: Fig15ScalingGrid},
+		{ID: "tab16a", Title: "Scaling grid table (population x catalog)", Heavy: true, Run: func(w *Workload) (*Report, error) {
+			return ScalingGrid(w, 5, 5)
+		}},
+		{ID: "fig16b", Title: "Server load vs population increase", Heavy: true, Run: Fig16bPopulationScaling},
+		{ID: "fig16c", Title: "Server load vs catalog increase", Heavy: true, Run: Fig16cCatalogScaling},
+		{ID: "abl-fill", Title: "Ablation: segment availability model", Run: AblationFillMode},
+		{ID: "abl-streams", Title: "Ablation: set-top stream limit", Run: AblationPeerStreamLimit},
+		{ID: "abl-placement", Title: "Ablation: striping pressure", Run: AblationSegmentPlacement},
+		{ID: "abl-replicas", Title: "Extension: segment replication", Run: AblationReplication},
+		{ID: "abl-prefix", Title: "Extension: prefix caching", Run: AblationPrefixCaching},
+		{ID: "abl-seek", Title: "Extension: fast-forward jump sessions", Run: AblationSeekWorkload},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

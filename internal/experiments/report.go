@@ -1,0 +1,112 @@
+// Package experiments defines one named, reproducible experiment per
+// table and figure in the paper's evaluation (Section VI), plus the
+// ablations called out in DESIGN.md. Each experiment builds its workload,
+// sweeps the paper's parameters, and emits a Report shaped like the
+// original artifact (same rows, same series).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the tabular outcome of one experiment: numeric cells with row
+// and column labels, rendered as an aligned text table.
+type Report struct {
+	// ID is the artifact identifier ("fig8", "tab16a", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Unit is the unit of every cell ("Gb/s", "sessions", ...).
+	Unit string
+	// RowLabel / ColumnLabels name the axes.
+	RowLabel     string
+	ColumnLabels []string
+	RowLabels    []string
+	// Cells[r][c] is the value for row r, column c. NaN cells render
+	// blank.
+	Cells [][]float64
+	// Notes carries free-form context (workload scale, paper anchors).
+	Notes []string
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s", r.ID, r.Title)
+	if r.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", r.Unit)
+	}
+	b.WriteString(" ==\n")
+
+	widths := make([]int, len(r.ColumnLabels)+1)
+	widths[0] = len(r.RowLabel)
+	for _, l := range r.RowLabels {
+		if len(l) > widths[0] {
+			widths[0] = len(l)
+		}
+	}
+	cells := make([][]string, len(r.Cells))
+	for i, row := range r.Cells {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = formatCell(v)
+		}
+	}
+	for j, l := range r.ColumnLabels {
+		widths[j+1] = len(l)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+
+	pad := func(s string, w int) string {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	b.WriteString(pad(r.RowLabel, widths[0]))
+	for j, l := range r.ColumnLabels {
+		b.WriteString("  " + pad(l, widths[j+1]))
+	}
+	b.WriteByte('\n')
+	for i, l := range r.RowLabels {
+		b.WriteString(pad(l, widths[0]))
+		for j := range r.ColumnLabels {
+			v := ""
+			if i < len(cells) && j < len(cells[i]) {
+				v = cells[i][j]
+			}
+			b.WriteString("  " + pad(v, widths[j+1]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	if v != v { // NaN
+		return ""
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Cell returns Cells[r][c] with bounds checking.
+func (r *Report) Cell(row, col int) (float64, error) {
+	if row < 0 || row >= len(r.Cells) || col < 0 || col >= len(r.Cells[row]) {
+		return 0, fmt.Errorf("experiments: cell (%d, %d) out of range", row, col)
+	}
+	return r.Cells[row][col], nil
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/randdist"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// Fig14CoaxTraffic reproduces Figure 14: average (and 95th-percentile)
+// broadcast traffic on the neighborhood coaxial network during peak
+// hours, for neighborhood sizes 200-1,000. The paper observes a strictly
+// linear increase reaching ~450 Mb/s average / ~650 Mb/s p95 at 1,000
+// subscribers — under 17% of coax capacity.
+func Fig14CoaxTraffic(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig14",
+		Title:        "Traffic on the coaxial network with varying neighborhood sizes",
+		Unit:         "Mb/s",
+		RowLabel:     "peers",
+		ColumnLabels: []string{"avg", "p95", "% of coax"},
+		Notes: []string{
+			"paper anchors: linear growth; ~450 Mb/s avg and ~650 Mb/s p95 at 1,000 peers",
+		},
+	}
+	for _, size := range []int{200, 400, 600, 800, 1000} {
+		res, err := runSim(w, core.Config{
+			Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
+			Strategy: core.StrategyLFU,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %d peers: %w", size, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", size))
+		rep.Cells = append(rep.Cells, []float64{
+			res.Coax.Mean.Mbps(),
+			res.Coax.P95.Mbps(),
+			100 * float64(res.Coax.P95) / float64(hfc.DefaultCoaxCapacity),
+		})
+	}
+	return rep, nil
+}
+
+// scaledTrace applies the paper's user/catalog scaling transforms to the
+// base trace (Section V-A).
+func scaledTrace(w *Workload, popX, catX int) (*trace.Trace, error) {
+	tr, err := w.Trace()
+	if err != nil {
+		return nil, err
+	}
+	if catX > 1 {
+		rng := randdist.NewRNG(w.Scale.Seed, 0xca7a*uint64(catX))
+		tr, err = trace.ScaleCatalog(tr, catX, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if popX > 1 {
+		rng := randdist.NewRNG(w.Scale.Seed, 0x909*uint64(popX))
+		tr, err = trace.ScaleUsers(tr, popX, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// runScaledCell simulates one (population, catalog) scaling cell with the
+// paper's scaling configuration: 1,000-peer neighborhoods, 10 GB per
+// peer, LFU.
+func runScaledCell(w *Workload, popX, catX int) (*core.Result, error) {
+	tr, err := scaledTrace(w, popX, catX)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Config{
+		Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+		Strategy:   core.StrategyLFU,
+		WarmupDays: w.Scale.WarmupDays,
+	}, tr)
+}
+
+// ScalingGrid reproduces Figure 15 / Table 16(a): average peak-hour server
+// load for population x {1..maxPop} and catalog x {1..maxCat}.
+func ScalingGrid(w *Workload, maxPop, maxCat int) (*Report, error) {
+	if maxPop < 1 || maxCat < 1 {
+		return nil, fmt.Errorf("experiments: scaling grid needs positive factors")
+	}
+	rep := &Report{
+		ID:       "tab16a",
+		Title:    "Server load with increases in subscriber population and catalog size",
+		Unit:     "Gb/s",
+		RowLabel: "population",
+		Notes: []string{
+			"paper anchors (Table 16a): 1x/1x = 2.14, 5x/1x = 10.54, 1x/5x = 9.16, 5x/5x = 45.64",
+			"reference: uncached load is ~17 Gb/s per 1x of population",
+		},
+	}
+	for c := 1; c <= maxCat; c++ {
+		rep.ColumnLabels = append(rep.ColumnLabels, fmt.Sprintf("catalog %dx", c))
+	}
+	for p := 1; p <= maxPop; p++ {
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", p))
+		row := make([]float64, maxCat)
+		for c := 1; c <= maxCat; c++ {
+			res, err := runScaledCell(w, p, c)
+			if err != nil {
+				return nil, fmt.Errorf("scaling cell %dx/%dx: %w", p, c, err)
+			}
+			row[c-1] = res.Server.Mean.Gbps()
+		}
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// Fig15ScalingGrid is the Figure-15 bar chart — the same data as Table
+// 16(a) at the paper's full 5x5 extent.
+func Fig15ScalingGrid(w *Workload) (*Report, error) {
+	rep, err := ScalingGrid(w, 5, 5)
+	if err != nil {
+		return nil, err
+	}
+	rep.ID = "fig15"
+	return rep, nil
+}
+
+// Fig16bPopulationScaling reproduces Figure 16(b): server load vs
+// population increase with the original catalog. The relationship is
+// linear and the percentage savings stays fixed.
+func Fig16bPopulationScaling(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig16b",
+		Title:        "Server load with increases in subscriber population",
+		Unit:         "Gb/s",
+		RowLabel:     "population",
+		ColumnLabels: []string{"server load", "savings %"},
+		Notes: []string{
+			"paper anchor: linear growth, constant ~88% savings",
+		},
+	}
+	for p := 1; p <= 5; p++ {
+		res, err := runScaledCell(w, p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig16b %dx: %w", p, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", p))
+		rep.Cells = append(rep.Cells, []float64{
+			res.Server.Mean.Gbps(),
+			100 * res.SavingsVsDemand,
+		})
+	}
+	return rep, nil
+}
+
+// Fig16cCatalogScaling reproduces Figure 16(c): server load vs catalog
+// increase with the original population; the impact diminishes with
+// growing factors.
+func Fig16cCatalogScaling(w *Workload) (*Report, error) {
+	rep := &Report{
+		ID:           "fig16c",
+		Title:        "Server load with increases in catalog size",
+		Unit:         "Gb/s",
+		RowLabel:     "catalog",
+		ColumnLabels: []string{"server load", "savings %"},
+		Notes: []string{
+			"paper anchor: diminishing impact of catalog growth",
+		},
+	}
+	for c := 1; c <= 10; c++ {
+		res, err := runScaledCell(w, 1, c)
+		if err != nil {
+			return nil, fmt.Errorf("fig16c %dx: %w", c, err)
+		}
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", c))
+		rep.Cells = append(rep.Cells, []float64{
+			res.Server.Mean.Gbps(),
+			100 * res.SavingsVsDemand,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+)
+
+// Scale sizes an experiment workload. Two presets are provided: Full is
+// the paper-scale reproduction; Quick shortens the window for benchmarks
+// and CI while keeping the full population (so neighborhood and cache
+// ratios stay honest).
+type Scale struct {
+	// Users, Programs and Days parameterize the synthetic trace.
+	Users    int
+	Programs int
+	Days     int
+	// WarmupDays are excluded from reported statistics.
+	WarmupDays int
+	// Seed makes the workload reproducible.
+	Seed uint64
+}
+
+// FullScale is the paper-scale workload: the PowerInfo population and
+// catalog over a 14-day window with half of it used as cache warm-up.
+func FullScale() Scale {
+	return Scale{Users: 41_698, Programs: 8_278, Days: 14, WarmupDays: 7, Seed: 1}
+}
+
+// QuickScale keeps the full population and catalog but shortens the
+// window, for benchmarks.
+func QuickScale() Scale {
+	return Scale{Users: 41_698, Programs: 8_278, Days: 7, WarmupDays: 3, Seed: 1}
+}
+
+// TinyScale is for unit tests only: a small population and catalog.
+func TinyScale() Scale {
+	return Scale{Users: 1_500, Programs: 300, Days: 4, WarmupDays: 1, Seed: 1}
+}
+
+// Validate checks the scale.
+func (s Scale) Validate() error {
+	if s.Users <= 0 || s.Programs <= 0 || s.Days <= 0 {
+		return fmt.Errorf("experiments: scale needs positive users/programs/days, got %+v", s)
+	}
+	if s.WarmupDays < 0 || s.WarmupDays >= s.Days {
+		return fmt.Errorf("experiments: warmup %d must be in [0, %d)", s.WarmupDays, s.Days)
+	}
+	return nil
+}
+
+// synthConfig maps a scale onto the calibrated generator defaults.
+func (s Scale) synthConfig() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Users = s.Users
+	cfg.Programs = s.Programs
+	cfg.Days = s.Days
+	return cfg
+}
+
+// Workload lazily generates and caches the base trace for a scale so a
+// sweep of simulations shares one generation pass.
+type Workload struct {
+	Scale Scale
+
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// NewWorkload returns a workload for the scale.
+func NewWorkload(s Scale) (*Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{Scale: s}, nil
+}
+
+// Trace returns the (cached) base trace.
+func (w *Workload) Trace() (*trace.Trace, error) {
+	w.once.Do(func() {
+		w.tr, w.err = synth.Generate(w.Scale.synthConfig())
+	})
+	return w.tr, w.err
+}

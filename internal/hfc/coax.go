@@ -1,0 +1,81 @@
+package hfc
+
+import (
+	"fmt"
+
+	"cablevod/internal/units"
+)
+
+// Coax models the shared broadcast medium of one neighborhood. Every
+// VoD stream — whether sourced by a peer or by the headend — is broadcast
+// to the whole neighborhood and consumes the same channel bandwidth
+// (Section VI-B), so the model is a single pool of concurrent streams
+// against the capacity left over after broadcast television.
+//
+// The paper's feasibility analysis assumes bidirectional amplifiers, so
+// peer-sourced broadcasts share the same spectrum accounting.
+type Coax struct {
+	capacity units.BitRate
+	rate     units.BitRate
+	active   int
+	// peak tracks the maximum concurrent rate ever observed, for
+	// feasibility reporting.
+	peak units.BitRate
+}
+
+// DefaultCoaxCapacity is the bandwidth available to VoD on the coaxial
+// line: the top of the downstream range (6.6 Gb/s) minus the ~3.3 Gb/s
+// consumed by broadcast cable television.
+const DefaultCoaxCapacity = units.CoaxDownstreamMax - units.CoaxTelevisionShare
+
+// NewCoax returns a coax channel with the given VoD-available capacity.
+func NewCoax(capacity units.BitRate) (*Coax, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("hfc: coax capacity must be positive, got %v", capacity)
+	}
+	return &Coax{capacity: capacity}, nil
+}
+
+// Capacity returns the VoD-available capacity.
+func (c *Coax) Capacity() units.BitRate { return c.capacity }
+
+// Rate returns the aggregate rate of active streams.
+func (c *Coax) Rate() units.BitRate { return c.rate }
+
+// Active returns the number of active streams.
+func (c *Coax) Active() int { return c.active }
+
+// PeakRate returns the maximum concurrent rate observed so far.
+func (c *Coax) PeakRate() units.BitRate { return c.peak }
+
+// Utilization returns Rate/Capacity in [0, ...].
+func (c *Coax) Utilization() float64 {
+	return float64(c.rate) / float64(c.capacity)
+}
+
+// Admit opens a broadcast stream of the given rate, reporting whether the
+// channel had capacity. Every successful Admit must be balanced by a
+// Release of the same rate.
+func (c *Coax) Admit(rate units.BitRate) bool {
+	if rate <= 0 {
+		panic(fmt.Sprintf("hfc: non-positive stream rate %v", rate))
+	}
+	if c.rate+rate > c.capacity {
+		return false
+	}
+	c.rate += rate
+	c.active++
+	if c.rate > c.peak {
+		c.peak = c.rate
+	}
+	return true
+}
+
+// Release closes a broadcast stream of the given rate.
+func (c *Coax) Release(rate units.BitRate) {
+	if rate <= 0 || rate > c.rate || c.active <= 0 {
+		panic(fmt.Sprintf("hfc: releasing %v with %v active over %d streams", rate, c.rate, c.active))
+	}
+	c.rate -= rate
+	c.active--
+}

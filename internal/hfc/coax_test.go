@@ -1,0 +1,93 @@
+package hfc
+
+import (
+	"testing"
+
+	"cablevod/internal/units"
+)
+
+func TestNewCoaxErrors(t *testing.T) {
+	if _, err := NewCoax(0); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, err := NewCoax(-units.Gbps); err == nil {
+		t.Error("expected error for negative capacity")
+	}
+}
+
+func TestCoaxAdmitRelease(t *testing.T) {
+	c, err := NewCoax(20 * units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Admit(units.StreamRate) {
+		t.Fatal("first stream refused")
+	}
+	if !c.Admit(units.StreamRate) {
+		t.Fatal("second stream refused")
+	}
+	// 16.12 of 20 Mb/s used; a third stream exceeds capacity.
+	if c.Admit(units.StreamRate) {
+		t.Error("admission past capacity")
+	}
+	if c.Active() != 2 {
+		t.Errorf("active = %d, want 2", c.Active())
+	}
+	if got := c.Utilization(); got < 0.80 || got > 0.81 {
+		t.Errorf("utilization = %v, want ~0.806", got)
+	}
+	c.Release(units.StreamRate)
+	if !c.Admit(units.StreamRate) {
+		t.Error("capacity not freed")
+	}
+}
+
+func TestCoaxPeakRate(t *testing.T) {
+	c, err := NewCoax(100 * units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Admit(units.StreamRate)
+	c.Admit(units.StreamRate)
+	c.Release(units.StreamRate)
+	c.Release(units.StreamRate)
+	want := 2 * units.StreamRate
+	if c.PeakRate() != want {
+		t.Errorf("peak = %v, want %v", c.PeakRate(), want)
+	}
+	if c.Rate() != 0 {
+		t.Errorf("rate = %v, want 0", c.Rate())
+	}
+}
+
+func TestCoaxReleaseUnbalancedPanics(t *testing.T) {
+	c, err := NewCoax(100 * units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Release(units.StreamRate)
+}
+
+func TestCoaxAdmitZeroRatePanics(t *testing.T) {
+	c, err := NewCoax(100 * units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Admit(0)
+}
+
+func TestDefaultCoaxCapacity(t *testing.T) {
+	if DefaultCoaxCapacity != 3_300*units.Mbps {
+		t.Errorf("DefaultCoaxCapacity = %v, want 3.3 Gb/s", DefaultCoaxCapacity)
+	}
+}

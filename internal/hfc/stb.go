@@ -1,0 +1,109 @@
+package hfc
+
+import (
+	"fmt"
+
+	"cablevod/internal/units"
+)
+
+// DefaultMaxStreams is the set-top box concurrency limit: typical boxes
+// cannot be active on more than two logical channels of the coaxial line,
+// counting both sending and receiving (Section V-C).
+const DefaultMaxStreams = 2
+
+// DefaultPerPeerStorage is the storage a set-top box contributes to the
+// cooperative cache: the paper assumes at most 10 GB of a ~40 GB drive
+// (Section V-C).
+const DefaultPerPeerStorage = 10 * units.GB
+
+// SetTopBox models one subscriber's box: a fixed storage contribution to
+// the neighborhood cache and a bounded number of concurrent streams in
+// either direction. Set-top boxes are always on, so there is no churn.
+type SetTopBox struct {
+	id         PeerID
+	capacity   units.ByteSize
+	used       units.ByteSize
+	maxStreams int
+	active     int
+}
+
+// NewSetTopBox returns a box contributing the given storage.
+func NewSetTopBox(id PeerID, storage units.ByteSize, maxStreams int) (*SetTopBox, error) {
+	if storage < 0 {
+		return nil, fmt.Errorf("hfc: negative storage %v", storage)
+	}
+	if maxStreams <= 0 {
+		return nil, fmt.Errorf("hfc: max streams must be positive, got %d", maxStreams)
+	}
+	return &SetTopBox{id: id, capacity: storage, maxStreams: maxStreams}, nil
+}
+
+// ID returns the peer's identifier.
+func (s *SetTopBox) ID() PeerID { return s.id }
+
+// StorageCapacity returns the contributed storage.
+func (s *SetTopBox) StorageCapacity() units.ByteSize { return s.capacity }
+
+// StorageUsed returns the bytes of cached segments currently stored.
+func (s *SetTopBox) StorageUsed() units.ByteSize { return s.used }
+
+// StorageFree returns the free contributed storage.
+func (s *SetTopBox) StorageFree() units.ByteSize { return s.capacity - s.used }
+
+// Reserve claims bytes of storage for a cached segment. It reports
+// whether the reservation fit.
+func (s *SetTopBox) Reserve(bytes units.ByteSize) bool {
+	if bytes < 0 {
+		panic(fmt.Sprintf("hfc: negative reservation %v", bytes))
+	}
+	if s.used+bytes > s.capacity {
+		return false
+	}
+	s.used += bytes
+	return true
+}
+
+// Release frees bytes of storage. Releasing more than is used panics: it
+// is always a placement-bookkeeping bug.
+func (s *SetTopBox) Release(bytes units.ByteSize) {
+	if bytes < 0 || bytes > s.used {
+		panic(fmt.Sprintf("hfc: releasing %v with %v used", bytes, s.used))
+	}
+	s.used -= bytes
+}
+
+// ActiveStreams returns the number of streams currently open (sending or
+// receiving).
+func (s *SetTopBox) ActiveStreams() int { return s.active }
+
+// MaxStreams returns the stream concurrency limit.
+func (s *SetTopBox) MaxStreams() int { return s.maxStreams }
+
+// CanStream reports whether another stream may be opened.
+func (s *SetTopBox) CanStream() bool { return s.active < s.maxStreams }
+
+// OpenStream claims a stream slot, reporting whether one was available.
+// The caller must balance every successful open with CloseStream.
+func (s *SetTopBox) OpenStream() bool {
+	if !s.CanStream() {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// ForceOpenStream claims a stream slot unconditionally. It models the
+// subscriber's own viewing: the box always serves its own television, so a
+// viewer session may push the box past its cooperative limit — the limit
+// is enforced against *serving* and *cache-fill* streams via CanStream.
+func (s *SetTopBox) ForceOpenStream() {
+	s.active++
+}
+
+// CloseStream releases a stream slot.
+func (s *SetTopBox) CloseStream() {
+	if s.active <= 0 {
+		panic("hfc: CloseStream without matching OpenStream")
+	}
+	s.active--
+}

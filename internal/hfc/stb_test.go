@@ -1,0 +1,106 @@
+package hfc
+
+import (
+	"testing"
+
+	"cablevod/internal/units"
+)
+
+func newBox(t *testing.T) *SetTopBox {
+	t.Helper()
+	b, err := NewSetTopBox(PeerID{}, 10*units.GB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewSetTopBoxErrors(t *testing.T) {
+	if _, err := NewSetTopBox(PeerID{}, -1, 2); err == nil {
+		t.Error("expected error for negative storage")
+	}
+	if _, err := NewSetTopBox(PeerID{}, 1, 0); err == nil {
+		t.Error("expected error for zero streams")
+	}
+}
+
+func TestStorageReserveRelease(t *testing.T) {
+	b := newBox(t)
+	if !b.Reserve(6 * units.GB) {
+		t.Fatal("first reservation failed")
+	}
+	if b.StorageFree() != 4*units.GB {
+		t.Errorf("free = %v, want 4 GB", b.StorageFree())
+	}
+	if b.Reserve(5 * units.GB) {
+		t.Error("over-reservation succeeded")
+	}
+	if !b.Reserve(4 * units.GB) {
+		t.Error("exact-fit reservation failed")
+	}
+	b.Release(10 * units.GB)
+	if b.StorageUsed() != 0 {
+		t.Errorf("used = %v after full release", b.StorageUsed())
+	}
+}
+
+func TestStorageReleaseTooMuchPanics(t *testing.T) {
+	b := newBox(t)
+	b.Reserve(units.GB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Release(2 * units.GB)
+}
+
+func TestStorageReserveNegativePanics(t *testing.T) {
+	b := newBox(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Reserve(-1)
+}
+
+func TestStreamSlots(t *testing.T) {
+	b := newBox(t)
+	if !b.OpenStream() || !b.OpenStream() {
+		t.Fatal("first two streams must open")
+	}
+	if b.CanStream() || b.OpenStream() {
+		t.Error("third stream opened past the 2-stream limit")
+	}
+	b.CloseStream()
+	if !b.CanStream() {
+		t.Error("slot not freed")
+	}
+	if b.ActiveStreams() != 1 {
+		t.Errorf("active = %d, want 1", b.ActiveStreams())
+	}
+}
+
+func TestCloseStreamUnbalancedPanics(t *testing.T) {
+	b := newBox(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.CloseStream()
+}
+
+func TestZeroStorageBox(t *testing.T) {
+	b, err := NewSetTopBox(PeerID{}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserve(1) {
+		t.Error("reservation on zero-storage box succeeded")
+	}
+	if !b.Reserve(0) {
+		t.Error("zero reservation should trivially succeed")
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics implements the measurement side of the evaluation:
+// hour-resolution data-rate meters (the paper reports everything as
+// average data rates over peak hours), quantile statistics for the 5%/95%
+// error bars, and small report helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cablevod/internal/units"
+)
+
+// RateMeter accumulates transferred bits into absolute-hour buckets so
+// average data rates can be reported per hour of day, per day, or over the
+// 7-11 PM peak window.
+type RateMeter struct {
+	bits map[int64]int64 // absolute hour index -> bits transferred
+}
+
+// NewRateMeter returns an empty meter.
+func NewRateMeter() *RateMeter {
+	return &RateMeter{bits: make(map[int64]int64)}
+}
+
+// AddTransfer accounts a transfer at the given rate during [from, to),
+// splitting it across hour boundaries exactly.
+func (m *RateMeter) AddTransfer(from, to time.Duration, rate units.BitRate) {
+	if to < from {
+		panic(fmt.Sprintf("metrics: transfer interval inverted: [%v, %v)", from, to))
+	}
+	if rate < 0 {
+		panic(fmt.Sprintf("metrics: negative rate %v", rate))
+	}
+	for from < to {
+		hourEnd := from.Truncate(time.Hour) + time.Hour
+		if hourEnd > to {
+			hourEnd = to
+		}
+		idx := int64(from / time.Hour)
+		m.bits[idx] += int64(rate.BytesIn(hourEnd-from)) * 8
+		from = hourEnd
+	}
+}
+
+// AddBits accounts raw bits at the instant t (attributed to t's hour).
+func (m *RateMeter) AddBits(t time.Duration, bits int64) {
+	if bits < 0 {
+		panic(fmt.Sprintf("metrics: negative bits %d", bits))
+	}
+	m.bits[int64(t/time.Hour)] += bits
+}
+
+// TotalBits returns all accumulated bits.
+func (m *RateMeter) TotalBits() int64 {
+	var total int64
+	for _, b := range m.bits {
+		total += b
+	}
+	return total
+}
+
+// HourOfDayAverage returns the average rate per hour-of-day over [0, days)
+// — the Figure 7 shape.
+func (m *RateMeter) HourOfDayAverage(days int) [24]units.BitRate {
+	var out [24]units.BitRate
+	if days <= 0 {
+		return out
+	}
+	var sums [24]int64
+	for idx, b := range m.bits {
+		day := int(idx / 24)
+		if day >= days {
+			continue
+		}
+		sums[idx%24] += b
+	}
+	for h := 0; h < 24; h++ {
+		out[h] = units.BitRate(float64(sums[h]) / float64(days) / 3600)
+	}
+	return out
+}
+
+// HourSamples returns the average rate of every absolute hour in [0,
+// days) whose hour-of-day satisfies keep (nil keeps all). Hours with no
+// traffic yield zero samples, so quiet periods weigh into quantiles.
+func (m *RateMeter) HourSamples(days int, keep func(hour int) bool) []units.BitRate {
+	return m.HourSamplesRange(0, days, keep)
+}
+
+// HourSamplesRange is HourSamples over days [fromDay, toDay) — used to
+// exclude cache warm-up from reported statistics.
+func (m *RateMeter) HourSamplesRange(fromDay, toDay int, keep func(hour int) bool) []units.BitRate {
+	if toDay <= fromDay {
+		return nil
+	}
+	var out []units.BitRate
+	for day := fromDay; day < toDay; day++ {
+		for h := 0; h < 24; h++ {
+			if keep != nil && !keep(h) {
+				continue
+			}
+			bits := m.bits[int64(day*24+h)]
+			out = append(out, units.BitRate(float64(bits)/3600))
+		}
+	}
+	return out
+}
+
+// PeakHour reports whether an hour-of-day is inside the 7-11 PM window.
+func PeakHour(h int) bool { return h >= units.PeakStartHour && h < units.PeakEndHour }
+
+// PeakStats returns rate statistics over the peak-window hour samples of
+// [0, days) — the paper's headline metric with its 5%/95% error bars.
+func (m *RateMeter) PeakStats(days int) RateStats {
+	return NewRateStats(m.HourSamples(days, PeakHour))
+}
+
+// PeakStatsRange is PeakStats over days [fromDay, toDay).
+func (m *RateMeter) PeakStatsRange(fromDay, toDay int) RateStats {
+	return NewRateStats(m.HourSamplesRange(fromDay, toDay, PeakHour))
+}
+
+// RateStats summarizes a set of rate samples.
+type RateStats struct {
+	Mean units.BitRate
+	P05  units.BitRate
+	P50  units.BitRate
+	P95  units.BitRate
+	Max  units.BitRate
+	N    int
+}
+
+// NewRateStats computes statistics from samples.
+func NewRateStats(samples []units.BitRate) RateStats {
+	if len(samples) == 0 {
+		return RateStats{}
+	}
+	sorted := append([]units.BitRate(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	return RateStats{
+		Mean: units.BitRate(sum / float64(len(sorted))),
+		P05:  quantileRate(sorted, 0.05),
+		P50:  quantileRate(sorted, 0.50),
+		P95:  quantileRate(sorted, 0.95),
+		Max:  sorted[len(sorted)-1],
+		N:    len(sorted),
+	}
+}
+
+func quantileRate(sorted []units.BitRate, q float64) units.BitRate {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Quantile returns the q-quantile of float64 values (nearest rank).
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,64 @@
+package popularity
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+)
+
+// Global aggregates access counts across every neighborhood in the system
+// and publishes them to index servers, modelling the Figure-13 experiment:
+//
+//   - Lag 0: index servers see live global counts for every decision.
+//   - Lag > 0: counts are published in batches; between publications the
+//     servers see the last published snapshot (the "30 minute lag" and
+//     "2 hour lag" bars).
+type Global struct {
+	window      *Window
+	lag         time.Duration
+	published   map[trace.ProgramID]int
+	nextPublish time.Duration
+}
+
+// NewGlobal returns a global aggregator with the given history horizon and
+// publication lag.
+func NewGlobal(horizon, lag time.Duration) *Global {
+	if lag < 0 {
+		panic(fmt.Sprintf("popularity: negative lag %v", lag))
+	}
+	return &Global{
+		window:      NewWindow(horizon),
+		lag:         lag,
+		published:   make(map[trace.ProgramID]int),
+		nextPublish: lag,
+	}
+}
+
+// Record notes an access from any neighborhood at time now.
+func (g *Global) Record(p trace.ProgramID, now time.Duration) {
+	g.window.Record(p, now)
+	g.maybePublish(now)
+}
+
+// Count returns the globally aggregated access count visible to an index
+// server at time now.
+func (g *Global) Count(p trace.ProgramID, now time.Duration) int {
+	if g.lag == 0 {
+		return g.window.Count(p, now)
+	}
+	g.maybePublish(now)
+	return g.published[p]
+}
+
+func (g *Global) maybePublish(now time.Duration) {
+	if g.lag == 0 || now < g.nextPublish {
+		return
+	}
+	g.published = g.window.Snapshot(now)
+	// Publish on fixed boundaries so quiet periods don't drift the
+	// schedule.
+	for g.nextPublish <= now {
+		g.nextPublish += g.lag
+	}
+}

@@ -1,0 +1,120 @@
+package popularity
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+func int32ID(v uint8) trace.ProgramID { return trace.ProgramID(v) }
+
+func TestGlobalLiveWhenLagZero(t *testing.T) {
+	g := NewGlobal(24*time.Hour, 0)
+	g.Record(1, time.Minute)
+	if got := g.Count(1, time.Minute); got != 1 {
+		t.Errorf("live count = %d, want 1", got)
+	}
+	g.Record(1, 2*time.Minute)
+	if got := g.Count(1, 2*time.Minute); got != 2 {
+		t.Errorf("live count = %d, want 2", got)
+	}
+}
+
+func TestGlobalLagBatchesUpdates(t *testing.T) {
+	g := NewGlobal(24*time.Hour, 30*time.Minute)
+	g.Record(1, time.Minute)
+	// Before the first publication boundary nothing is visible.
+	if got := g.Count(1, 10*time.Minute); got != 0 {
+		t.Errorf("pre-publication count = %d, want 0", got)
+	}
+	// The 30-minute boundary publishes everything recorded so far.
+	if got := g.Count(1, 31*time.Minute); got != 1 {
+		t.Errorf("post-publication count = %d, want 1", got)
+	}
+	// New accesses stay invisible until the next boundary.
+	g.Record(1, 40*time.Minute)
+	if got := g.Count(1, 45*time.Minute); got != 1 {
+		t.Errorf("mid-batch count = %d, want 1", got)
+	}
+	if got := g.Count(1, 61*time.Minute); got != 2 {
+		t.Errorf("second publication count = %d, want 2", got)
+	}
+}
+
+func TestGlobalPublicationOnRecord(t *testing.T) {
+	g := NewGlobal(24*time.Hour, time.Hour)
+	g.Record(1, 10*time.Minute)
+	// Recording after the boundary also triggers publication.
+	g.Record(2, 90*time.Minute)
+	if got := g.Count(1, 90*time.Minute); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+}
+
+func TestGlobalHorizonApplies(t *testing.T) {
+	g := NewGlobal(time.Hour, 0)
+	g.Record(1, 0)
+	if got := g.Count(1, 2*time.Hour); got != 0 {
+		t.Errorf("expired count = %d, want 0", got)
+	}
+}
+
+func TestGlobalNegativeLagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGlobal(time.Hour, -time.Minute)
+}
+
+func TestIntroductionDecay(t *testing.T) {
+	tr := trace.New()
+	// Program 1 introduced at day 1, heavily watched on day 1, less later:
+	// 12 hours of total viewing on relative day 0, 6 on day 1, 3 on day 2.
+	add := func(start, dur time.Duration) {
+		tr.Append(trace.Record{User: 1, Program: 1, Start: start, Duration: dur})
+	}
+	intro := units.At(1, 0)
+	add(intro, 12*time.Hour)
+	add(intro+units.Day, 6*time.Hour)
+	add(intro+2*units.Day, 3*time.Hour)
+	// Pad the trace span past relative day 2 so all days count.
+	tr.Append(trace.Record{User: 2, Program: 2, Start: units.At(5, 0), Duration: time.Hour})
+	tr.Sort()
+
+	got := IntroductionDecay(tr, 1, 3, 0)
+	want := []float64{0.5, 0.25, 0.125}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("day %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntroductionDecayExcludesTruncatedDays(t *testing.T) {
+	tr := trace.New()
+	// Introduced half a day before trace end: day 0 incomplete.
+	tr.Append(trace.Record{User: 1, Program: 1, Start: 0, Duration: 12 * time.Hour})
+	tr.Sort()
+	got := IntroductionDecay(tr, 1, 2, 0)
+	for d, v := range got {
+		if v != 0 {
+			t.Errorf("day %d = %v, want 0 (no complete aligned days)", d, v)
+		}
+	}
+}
+
+func TestIntroductionDecayEmpty(t *testing.T) {
+	if got := IntroductionDecay(trace.New(), 5, 0, 0); got != nil {
+		t.Error("expected nil for zero days")
+	}
+	got := IntroductionDecay(trace.New(), 5, 3, 0)
+	for _, v := range got {
+		if v != 0 {
+			t.Error("expected zeros for empty trace")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package popularity
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWindowCounts(t *testing.T) {
+	w := NewWindow(time.Hour)
+	w.Record(1, 0)
+	w.Record(1, 10*time.Minute)
+	w.Record(2, 20*time.Minute)
+	if got := w.Count(1, 30*time.Minute); got != 2 {
+		t.Errorf("Count(1) = %d, want 2", got)
+	}
+	if got := w.Count(2, 30*time.Minute); got != 1 {
+		t.Errorf("Count(2) = %d, want 1", got)
+	}
+	if got := w.Count(3, 30*time.Minute); got != 0 {
+		t.Errorf("Count(3) = %d, want 0", got)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	w := NewWindow(time.Hour)
+	w.Record(1, 0)
+	w.Record(1, 30*time.Minute)
+	if got := w.Count(1, 59*time.Minute); got != 2 {
+		t.Errorf("before expiry Count = %d, want 2", got)
+	}
+	// At t=61m the t=0 access is outside [1m, 61m].
+	if got := w.Count(1, 61*time.Minute); got != 1 {
+		t.Errorf("after expiry Count = %d, want 1", got)
+	}
+	if got := w.Count(1, 2*time.Hour); got != 0 {
+		t.Errorf("all expired Count = %d, want 0", got)
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", w.Len())
+	}
+}
+
+func TestWindowBoundaryInclusive(t *testing.T) {
+	w := NewWindow(time.Hour)
+	w.Record(1, 0)
+	// Exactly horizon old: cutoff is now-horizon and events at the cutoff
+	// are retained (strictly-older prune).
+	if got := w.Count(1, time.Hour); got != 1 {
+		t.Errorf("Count at exact horizon = %d, want 1", got)
+	}
+}
+
+func TestZeroHorizonRemembersNothing(t *testing.T) {
+	w := NewWindow(0)
+	w.Record(1, time.Minute)
+	w.Record(1, 2*time.Minute)
+	if got := w.Count(1, 2*time.Minute); got != 0 {
+		t.Errorf("zero-horizon Count = %d, want 0", got)
+	}
+	if w.Len() != 0 {
+		t.Errorf("zero-horizon Len = %d, want 0", w.Len())
+	}
+}
+
+func TestWindowOutOfOrderPanics(t *testing.T) {
+	w := NewWindow(time.Hour)
+	w.Record(1, time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-order record")
+		}
+	}()
+	w.Record(2, 0)
+}
+
+func TestNegativeHorizonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(-time.Second)
+}
+
+func TestWindowCompaction(t *testing.T) {
+	w := NewWindow(time.Minute)
+	// Push enough expiring events to trigger compaction.
+	for i := 0; i < 10_000; i++ {
+		w.Record(1, time.Duration(i)*time.Second)
+	}
+	if got := w.Count(1, 10_000*time.Second); got != 60 {
+		t.Errorf("Count after compaction churn = %d, want 60", got)
+	}
+	if w.head > len(w.events) {
+		t.Error("head beyond events after compaction")
+	}
+}
+
+func TestWindowSnapshotIsCopy(t *testing.T) {
+	w := NewWindow(time.Hour)
+	w.Record(1, 0)
+	snap := w.Snapshot(0)
+	snap[1] = 99
+	if got := w.Count(1, 0); got != 1 {
+		t.Errorf("snapshot mutation leaked: Count = %d", got)
+	}
+}
+
+func TestWindowCountNeverNegative(t *testing.T) {
+	f := func(times []uint16) bool {
+		w := NewWindow(30 * time.Minute)
+		last := time.Duration(0)
+		for _, raw := range times {
+			at := last + time.Duration(raw%100)*time.Second
+			last = at
+			w.Record(1, at)
+			if w.Count(1, at) < 0 || w.Len() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowLenMatchesSumOfCounts(t *testing.T) {
+	f := func(progs []uint8) bool {
+		w := NewWindow(time.Hour)
+		for i, p := range progs {
+			w.Record(1+int32ID(p%5), time.Duration(i)*time.Second)
+		}
+		now := time.Duration(len(progs)) * time.Second
+		snap := w.Snapshot(now)
+		sum := 0
+		for _, c := range snap {
+			sum += c
+		}
+		return sum == w.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package randdist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias is a Walker alias-method sampler over a finite categorical
+// distribution. Construction is O(n); each draw is O(1). It is the
+// workhorse for program selection in the synthesizer, where the catalog
+// holds thousands of programs with heavily skewed weights.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds a sampler from non-negative weights. At least one weight
+// must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("randdist: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("randdist: weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("randdist: all %d weights are zero", n)
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small { // numerical leftovers
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a, nil
+}
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw samples a category index.
+func (a *Alias) Draw(r *RNG) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// ZipfWeights returns the weight vector w[i] = 1/(i+1)^s for i in [0, n).
+// Unlike math/rand's Zipf, any exponent s >= 0 is allowed, including the
+// s = 1 regime that matches the skew observed in the PowerInfo trace.
+func ZipfWeights(n int, s float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("randdist: ZipfWeights needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("randdist: ZipfWeights needs s >= 0, got %v", s)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return w, nil
+}
+
+// ZipfShare returns the fraction of total Zipf(s, n) mass held by the top k
+// ranks. It is used by calibration tests to check cache-hit expectations.
+func ZipfShare(n, k int, s float64) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	top, total := 0.0, 0.0
+	for i := 1; i <= n; i++ {
+		v := math.Pow(float64(i), -s)
+		total += v
+		if i <= k {
+			top += v
+		}
+	}
+	return top / total
+}

@@ -1,0 +1,170 @@
+package randdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all zero", []float64{0, 0, 0}},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{math.Inf(1)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewAlias(tt.weights); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{5, 1, 3, 0, 1}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(3, 3)
+	const n = 500_000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("category %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[3])
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(4, 4)
+	for i := 0; i < 100; i++ {
+		if v := a.Draw(r); v != 0 {
+			t.Fatalf("Draw() = %d, want 0", v)
+		}
+	}
+}
+
+func TestAliasDrawInRange(t *testing.T) {
+	f := func(seed uint64, sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		weights := make([]float64, 0, len(sizes))
+		for _, s := range sizes {
+			weights = append(weights, float64(s))
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			// all-zero weight vectors are legitimately rejected
+			allZero := true
+			for _, w := range weights {
+				if w != 0 {
+					allZero = false
+				}
+			}
+			return allZero
+		}
+		r := NewRNG(seed, 1)
+		for i := 0; i < 50; i++ {
+			v := a.Draw(r)
+			if v < 0 || v >= len(weights) || weights[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w, err := ZipfWeights(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestZipfWeightsUniformWhenSZero(t *testing.T) {
+	w, err := ZipfWeights(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if v != 1 {
+			t.Errorf("w[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestZipfWeightsErrors(t *testing.T) {
+	if _, err := ZipfWeights(0, 1); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := ZipfWeights(5, -1); err == nil {
+		t.Error("expected error for s<0")
+	}
+	if _, err := ZipfWeights(5, math.NaN()); err == nil {
+		t.Error("expected error for NaN s")
+	}
+}
+
+func TestZipfShare(t *testing.T) {
+	// With s=1 and the paper's catalog size, the top third of ranks holds
+	// ~88% of mass -- the anchor behind the 10 TB cache result.
+	share := ZipfShare(8278, 2760, 1)
+	if share < 0.85 || share > 0.92 {
+		t.Errorf("ZipfShare(8278, 2760, 1) = %v, want ~0.88", share)
+	}
+	if got := ZipfShare(10, 10, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full share = %v, want 1", got)
+	}
+	if got := ZipfShare(10, 20, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("overfull share = %v, want 1", got)
+	}
+	if got := ZipfShare(0, 1, 1); got != 0 {
+		t.Errorf("degenerate share = %v, want 0", got)
+	}
+}
+
+func TestZipfShareMonotoneInK(t *testing.T) {
+	f := func(k1, k2 uint8) bool {
+		a, b := int(k1)+1, int(k2)+1
+		if a > b {
+			a, b = b, a
+		}
+		return ZipfShare(300, a, 0.9) <= ZipfShare(300, b, 0.9)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package randdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 1)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d diverged: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 2)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 1 and 2 produced %d/%d identical float64 draws", same, n)
+	}
+}
+
+func TestDeriveDeterministicAndIndependent(t *testing.T) {
+	parent := NewRNG(7, 7)
+	c1 := parent.Derive("users")
+	c2 := parent.Derive("users")
+	c3 := parent.Derive("catalog")
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := c1.Float64(), c2.Float64(), c3.Float64()
+		if v1 != v2 {
+			t.Fatalf("same-label derivations diverged at draw %d", i)
+		}
+		if v1 == v3 {
+			t.Fatalf("different-label derivations matched at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveDoesNotConsumeParent(t *testing.T) {
+	a := NewRNG(13, 5)
+	b := NewRNG(13, 5)
+	_ = a.Derive("anything")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Derive consumed parent randomness")
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		name string
+		mean float64
+	}{
+		{"small mean", 0.3},
+		{"medium mean", 5},
+		{"boundary mean", 29.5},
+		{"large mean", 200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := NewRNG(1, 99)
+			const n = 200_000
+			sum, sumSq := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				v := float64(r.Poisson(tt.mean))
+				sum += v
+				sumSq += v * v
+			}
+			gotMean := sum / n
+			gotVar := sumSq/n - gotMean*gotMean
+			tol := 4 * math.Sqrt(tt.mean/n) * 3 // ~4 sigma on the mean
+			if math.Abs(gotMean-tt.mean) > tol+0.02*tt.mean {
+				t.Errorf("mean = %v, want ~%v", gotMean, tt.mean)
+			}
+			if math.Abs(gotVar-tt.mean) > 0.1*tt.mean+0.05 {
+				t.Errorf("variance = %v, want ~%v", gotVar, tt.mean)
+			}
+		})
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := NewRNG(2, 2)
+	for i := 0; i < 100; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegativeMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative mean")
+		}
+	}()
+	NewRNG(1, 1).Poisson(-1)
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	f := func(seed uint64, m uint16) bool {
+		r := NewRNG(seed, 3)
+		mean := float64(m%500) / 7
+		return r.Poisson(mean) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := NewRNG(10, 10)
+	for i := 0; i < 10_000; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d out of range", v)
+		}
+	}
+}

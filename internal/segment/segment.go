@@ -1,0 +1,88 @@
+// Package segment implements the program-to-segment arithmetic of the
+// paper's cache: programs are divided into 5-minute segments broadcast at
+// the MPEG-2 SDTV stream rate, and the index server places individual
+// segments on peers (Section IV-B.1).
+package segment
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// ID identifies one segment of one program.
+type ID struct {
+	Program trace.ProgramID
+	Index   int
+}
+
+// String renders "program/index" for logs and errors.
+func (id ID) String() string {
+	return fmt.Sprintf("%d/%d", id.Program, id.Index)
+}
+
+// Size is the byte size of a full segment: 5 minutes at 8.06 Mb/s
+// (~302 MB).
+var Size = units.StreamRate.BytesIn(units.SegmentDuration)
+
+// Count returns how many segments a program of the given length occupies.
+// The final partial segment counts as a whole segment. Zero-length
+// programs occupy zero segments.
+func Count(length time.Duration) int {
+	if length <= 0 {
+		return 0
+	}
+	return int((length + units.SegmentDuration - 1) / units.SegmentDuration)
+}
+
+// SizeOf returns the byte size of segment idx of a program with the given
+// length; the last segment may be partial.
+func SizeOf(length time.Duration, idx int) units.ByteSize {
+	n := Count(length)
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("segment: index %d out of range for %d segments", idx, n))
+	}
+	if idx < n-1 {
+		return Size
+	}
+	rem := length - time.Duration(n-1)*units.SegmentDuration
+	return units.StreamRate.BytesIn(rem)
+}
+
+// ProgramSize returns the total stored byte size of a program.
+func ProgramSize(length time.Duration) units.ByteSize {
+	return units.StreamRate.BytesIn(length)
+}
+
+// DurationOf returns the playback time of segment idx of a program with
+// the given length.
+func DurationOf(length time.Duration, idx int) time.Duration {
+	n := Count(length)
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("segment: index %d out of range for %d segments", idx, n))
+	}
+	if idx < n-1 {
+		return units.SegmentDuration
+	}
+	return length - time.Duration(n-1)*units.SegmentDuration
+}
+
+// At returns the segment index playing at the given offset into a program.
+func At(offset time.Duration) int {
+	if offset < 0 {
+		panic(fmt.Sprintf("segment: negative offset %v", offset))
+	}
+	return int(offset / units.SegmentDuration)
+}
+
+// All returns the segment IDs of a whole program, in playback order.
+func All(p trace.ProgramID, length time.Duration) []ID {
+	n := Count(length)
+	out := make([]ID, n)
+	for i := range out {
+		out[i] = ID{Program: p, Index: i}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package segment
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cablevod/internal/units"
+)
+
+func TestCount(t *testing.T) {
+	tests := []struct {
+		length time.Duration
+		want   int
+	}{
+		{0, 0},
+		{-time.Minute, 0},
+		{time.Second, 1},
+		{5 * time.Minute, 1},
+		{5*time.Minute + time.Second, 2},
+		{60 * time.Minute, 12},
+		{100 * time.Minute, 20},
+		{97 * time.Minute, 20},
+	}
+	for _, tt := range tests {
+		if got := Count(tt.length); got != tt.want {
+			t.Errorf("Count(%v) = %d, want %d", tt.length, got, tt.want)
+		}
+	}
+}
+
+func TestSizeConstant(t *testing.T) {
+	if Size != 302_250_000 {
+		t.Errorf("segment Size = %d bytes, want 302250000 (5 min at 8.06 Mb/s)", Size)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	length := 12 * time.Minute // 3 segments: 5, 5, 2 minutes
+	if got := SizeOf(length, 0); got != Size {
+		t.Errorf("segment 0 size = %v, want %v", got, Size)
+	}
+	if got := SizeOf(length, 1); got != Size {
+		t.Errorf("segment 1 size = %v, want %v", got, Size)
+	}
+	want := units.StreamRate.BytesIn(2 * time.Minute)
+	if got := SizeOf(length, 2); got != want {
+		t.Errorf("partial segment size = %v, want %v", got, want)
+	}
+}
+
+func TestSizeOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SizeOf(10*time.Minute, 2)
+}
+
+func TestDurationOf(t *testing.T) {
+	length := 12 * time.Minute
+	if got := DurationOf(length, 0); got != 5*time.Minute {
+		t.Errorf("segment 0 duration = %v", got)
+	}
+	if got := DurationOf(length, 2); got != 2*time.Minute {
+		t.Errorf("last segment duration = %v, want 2m", got)
+	}
+}
+
+func TestAt(t *testing.T) {
+	tests := []struct {
+		offset time.Duration
+		want   int
+	}{
+		{0, 0},
+		{4*time.Minute + 59*time.Second, 0},
+		{5 * time.Minute, 1},
+		{47 * time.Minute, 9},
+	}
+	for _, tt := range tests {
+		if got := At(tt.offset); got != tt.want {
+			t.Errorf("At(%v) = %d, want %d", tt.offset, got, tt.want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	ids := All(7, 11*time.Minute)
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id.Program != 7 || id.Index != i {
+			t.Errorf("ids[%d] = %v", i, id)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := (ID{Program: 12, Index: 3}).String(); got != "12/3" {
+		t.Errorf("String() = %q, want \"12/3\"", got)
+	}
+}
+
+func TestSegmentSizesSumToProgramSize(t *testing.T) {
+	f := func(mins uint16) bool {
+		length := time.Duration(mins%600) * time.Minute
+		n := Count(length)
+		var total units.ByteSize
+		for i := 0; i < n; i++ {
+			total += SizeOf(length, i)
+		}
+		return total == ProgramSize(length)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentDurationsSumToLength(t *testing.T) {
+	f := func(secs uint32) bool {
+		length := time.Duration(secs%36000) * time.Second
+		n := Count(length)
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			total += DurationOf(length, i)
+		}
+		return total == length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package synth generates synthetic VoD workload traces with the
+// statistical properties of the PowerInfo trace the paper evaluates on
+// (Section V-A). The real trace is proprietary; this generator is the
+// documented substitution (see DESIGN.md): it reproduces the catalog
+// scale, the heavy popularity skew with introduction-decay dynamics
+// (Figures 2 and 12), the short-attention session-length distribution
+// with a completion jump (Figures 3 and 6), and the diurnal load shape
+// peaking between 7 and 11 PM (Figure 7).
+package synth
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes the generator. The zero value is not valid; start
+// from DefaultConfig (paper-scale) or TestConfig (CI-scale).
+type Config struct {
+	// Seed makes the trace reproducible.
+	Seed uint64
+
+	// Users is the subscriber population (PowerInfo: 41,698).
+	Users int
+
+	// Programs is the catalog size (PowerInfo: 8,278).
+	Programs int
+
+	// Days is the length of the generated trace.
+	Days int
+
+	// SessionsPerUserDay is the average session rate (PowerInfo: ~20 M
+	// transactions / 41,698 users / ~214 days ~= 2.24).
+	SessionsPerUserDay float64
+
+	// ZipfExponent shapes the base program-popularity skew.
+	ZipfExponent float64
+
+	// CompletionProb is the probability a viewer watches a program to
+	// the end — the ECDF jump of Figure 6.
+	CompletionProb float64
+
+	// AttritionMean is the mean of the (truncated-exponential) session
+	// length for viewers who abandon early; Figure 3 shows 50% of
+	// sessions under 8 minutes.
+	AttritionMean time.Duration
+
+	// BacklogDays spreads catalog introduction before the trace starts
+	// so day 0 already has a steady-state age mix.
+	BacklogDays int
+
+	// DecayFloor and DecayTauDays shape per-program popularity decay
+	// with age: weight multiplier = floor + (1-floor) * exp(-age/tau).
+	// The paper observes an ~80% drop one week after introduction
+	// (Figure 12).
+	DecayFloor   float64
+	DecayTauDays float64
+
+	// WeekendBoost multiplies arrival intensity on days 5 and 6 of each
+	// week.
+	WeekendBoost float64
+
+	// DailyJitterSigma adds day-to-day lognormal intensity noise.
+	DailyJitterSigma float64
+
+	// UserActivitySigma is the lognormal spread of per-user activity.
+	UserActivitySigma float64
+
+	// HourWeights is the relative arrival intensity per hour of day.
+	HourWeights [24]float64
+
+	// LengthsMinutes and LengthWeights define the program-length
+	// mixture.
+	LengthsMinutes []int
+	LengthWeights  []float64
+
+	// RebuildInterval controls how often the popularity distribution is
+	// refreshed as programs age and premiere.
+	RebuildInterval time.Duration
+
+	// SeekProb is the probability a session starts at a later segment
+	// boundary instead of the beginning — the paper's proposed
+	// fast-forward mechanism of "jumps to predetermined points"
+	// (Section IV-B.1). PowerInfo-style sessions use 0.
+	SeekProb float64
+}
+
+// defaultHourWeights approximates the Figure-7 diurnal curve: a trough in
+// the early morning, a daytime ramp, and a 7-11 PM peak holding ~36% of
+// daily arrivals.
+func defaultHourWeights() [24]float64 {
+	return [24]float64{
+		3.0, 2.0, 1.2, 0.8, 0.6, 0.6, // 00-05
+		0.8, 1.2, 1.8, 2.6, 3.2, 3.6, // 06-11
+		4.2, 4.4, 4.6, 4.8, 5.0, 5.6, // 12-17
+		6.8, 8.6, 9.6, 9.4, 8.0, 5.4, // 18-23
+	}
+}
+
+// DefaultConfig returns the paper-scale configuration: the PowerInfo
+// population and catalog with all behavioural knobs calibrated against the
+// figures reproduced in EXPERIMENTS.md. Days defaults to 14 (the paper's
+// own figures are computed on windows of at most 7 days); raise it for
+// full-length runs.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		Users:    41_698,
+		Programs: 8_278,
+		Days:     14,
+		// PowerInfo's raw rate is ~2.24 sessions per user-day; 1.90
+		// lands the uncached peak-hour load on the paper's 17 Gb/s
+		// anchor with this session-length mix.
+		SessionsPerUserDay: 1.90,
+		ZipfExponent:       1.0,
+		CompletionProb:     0.13,
+		AttritionMean:      9 * time.Minute,
+		BacklogDays:        180,
+		DecayFloor:         0.05,
+		DecayTauDays:       3.4,
+		WeekendBoost:       1.15,
+		DailyJitterSigma:   0.08,
+		UserActivitySigma:  0.7,
+		HourWeights:        defaultHourWeights(),
+		LengthsMinutes:     []int{45, 60, 90, 100, 120},
+		LengthWeights:      []float64{0.20, 0.35, 0.20, 0.15, 0.10},
+		RebuildInterval:    6 * time.Hour,
+	}
+}
+
+// TestConfig returns a small configuration for fast tests: a few hundred
+// users and programs over a few days, same behavioural model.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 400
+	cfg.Programs = 120
+	cfg.Days = 3
+	cfg.BacklogDays = 30
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("synth: users must be positive, got %d", c.Users)
+	case c.Programs <= 0:
+		return fmt.Errorf("synth: programs must be positive, got %d", c.Programs)
+	case c.Days <= 0:
+		return fmt.Errorf("synth: days must be positive, got %d", c.Days)
+	case c.SessionsPerUserDay <= 0:
+		return fmt.Errorf("synth: sessions per user-day must be positive, got %v", c.SessionsPerUserDay)
+	case c.ZipfExponent < 0:
+		return fmt.Errorf("synth: negative zipf exponent %v", c.ZipfExponent)
+	case c.CompletionProb < 0 || c.CompletionProb > 1:
+		return fmt.Errorf("synth: completion probability %v outside [0, 1]", c.CompletionProb)
+	case c.AttritionMean <= 0:
+		return fmt.Errorf("synth: attrition mean must be positive, got %v", c.AttritionMean)
+	case c.BacklogDays < 0:
+		return fmt.Errorf("synth: negative backlog %d", c.BacklogDays)
+	case c.DecayFloor < 0 || c.DecayFloor > 1:
+		return fmt.Errorf("synth: decay floor %v outside [0, 1]", c.DecayFloor)
+	case c.DecayTauDays <= 0:
+		return fmt.Errorf("synth: decay tau must be positive, got %v", c.DecayTauDays)
+	case c.WeekendBoost <= 0:
+		return fmt.Errorf("synth: weekend boost must be positive, got %v", c.WeekendBoost)
+	case c.DailyJitterSigma < 0:
+		return fmt.Errorf("synth: negative daily jitter %v", c.DailyJitterSigma)
+	case c.UserActivitySigma < 0:
+		return fmt.Errorf("synth: negative activity sigma %v", c.UserActivitySigma)
+	case len(c.LengthsMinutes) == 0 || len(c.LengthsMinutes) != len(c.LengthWeights):
+		return fmt.Errorf("synth: program length mixture needs matching lengths (%d) and weights (%d)",
+			len(c.LengthsMinutes), len(c.LengthWeights))
+	case c.RebuildInterval <= 0:
+		return fmt.Errorf("synth: rebuild interval must be positive, got %v", c.RebuildInterval)
+	case c.SeekProb < 0 || c.SeekProb > 1:
+		return fmt.Errorf("synth: seek probability %v outside [0, 1]", c.SeekProb)
+	}
+	sum := 0.0
+	for h, w := range c.HourWeights {
+		if w < 0 {
+			return fmt.Errorf("synth: negative weight for hour %d", h)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("synth: hour weights sum to zero")
+	}
+	for i, l := range c.LengthsMinutes {
+		if l <= 0 {
+			return fmt.Errorf("synth: non-positive program length at index %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+func genTest(t *testing.T, mod func(*Config)) *trace.Trace {
+	t.Helper()
+	cfg := TestConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	tr := genTest(t, nil)
+	s := tr.Summarize()
+	cfg := TestConfig()
+	wantSessions := float64(cfg.Users) * cfg.SessionsPerUserDay * float64(cfg.Days)
+	if ratio := float64(s.Records) / wantSessions; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("records = %d, want ~%v", s.Records, wantSessions)
+	}
+	if s.Programs > cfg.Programs {
+		t.Errorf("programs = %d > catalog %d", s.Programs, cfg.Programs)
+	}
+	if len(tr.ProgramLengths) != cfg.Programs {
+		t.Errorf("length table has %d entries, want full catalog %d", len(tr.ProgramLengths), cfg.Programs)
+	}
+	start, end := tr.Span()
+	if start < 0 || end > time.Duration(cfg.Days)*units.Day+3*time.Hour {
+		t.Errorf("span = [%v, %v] outside trace days", start, end)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTest(t, nil)
+	b := genTest(t, nil)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	a := genTest(t, nil)
+	b := genTest(t, func(c *Config) { c.Seed = 2 })
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != b.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Programs = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.SessionsPerUserDay = 0 },
+		func(c *Config) { c.CompletionProb = 1.5 },
+		func(c *Config) { c.AttritionMean = 0 },
+		func(c *Config) { c.DecayTauDays = 0 },
+		func(c *Config) { c.LengthWeights = nil },
+		func(c *Config) { c.HourWeights = [24]float64{} },
+		func(c *Config) { c.RebuildInterval = 0 },
+		func(c *Config) { c.WeekendBoost = 0 },
+	}
+	for i, mod := range bad {
+		cfg := TestConfig()
+		mod(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSessionLengthsRespectProgramLength(t *testing.T) {
+	tr := genTest(t, nil)
+	for i, r := range tr.Records {
+		full := tr.ProgramLengths[r.Program]
+		if r.Duration > full {
+			t.Fatalf("record %d: session %v exceeds program length %v", i, r.Duration, full)
+		}
+	}
+}
+
+func TestDiurnalShapePeaksInEvening(t *testing.T) {
+	tr := genTest(t, func(c *Config) { c.Users = 2000; c.Days = 5 })
+	rates := tr.HourlyRate()
+	var peak, trough units.BitRate
+	for h := 19; h < 23; h++ {
+		peak += rates[h]
+	}
+	for h := 2; h < 6; h++ {
+		trough += rates[h]
+	}
+	if peak <= 3*trough {
+		t.Errorf("peak window rate %v not dominant over trough %v", peak, trough)
+	}
+}
+
+func TestShortAttentionSpans(t *testing.T) {
+	tr := genTest(t, func(c *Config) { c.Users = 2000 })
+	short := 0
+	for _, r := range tr.Records {
+		if r.Duration < 8*time.Minute {
+			short++
+		}
+	}
+	frac := float64(short) / float64(tr.Len())
+	// Figure 3: roughly half of all sessions are under 8 minutes.
+	if frac < 0.35 || frac > 0.70 {
+		t.Errorf("fraction under 8 min = %v, want ~0.5", frac)
+	}
+}
+
+func TestCompletionJumpPresent(t *testing.T) {
+	tr := genTest(t, func(c *Config) { c.Users = 3000; c.Days = 4 })
+	// The most popular program should show a detectable completion jump.
+	top := tr.MostPopular(1)
+	if len(top) == 0 {
+		t.Fatal("no programs in trace")
+	}
+	detected := tr.InferProgramLengths(trace.DefaultInferOptions())
+	if detected == 0 {
+		t.Error("no completion jumps detected in any program")
+	}
+	if got, want := tr.ProgramLengths[top[0]], genTest(t, func(c *Config) { c.Users = 3000; c.Days = 4 }).ProgramLengths[top[0]]; got != want {
+		t.Errorf("inferred top-program length %v, true %v", got, want)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	tr := genTest(t, func(c *Config) { c.Users = 3000; c.Days = 4 })
+	counts := make(map[trace.ProgramID]int)
+	for _, r := range tr.Records {
+		counts[r.Program]++
+	}
+	top := tr.MostPopular(len(counts))
+	if len(top) < 20 {
+		t.Skip("too few programs accessed")
+	}
+	topShare := 0
+	for _, p := range top[:len(top)/10] {
+		topShare += counts[p]
+	}
+	frac := float64(topShare) / float64(tr.Len())
+	// Top 10% of programs should hold a large share of accesses.
+	if frac < 0.30 {
+		t.Errorf("top-decile share = %v, want >= 0.30 (skewed)", frac)
+	}
+}
+
+func TestIntroductionDecayShape(t *testing.T) {
+	// Longer run so introductions happen inside the window.
+	cfg := TestConfig()
+	cfg.Users = 3000
+	cfg.Days = 12
+	cfg.BacklogDays = 10
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average across the top programs: day-0 popularity should exceed
+	// day-7 popularity markedly (the paper reports ~80% decay; we accept
+	// any clear decay here, the exact series is checked in experiments).
+	// Only meaningful when decay is configured steep.
+	if cfg.DecayFloor >= 1 {
+		t.Skip("no decay configured")
+	}
+	first := tr.FirstAccess()
+	top := tr.MostPopular(10)
+	var day0, day7 float64
+	n := 0
+	for _, p := range top {
+		intro := first[p]
+		if intro > 4*units.Day { // introduced late; day 7 misses the trace
+			continue
+		}
+		recs := tr.FilterProgram(p)
+		var d0, d7 float64
+		for _, r := range recs {
+			rel := r.Start - intro
+			switch {
+			case rel < units.Day:
+				d0++
+			case rel >= 6*units.Day && rel < 8*units.Day:
+				d7 += 0.5 // two-day window, halved
+			}
+		}
+		day0 += d0
+		day7 += d7
+		n++
+	}
+	if n == 0 {
+		t.Skip("no top programs with observable day-7 window")
+	}
+	if day0 <= day7 {
+		t.Errorf("day-0 accesses %v not above day-7 %v", day0, day7)
+	}
+}
+
+func TestWeekendBoost(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Days = 14
+	cfg.Users = 2000
+	cfg.DailyJitterSigma = 0 // isolate the weekend effect
+	cfg.WeekendBoost = 1.5
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weekday, weekend float64
+	var weekdayN, weekendN int
+	perDay := make([]int, cfg.Days)
+	for _, r := range tr.Records {
+		perDay[units.DayIndex(r.Start)]++
+	}
+	for d, c := range perDay {
+		if wd := d % 7; wd == 5 || wd == 6 {
+			weekend += float64(c)
+			weekendN++
+		} else {
+			weekday += float64(c)
+			weekdayN++
+		}
+	}
+	ratio := (weekend / float64(weekendN)) / (weekday / float64(weekdayN))
+	if ratio < 1.2 || ratio > 1.8 {
+		t.Errorf("weekend/weekday ratio = %v, want ~1.5", ratio)
+	}
+}
+
+func TestMath64Sanity(t *testing.T) {
+	// Guard against accidental float drift in the arrival mean: the
+	// total arrivals over the trace should track the configured rate.
+	cfg := TestConfig()
+	cfg.DailyJitterSigma = 0
+	cfg.WeekendBoost = 1
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.Users) * cfg.SessionsPerUserDay * float64(cfg.Days)
+	got := float64(tr.Len())
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("sessions = %v, want ~%v", got, want)
+	}
+}

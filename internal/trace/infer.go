@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Program-length inference (Section V-A): the PowerInfo trace does not
+// record program lengths, but a significant fraction of users watch a
+// program to completion, which shows up as a pronounced jump in the
+// per-program ECDF of session lengths at the program's true length
+// (Figure 6). The paper extrapolated lengths by inspecting these ECDFs;
+// InferProgramLengths automates the same inspection.
+
+// InferOptions tunes the ECDF-jump detector.
+type InferOptions struct {
+	// MinSessions is the minimum number of sessions needed to attempt
+	// inference; below it the longest observed session is used.
+	MinSessions int
+
+	// MinJump is the minimum ECDF probability mass concentrated at a
+	// single length value for it to count as the completion jump.
+	MinJump float64
+
+	// Granularity rounds candidate lengths; sessions within one
+	// granule are treated as the same length (completion sessions all
+	// report essentially the full length).
+	Granularity time.Duration
+}
+
+// DefaultInferOptions matches the visual-inspection procedure described in
+// the paper: a clearly visible jump in an ECDF corresponds to at least a
+// few percent of mass at one value.
+func DefaultInferOptions() InferOptions {
+	return InferOptions{
+		MinSessions: 20,
+		MinJump:     0.04,
+		Granularity: time.Minute,
+	}
+}
+
+// InferProgramLengths fills t.ProgramLengths for every program, detecting
+// the completion jump in each program's session-length ECDF. Programs
+// without a detectable jump fall back to the longest observed session.
+// It returns the number of programs whose length came from a detected jump.
+func (t *Trace) InferProgramLengths(opts InferOptions) int {
+	if opts.Granularity <= 0 {
+		opts.Granularity = time.Minute
+	}
+	byProgram := make(map[ProgramID][]time.Duration)
+	for _, r := range t.Records {
+		byProgram[r.Program] = append(byProgram[r.Program], r.Duration)
+	}
+	detected := 0
+	for p, lengths := range byProgram {
+		l, ok := inferOne(lengths, opts)
+		if ok {
+			detected++
+		}
+		t.ProgramLengths[p] = l
+	}
+	return detected
+}
+
+// inferOne returns the inferred full length for one program's sessions and
+// whether a completion jump was detected.
+func inferOne(lengths []time.Duration, opts InferOptions) (time.Duration, bool) {
+	if len(lengths) == 0 {
+		return 0, false
+	}
+	longest := lengths[0]
+	for _, l := range lengths {
+		if l > longest {
+			longest = l
+		}
+	}
+	if len(lengths) < opts.MinSessions {
+		return longest, false
+	}
+
+	// Bucket session lengths to the granularity and find the granule, at
+	// or beyond the median, holding the largest probability mass. A
+	// completion jump is a granule with at least MinJump of all mass.
+	counts := make(map[time.Duration]int)
+	for _, l := range lengths {
+		counts[l.Round(opts.Granularity)]++
+	}
+	granules := make([]time.Duration, 0, len(counts))
+	for g := range counts {
+		granules = append(granules, g)
+	}
+	sort.Slice(granules, func(i, j int) bool { return granules[i] < granules[j] })
+
+	total := len(lengths)
+	var best time.Duration
+	bestCount := 0
+	// The completion jump is the *last* big spike: scan from the longest
+	// granule down, accepting the first granule that clears MinJump.
+	// (Short-attention mass dominates the low end, Figure 3.)
+	for i := len(granules) - 1; i >= 0; i-- {
+		g := granules[i]
+		c := counts[g]
+		if float64(c)/float64(total) >= opts.MinJump {
+			best = g
+			bestCount = c
+			break
+		}
+	}
+	if bestCount == 0 {
+		return longest, false
+	}
+	return best, true
+}

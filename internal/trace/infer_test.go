@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/randdist"
+)
+
+func TestInferProgramLengthsDetectsJump(t *testing.T) {
+	tr := New()
+	rng := randdist.NewRNG(1, 1)
+	const progLen = 100 * time.Minute
+	// 70 short sessions with attrition, 30 completions.
+	for i := 0; i < 70; i++ {
+		d := time.Duration(1+rng.IntN(40)) * time.Minute
+		tr.Append(Record{User: UserID(i), Program: 1, Start: time.Duration(i) * time.Minute, Duration: d})
+	}
+	for i := 70; i < 100; i++ {
+		tr.Append(Record{User: UserID(i), Program: 1, Start: time.Duration(i) * time.Minute, Duration: progLen})
+	}
+	tr.Sort()
+	detected := tr.InferProgramLengths(DefaultInferOptions())
+	if detected != 1 {
+		t.Fatalf("detected %d jumps, want 1", detected)
+	}
+	if got := tr.ProgramLengths[1]; got != progLen {
+		t.Errorf("inferred length = %v, want %v", got, progLen)
+	}
+}
+
+func TestInferProgramLengthsFallbackFewSessions(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 1, 0, 30),
+		rec(2, 1, 10, 55),
+	)
+	detected := tr.InferProgramLengths(DefaultInferOptions())
+	if detected != 0 {
+		t.Errorf("detected %d jumps from 2 sessions, want 0", detected)
+	}
+	if got := tr.ProgramLengths[1]; got != 55*time.Minute {
+		t.Errorf("fallback length = %v, want longest session 55m", got)
+	}
+}
+
+func TestInferProgramLengthsNoJump(t *testing.T) {
+	tr := New()
+	// 100 sessions with distinct second-level lengths: no granule clears
+	// the jump threshold once rounded to the minute... ensure spread.
+	for i := 0; i < 100; i++ {
+		tr.Append(Record{
+			User:     UserID(i),
+			Program:  1,
+			Start:    time.Duration(i) * time.Minute,
+			Duration: time.Duration(i+1) * 3 * time.Minute,
+		})
+	}
+	tr.Sort()
+	detected := tr.InferProgramLengths(DefaultInferOptions())
+	if detected != 0 {
+		t.Errorf("detected %d jumps in uniform spread, want 0", detected)
+	}
+	if got := tr.ProgramLengths[1]; got != 300*time.Minute {
+		t.Errorf("fallback = %v, want 300m", got)
+	}
+}
+
+func TestInferIgnoresEarlySpike(t *testing.T) {
+	tr := New()
+	// Heavy mass at 1 minute (quick abandons) plus a completion mass at 80m.
+	for i := 0; i < 60; i++ {
+		tr.Append(Record{User: UserID(i), Program: 1, Start: time.Duration(i) * time.Minute, Duration: time.Minute})
+	}
+	for i := 60; i < 75; i++ {
+		tr.Append(Record{User: UserID(i), Program: 1, Start: time.Duration(i) * time.Minute, Duration: 80 * time.Minute})
+	}
+	tr.Sort()
+	tr.InferProgramLengths(DefaultInferOptions())
+	if got := tr.ProgramLengths[1]; got != 80*time.Minute {
+		t.Errorf("inferred = %v, want 80m (the last spike, not the abandon spike)", got)
+	}
+}
+
+func TestInferHandlesZeroGranularity(t *testing.T) {
+	tr := mkTrace(rec(1, 1, 0, 10))
+	opts := DefaultInferOptions()
+	opts.Granularity = 0
+	tr.InferProgramLengths(opts) // must not panic
+	if tr.ProgramLengths[1] != 10*time.Minute {
+		t.Errorf("length = %v, want 10m", tr.ProgramLengths[1])
+	}
+}

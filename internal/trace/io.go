@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CSV layout: header then one row per record. Times are integer seconds
+// from the trace epoch, matching how the PowerInfo records are described
+// (user, program, session length). The offset column records where inside
+// the program playback started; readers also accept the legacy 4-column
+// layout without it.
+const (
+	csvHeaderLine       = "user,program,start_sec,duration_sec,offset_sec"
+	csvHeaderLineLegacy = "user,program,start_sec,duration_sec"
+)
+
+// WriteCSV writes the trace in the canonical CSV layout. Program lengths
+// are not part of the CSV format; persist them with the gob format or
+// re-infer them with InferProgramLengths.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "program", "start_sec", "duration_sec", "offset_sec"}); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	row := make([]string, 5)
+	for i, r := range t.Records {
+		row[0] = strconv.FormatInt(int64(r.User), 10)
+		row[1] = strconv.FormatInt(int64(r.Program), 10)
+		row[2] = strconv.FormatInt(int64(r.Start/time.Second), 10)
+		row[3] = strconv.FormatInt(int64(r.Duration/time.Second), 10)
+		row[4] = strconv.FormatInt(int64(r.Offset/time.Second), 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write csv record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace in the canonical CSV layout (current or legacy
+// 4-column form).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv header: %w", err)
+	}
+	got := strings.Join(header, ",")
+	if got != csvHeaderLine && got != csvHeaderLineLegacy {
+		return nil, fmt.Errorf("trace: unexpected csv header %q, want %q", got, csvHeaderLine)
+	}
+	cr.FieldsPerRecord = len(header)
+
+	t := New()
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read csv line %d: %w", line, err)
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		t.Append(rec)
+	}
+	t.Sort()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseCSVRow(row []string) (Record, error) {
+	user, err := strconv.ParseInt(row[0], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("user: %w", err)
+	}
+	prog, err := strconv.ParseInt(row[1], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("program: %w", err)
+	}
+	start, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("start: %w", err)
+	}
+	dur, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("duration: %w", err)
+	}
+	var offset int64
+	if len(row) > 4 {
+		offset, err = strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("offset: %w", err)
+		}
+	}
+	rec := Record{
+		User:     UserID(user),
+		Program:  ProgramID(prog),
+		Start:    time.Duration(start) * time.Second,
+		Duration: time.Duration(dur) * time.Second,
+		Offset:   time.Duration(offset) * time.Second,
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// gobTrace is the wire form for the gob format; it exists so the exported
+// Trace type can evolve without breaking stored files.
+type gobTrace struct {
+	Records        []Record
+	ProgramLengths map[ProgramID]time.Duration
+}
+
+// WriteGob writes the full trace, including program lengths, in gob form.
+func (t *Trace) WriteGob(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(gobTrace{Records: t.Records, ProgramLengths: t.ProgramLengths}); err != nil {
+		return fmt.Errorf("trace: encode gob: %w", err)
+	}
+	return nil
+}
+
+// ReadGob reads a gob-form trace.
+func ReadGob(r io.Reader) (*Trace, error) {
+	var gt gobTrace
+	if err := gob.NewDecoder(r).Decode(&gt); err != nil {
+		return nil, fmt.Errorf("trace: decode gob: %w", err)
+	}
+	t := &Trace{Records: gt.Records, ProgramLengths: gt.ProgramLengths}
+	if t.ProgramLengths == nil {
+		t.ProgramLengths = make(map[ProgramID]time.Duration)
+	}
+	t.Sort()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to path; format is chosen by extension
+// (".csv" or ".gob").
+func (t *Trace) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if hasSuffix(path, ".csv") {
+		err = t.WriteCSV(bw)
+	} else {
+		err = t.WriteGob(bw)
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a trace from path; format is chosen by extension.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if hasSuffix(path, ".csv") {
+		return ReadCSV(br)
+	}
+	return ReadGob(br)
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	tr := mkTrace(
+		rec(1, 10, 0, 8),
+		rec(2, 10, 5, 60),
+		rec(3, 11, 12, 3),
+	)
+	tr.ProgramLengths[10] = 60 * time.Minute
+	tr.ProgramLengths[11] = 45 * time.Minute
+	return tr
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c,d\n1,2,3,4\n")); err == nil {
+		t.Error("expected error for bad header")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	header := "user,program,start_sec,duration_sec\n"
+	tests := []struct {
+		name string
+		row  string
+	}{
+		{"non-numeric user", "x,1,0,60"},
+		{"non-numeric program", "1,x,0,60"},
+		{"non-numeric start", "1,1,x,60"},
+		{"non-numeric duration", "1,1,0,x"},
+		{"zero duration", "1,1,0,0"},
+		{"negative start", "1,1,-5,60"},
+		{"too few fields", "1,1,0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(header + tt.row + "\n")); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestGobRoundTripKeepsLengths(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip lost records")
+	}
+	if got.ProgramLengths[10] != 60*time.Minute || got.ProgramLengths[11] != 45*time.Minute {
+		t.Errorf("program lengths lost: %v", got.ProgramLengths)
+	}
+}
+
+func TestSaveLoadFileCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	tr := sampleTrace()
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("loaded %d records, want %d", got.Len(), tr.Len())
+	}
+}
+
+func TestSaveLoadFileGob(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.gob")
+	tr := sampleTrace()
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramLengths[10] != 60*time.Minute {
+		t.Error("gob file lost program lengths")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/trace.csv"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

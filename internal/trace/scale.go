@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/randdist"
+)
+
+// Workload scaling transforms (Section V-A). Both transforms multiply the
+// number of agents by an integer factor while minimally perturbing the
+// trace's statistical properties:
+//
+//   - ScaleCatalog(n): make n copies of every program; every event is
+//     relabelled to one of the n copies of its original program, chosen
+//     uniformly at random.
+//   - ScaleUsers(n): make n copies of every user; every event is executed
+//     n times, once per copy, with the start time jittered by 1-60 seconds
+//     to avoid synchronous accesses.
+
+// ScaleCatalog returns a new trace whose catalog is n times larger.
+// Program copy k of original program p gets ID p*n + k, so copies of
+// distinct programs never collide.
+func ScaleCatalog(t *Trace, n int, rng *randdist.RNG) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: catalog scale factor must be >= 1, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trace: ScaleCatalog requires an RNG")
+	}
+	if n == 1 {
+		return t.Clone(), nil
+	}
+	out := New()
+	out.Records = make([]Record, 0, len(t.Records))
+	for _, r := range t.Records {
+		copyIdx := rng.IntN(n)
+		r.Program = r.Program*ProgramID(n) + ProgramID(copyIdx)
+		out.Records = append(out.Records, r)
+	}
+	for p, l := range t.ProgramLengths {
+		for k := 0; k < n; k++ {
+			out.ProgramLengths[p*ProgramID(n)+ProgramID(k)] = l
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// ScaleUsers returns a new trace whose user population is n times larger.
+// User copy k of original user u gets ID u*n + k. Copy 0 keeps the
+// original start times; copies 1..n-1 are jittered forward by a uniform
+// 1-60 seconds, as in the paper.
+func ScaleUsers(t *Trace, n int, rng *randdist.RNG) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: user scale factor must be >= 1, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trace: ScaleUsers requires an RNG")
+	}
+	if n == 1 {
+		return t.Clone(), nil
+	}
+	out := New()
+	out.Records = make([]Record, 0, len(t.Records)*n)
+	for _, r := range t.Records {
+		for k := 0; k < n; k++ {
+			nr := r
+			nr.User = r.User*UserID(n) + UserID(k)
+			if k > 0 {
+				nr.Start += time.Duration(1+rng.IntN(60)) * time.Second
+			}
+			out.Records = append(out.Records, nr)
+		}
+	}
+	for p, l := range t.ProgramLengths {
+		out.ProgramLengths[p] = l
+	}
+	out.Sort()
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/randdist"
+)
+
+func TestScaleCatalog(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 0, 0, 10), rec(2, 0, 5, 10), rec(3, 1, 10, 10), rec(4, 1, 15, 10),
+	)
+	tr.ProgramLengths[0] = time.Hour
+	tr.ProgramLengths[1] = 30 * time.Minute
+	rng := randdist.NewRNG(42, 1)
+
+	got, err := ScaleCatalog(tr, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("record count changed: %d vs %d", got.Len(), tr.Len())
+	}
+	// Every record maps to a copy of its original program.
+	for i, r := range got.Records {
+		orig := tr.Records[i].Program
+		if r.Program/3 != orig {
+			t.Errorf("record %d program %d is not a copy of %d", i, r.Program, orig)
+		}
+		if r.Start != tr.Records[i].Start {
+			t.Errorf("record %d start changed", i)
+		}
+	}
+	// Length table has n copies per original.
+	if len(got.ProgramLengths) != 6 {
+		t.Fatalf("length table has %d entries, want 6", len(got.ProgramLengths))
+	}
+	for k := ProgramID(0); k < 3; k++ {
+		if got.ProgramLengths[0*3+k] != time.Hour {
+			t.Errorf("copy %d of program 0 has wrong length", k)
+		}
+		if got.ProgramLengths[1*3+k] != 30*time.Minute {
+			t.Errorf("copy %d of program 1 has wrong length", k)
+		}
+	}
+}
+
+func TestScaleCatalogIdentity(t *testing.T) {
+	tr := mkTrace(rec(1, 0, 0, 10))
+	got, err := ScaleCatalog(tr, 1, randdist.NewRNG(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Records[0] != tr.Records[0] {
+		t.Error("scale factor 1 should be an identity clone")
+	}
+}
+
+func TestScaleCatalogErrors(t *testing.T) {
+	tr := mkTrace(rec(1, 0, 0, 10))
+	if _, err := ScaleCatalog(tr, 0, randdist.NewRNG(1, 1)); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := ScaleCatalog(tr, 2, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestScaleUsers(t *testing.T) {
+	tr := mkTrace(rec(1, 7, 0, 10), rec(2, 8, 5, 10))
+	tr.ProgramLengths[7] = time.Hour
+	rng := randdist.NewRNG(42, 2)
+
+	got, err := ScaleUsers(tr, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 6 {
+		t.Fatalf("record count = %d, want 6", got.Len())
+	}
+	// Each original record yields n records to the same program, with
+	// copies jittered 1-60s.
+	perProgram := make(map[ProgramID]int)
+	users := make(map[UserID]bool)
+	for _, r := range got.Records {
+		perProgram[r.Program]++
+		users[r.User] = true
+	}
+	if perProgram[7] != 3 || perProgram[8] != 3 {
+		t.Errorf("per-program counts = %v", perProgram)
+	}
+	if len(users) != 6 {
+		t.Errorf("distinct users = %d, want 6", len(users))
+	}
+	// Jitter bounds: copies of the record starting at 0 must start in (0, 60s].
+	for _, r := range got.Records {
+		if r.Program != 7 {
+			continue
+		}
+		base := time.Duration(0)
+		if r.User%3 == 0 { // copy 0 keeps original time
+			if r.Start != base {
+				t.Errorf("copy 0 start = %v, want %v", r.Start, base)
+			}
+		} else {
+			if r.Start <= base || r.Start > base+60*time.Second {
+				t.Errorf("jittered start = %v, want within (0s, 60s]", r.Start)
+			}
+		}
+	}
+	if got.ProgramLengths[7] != time.Hour {
+		t.Error("program lengths lost")
+	}
+}
+
+func TestScaleUsersErrors(t *testing.T) {
+	tr := mkTrace(rec(1, 0, 0, 10))
+	if _, err := ScaleUsers(tr, 0, randdist.NewRNG(1, 1)); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := ScaleUsers(tr, 2, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestScaleUsersDeterministic(t *testing.T) {
+	tr := mkTrace(rec(1, 7, 0, 10), rec(2, 8, 5, 10))
+	a, err := ScaleUsers(tr, 4, randdist.NewRNG(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleUsers(tr, 4, randdist.NewRNG(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs across identical seeds", i)
+		}
+	}
+}

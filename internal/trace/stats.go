@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"cablevod/internal/units"
+)
+
+// Summary holds headline statistics of a trace, mirroring the figures the
+// paper reports for the PowerInfo data set (Section V-A).
+type Summary struct {
+	Records             int
+	Users               int
+	Programs            int
+	Span                time.Duration
+	SessionsPerUserDay  float64
+	MeanSessionLength   time.Duration
+	MedianSessionLength time.Duration
+}
+
+// Summarize computes a Summary.
+func (t *Trace) Summarize() Summary {
+	s := Summary{
+		Records:  len(t.Records),
+		Users:    len(t.Users()),
+		Programs: len(t.Programs()),
+	}
+	start, end := t.Span()
+	s.Span = end - start
+	if len(t.Records) == 0 {
+		return s
+	}
+	var total time.Duration
+	lengths := make([]time.Duration, len(t.Records))
+	for i, r := range t.Records {
+		total += r.Duration
+		lengths[i] = r.Duration
+	}
+	sort.Slice(lengths, func(i, j int) bool { return lengths[i] < lengths[j] })
+	s.MeanSessionLength = total / time.Duration(len(t.Records))
+	s.MedianSessionLength = lengths[len(lengths)/2]
+	days := s.Span.Hours() / 24
+	if days > 0 && s.Users > 0 {
+		s.SessionsPerUserDay = float64(s.Records) / days / float64(s.Users)
+	}
+	return s
+}
+
+// SessionLengthECDF returns the empirical CDF of session lengths for one
+// program as sorted (length, cumulative probability) pairs — the data
+// behind Figures 3 and 6.
+func (t *Trace) SessionLengthECDF(p ProgramID) (lengths []time.Duration, probs []float64) {
+	recs := t.FilterProgram(p)
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	lengths = make([]time.Duration, len(recs))
+	for i, r := range recs {
+		lengths[i] = r.Duration
+	}
+	sort.Slice(lengths, func(i, j int) bool { return lengths[i] < lengths[j] })
+	probs = make([]float64, len(lengths))
+	for i := range lengths {
+		probs[i] = float64(i+1) / float64(len(lengths))
+	}
+	return lengths, probs
+}
+
+// MostPopular returns the n most-accessed programs, most popular first.
+// Ties break toward the smaller program ID.
+func (t *Trace) MostPopular(n int) []ProgramID {
+	counts := make(map[ProgramID]int)
+	for _, r := range t.Records {
+		counts[r.Program]++
+	}
+	progs := make([]ProgramID, 0, len(counts))
+	for p := range counts {
+		progs = append(progs, p)
+	}
+	sort.Slice(progs, func(i, j int) bool {
+		if counts[progs[i]] != counts[progs[j]] {
+			return counts[progs[i]] > counts[progs[j]]
+		}
+		return progs[i] < progs[j]
+	})
+	if n > len(progs) {
+		n = len(progs)
+	}
+	return progs[:n]
+}
+
+// InitiationSeries is the Figure-2 data: for each 15-minute bucket of a
+// window, the number of sessions initiated for a given program rank.
+type InitiationSeries struct {
+	BucketWidth time.Duration
+	From, To    time.Duration
+	// Buckets[i] is the count for bucket starting at From + i*BucketWidth.
+	Buckets []int
+}
+
+// Max returns the largest bucket count.
+func (s InitiationSeries) Max() int {
+	m := 0
+	for _, v := range s.Buckets {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// InitiationCounts computes, for every program, its session-initiation
+// series over [from, to) with the given bucket width.
+func (t *Trace) InitiationCounts(from, to, bucket time.Duration) map[ProgramID]InitiationSeries {
+	if bucket <= 0 || to <= from {
+		return nil
+	}
+	n := int((to - from + bucket - 1) / bucket)
+	out := make(map[ProgramID]InitiationSeries)
+	for _, r := range t.Records {
+		if r.Start < from || r.Start >= to {
+			continue
+		}
+		s, ok := out[r.Program]
+		if !ok {
+			s = InitiationSeries{BucketWidth: bucket, From: from, To: to, Buckets: make([]int, n)}
+		}
+		s.Buckets[int((r.Start-from)/bucket)]++
+		out[r.Program] = s
+	}
+	return out
+}
+
+// PopularityQuantiles ranks programs by their peak 15-minute initiation
+// count over the window and returns the series for the maximum program and
+// the programs at the given quantiles (e.g. 0.99, 0.95) — Figure 2's three
+// curves. Quantiles are over the set of programs active in the window.
+func (t *Trace) PopularityQuantiles(from, to, bucket time.Duration, quantiles []float64) []InitiationSeries {
+	counts := t.InitiationCounts(from, to, bucket)
+	if len(counts) == 0 {
+		return nil
+	}
+	progs := make([]ProgramID, 0, len(counts))
+	for p := range counts {
+		progs = append(progs, p)
+	}
+	// Rank descending by peak bucket count; ties to smaller ID.
+	sort.Slice(progs, func(i, j int) bool {
+		mi, mj := counts[progs[i]].Max(), counts[progs[j]].Max()
+		if mi != mj {
+			return mi > mj
+		}
+		return progs[i] < progs[j]
+	})
+	out := make([]InitiationSeries, 0, 1+len(quantiles))
+	out = append(out, counts[progs[0]])
+	for _, q := range quantiles {
+		// Quantile q of popularity: the program ranked at position
+		// (1-q) * N from the top.
+		idx := int((1 - q) * float64(len(progs)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(progs) {
+			idx = len(progs) - 1
+		}
+		out = append(out, counts[progs[idx]])
+	}
+	return out
+}
+
+// HourlyRate returns, for each hour of the day (0-23), the average data
+// rate the whole subscriber population pulls when every session streams at
+// units.StreamRate — Figure 7's series (and the uncached server load).
+func (t *Trace) HourlyRate() [24]units.BitRate {
+	start, end := t.Span()
+	var byHour [24]units.BitRate
+	if end <= start {
+		return byHour
+	}
+	// Accumulate exact bits viewed per hour-of-day bucket, then divide by
+	// the number of calendar days the trace touches.
+	var bits [24]int64
+	for _, r := range t.Records {
+		addSessionBits(&bits, r.Start, r.End())
+	}
+	// Count days by session starts: trailing spillover past the last
+	// day's midnight must not dilute the per-day averages.
+	lastStart := t.Records[0].Start
+	for _, r := range t.Records {
+		if r.Start > lastStart {
+			lastStart = r.Start
+		}
+	}
+	days := float64(units.DayIndex(lastStart) - units.DayIndex(start) + 1)
+	if days < 1 {
+		days = 1
+	}
+	for h := 0; h < 24; h++ {
+		// bits accumulated in this hour bucket over the whole trace,
+		// averaged per day then per second of the hour.
+		perDay := float64(bits[h]) / days
+		byHour[h] = units.BitRate(perDay / 3600)
+	}
+	return byHour
+}
+
+// addSessionBits spreads a session's bits across hour-of-day buckets.
+func addSessionBits(bits *[24]int64, from, to time.Duration) {
+	for from < to {
+		hourEnd := from.Truncate(time.Hour) + time.Hour
+		if hourEnd > to {
+			hourEnd = to
+		}
+		h := units.HourOfDay(from)
+		bits[h] += int64(units.StreamRate.BytesIn(hourEnd-from)) * 8
+		from = hourEnd
+	}
+}
+
+// ConcurrencyByDay returns, for each day in [0, days), the average number
+// of concurrent sessions for program p during that day — the Figure-12
+// series when aligned to the program's introduction.
+func (t *Trace) ConcurrencyByDay(p ProgramID, days int) []float64 {
+	out := make([]float64, days)
+	for _, r := range t.FilterProgram(p) {
+		from, to := r.Start, r.End()
+		for from < to {
+			dayEnd := (time.Duration(units.DayIndex(from)) + 1) * units.Day
+			if dayEnd > to {
+				dayEnd = to
+			}
+			d := units.DayIndex(from)
+			if d >= 0 && d < days {
+				out[d] += (dayEnd - from).Seconds()
+			}
+			from = dayEnd
+		}
+	}
+	for i := range out {
+		out[i] /= units.Day.Seconds()
+	}
+	return out
+}
+
+// FirstAccess returns the time of the first session for each program.
+func (t *Trace) FirstAccess() map[ProgramID]time.Duration {
+	out := make(map[ProgramID]time.Duration, len(t.ProgramLengths))
+	for _, r := range t.Records {
+		if cur, ok := out[r.Program]; !ok || r.Start < cur {
+			out[r.Program] = r.Start
+		}
+	}
+	return out
+}

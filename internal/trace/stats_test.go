@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cablevod/internal/units"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 1, 0, 10),
+		rec(2, 1, 60, 20),
+		rec(1, 2, 120, 30),
+	)
+	s := tr.Summarize()
+	if s.Records != 3 || s.Users != 2 || s.Programs != 2 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.Span != 150*time.Minute {
+		t.Errorf("span = %v, want 150m", s.Span)
+	}
+	if s.MeanSessionLength != 20*time.Minute {
+		t.Errorf("mean = %v, want 20m", s.MeanSessionLength)
+	}
+	if s.MedianSessionLength != 20*time.Minute {
+		t.Errorf("median = %v, want 20m", s.MedianSessionLength)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := New().Summarize()
+	if s.Records != 0 || s.MeanSessionLength != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSessionLengthECDF(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 1, 0, 5),
+		rec(2, 1, 0, 10),
+		rec(3, 1, 0, 10),
+		rec(4, 1, 0, 60),
+		rec(5, 2, 0, 99),
+	)
+	lengths, probs := tr.SessionLengthECDF(1)
+	if len(lengths) != 4 {
+		t.Fatalf("got %d points, want 4", len(lengths))
+	}
+	if lengths[0] != 5*time.Minute || lengths[3] != 60*time.Minute {
+		t.Errorf("lengths = %v", lengths)
+	}
+	if probs[3] != 1 {
+		t.Errorf("final prob = %v, want 1", probs[3])
+	}
+	if math.Abs(probs[0]-0.25) > 1e-12 {
+		t.Errorf("first prob = %v, want 0.25", probs[0])
+	}
+	if l, p := tr.SessionLengthECDF(42); l != nil || p != nil {
+		t.Error("expected nil ECDF for unknown program")
+	}
+}
+
+func TestMostPopular(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 5, 0, 1), rec(2, 5, 1, 1), rec(3, 5, 2, 1),
+		rec(1, 7, 3, 1), rec(2, 7, 4, 1),
+		rec(1, 9, 5, 1),
+	)
+	got := tr.MostPopular(2)
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Errorf("MostPopular(2) = %v, want [5 7]", got)
+	}
+	all := tr.MostPopular(10)
+	if len(all) != 3 {
+		t.Errorf("MostPopular(10) returned %d programs, want 3", len(all))
+	}
+}
+
+func TestInitiationCounts(t *testing.T) {
+	tr := mkTrace(
+		rec(1, 1, 0, 5),
+		rec(2, 1, 10, 5),
+		rec(3, 1, 16, 5),
+		rec(4, 2, 31, 5),
+	)
+	counts := tr.InitiationCounts(0, 45*time.Minute, 15*time.Minute)
+	s1 := counts[1]
+	if len(s1.Buckets) != 3 {
+		t.Fatalf("program 1 has %d buckets, want 3", len(s1.Buckets))
+	}
+	if s1.Buckets[0] != 2 || s1.Buckets[1] != 1 || s1.Buckets[2] != 0 {
+		t.Errorf("program 1 buckets = %v, want [2 1 0]", s1.Buckets)
+	}
+	if counts[2].Buckets[2] != 1 {
+		t.Errorf("program 2 buckets = %v", counts[2].Buckets)
+	}
+	if s1.Max() != 2 {
+		t.Errorf("Max() = %d, want 2", s1.Max())
+	}
+}
+
+func TestInitiationCountsDegenerate(t *testing.T) {
+	tr := mkTrace(rec(1, 1, 0, 5))
+	if got := tr.InitiationCounts(0, 0, time.Minute); got != nil {
+		t.Error("expected nil for empty window")
+	}
+	if got := tr.InitiationCounts(0, time.Hour, 0); got != nil {
+		t.Error("expected nil for zero bucket")
+	}
+}
+
+func TestPopularityQuantiles(t *testing.T) {
+	tr := New()
+	// Program 1: 10 sessions in one bucket; program 2: 5; programs 3-12: 1.
+	for i := 0; i < 10; i++ {
+		tr.Append(rec(UserID(i), 1, i, 2))
+	}
+	for i := 0; i < 5; i++ {
+		tr.Append(rec(UserID(20+i), 2, i, 2))
+	}
+	for p := 3; p <= 12; p++ {
+		tr.Append(rec(UserID(30+p), ProgramID(p), p, 2))
+	}
+	tr.Sort()
+	series := tr.PopularityQuantiles(0, 15*time.Minute, 15*time.Minute, []float64{0.95})
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	if series[0].Max() != 10 {
+		t.Errorf("max series peak = %d, want 10", series[0].Max())
+	}
+	if series[1].Max() > series[0].Max() {
+		t.Error("quantile series exceeds maximum series")
+	}
+}
+
+func TestHourlyRateSingleSession(t *testing.T) {
+	// One 1-hour session at hour 19 on each of 2 days, trace spans 2 days.
+	tr := New()
+	tr.Append(Record{User: 1, Program: 1, Start: units.At(0, 19), Duration: time.Hour})
+	tr.Append(Record{User: 1, Program: 1, Start: units.At(1, 19), Duration: time.Hour})
+	// Anchor the span to exactly 2 days with a tiny session at the end.
+	tr.Append(Record{User: 2, Program: 1, Start: 2*units.Day - time.Second, Duration: time.Second})
+	tr.Sort()
+	rates := tr.HourlyRate()
+	// Hour 19 carries one full stream per day on average.
+	got := rates[19]
+	if math.Abs(got.Mbps()-units.StreamRate.Mbps()) > 0.1 {
+		t.Errorf("hour 19 rate = %v, want ~%v", got, units.StreamRate)
+	}
+	if rates[12] != 0 {
+		t.Errorf("hour 12 rate = %v, want 0", rates[12])
+	}
+}
+
+func TestHourlyRateSpansHourBoundary(t *testing.T) {
+	tr := New()
+	tr.Append(Record{User: 1, Program: 1, Start: units.At(0, 19) + 30*time.Minute, Duration: time.Hour})
+	tr.Sort()
+	rates := tr.HourlyRate()
+	if rates[19] == 0 || rates[20] == 0 {
+		t.Errorf("session spanning 19:30-20:30 should hit hours 19 and 20: %v %v", rates[19], rates[20])
+	}
+	if rates[19] != rates[20] {
+		t.Errorf("equal halves expected: %v vs %v", rates[19], rates[20])
+	}
+}
+
+func TestConcurrencyByDay(t *testing.T) {
+	tr := New()
+	// 12 hours of viewing on day 0 => 0.5 average concurrency.
+	tr.Append(Record{User: 1, Program: 1, Start: 0, Duration: 12 * time.Hour})
+	// Crosses midnight: 6 hours on day 1, 6 on day 2.
+	tr.Append(Record{User: 2, Program: 1, Start: units.At(1, 18), Duration: 12 * time.Hour})
+	tr.Sort()
+	got := tr.ConcurrencyByDay(1, 3)
+	want := []float64{0.5, 0.25, 0.25}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("day %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFirstAccess(t *testing.T) {
+	tr := mkTrace(rec(1, 1, 50, 1), rec(2, 1, 10, 1), rec(3, 2, 30, 1))
+	fa := tr.FirstAccess()
+	if fa[1] != 10*time.Minute {
+		t.Errorf("first access of program 1 = %v, want 10m", fa[1])
+	}
+	if fa[2] != 30*time.Minute {
+		t.Errorf("first access of program 2 = %v, want 30m", fa[2])
+	}
+}

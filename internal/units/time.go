@@ -1,0 +1,71 @@
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Simulation time is expressed as a time.Duration offset from the trace
+// epoch (day 0, 00:00). These helpers convert between offsets and the
+// day/hour coordinates used by the paper's figures.
+
+// Canonical durations from the paper.
+const (
+	// SegmentDuration is the playback length of one cached program
+	// segment (Section IV-B.1).
+	SegmentDuration = 5 * time.Minute
+
+	// Day is one simulated day.
+	Day = 24 * time.Hour
+)
+
+// Peak-hour window: user activity climaxes between 7 PM and 11 PM
+// (Section V-A); all headline numbers are averages over this window.
+const (
+	PeakStartHour = 19
+	PeakEndHour   = 23 // exclusive
+)
+
+// HourOfDay returns the hour-of-day coordinate (0-23) of a simulation time.
+func HourOfDay(t time.Duration) int {
+	if t < 0 {
+		panic(fmt.Sprintf("units: negative simulation time %v", t))
+	}
+	return int((t % Day) / time.Hour)
+}
+
+// DayIndex returns the zero-based day number of a simulation time.
+func DayIndex(t time.Duration) int {
+	if t < 0 {
+		panic(fmt.Sprintf("units: negative simulation time %v", t))
+	}
+	return int(t / Day)
+}
+
+// InPeakWindow reports whether a simulation time falls in the 7-11 PM
+// evaluation window.
+func InPeakWindow(t time.Duration) bool {
+	h := HourOfDay(t)
+	return h >= PeakStartHour && h < PeakEndHour
+}
+
+// At builds a simulation time from day and hour-of-day coordinates.
+func At(day int, hour int) time.Duration {
+	if day < 0 || hour < 0 || hour > 23 {
+		panic(fmt.Sprintf("units: invalid day/hour coordinates (%d, %d)", day, hour))
+	}
+	return time.Duration(day)*Day + time.Duration(hour)*time.Hour
+}
+
+// FormatSimTime renders a simulation time as "d03 14:05:09" for logs.
+func FormatSimTime(t time.Duration) string {
+	if t < 0 {
+		return fmt.Sprintf("-(%s)", FormatSimTime(-t))
+	}
+	day := DayIndex(t)
+	rem := t % Day
+	h := rem / time.Hour
+	m := (rem % time.Hour) / time.Minute
+	s := (rem % time.Minute) / time.Second
+	return fmt.Sprintf("d%02d %02d:%02d:%02d", day, h, m, s)
+}

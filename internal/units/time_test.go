@@ -1,0 +1,101 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHourOfDay(t *testing.T) {
+	tests := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Hour, 1},
+		{23*time.Hour + 59*time.Minute, 23},
+		{Day, 0},
+		{3*Day + 19*time.Hour, 19},
+	}
+	for _, tt := range tests {
+		if got := HourOfDay(tt.t); got != tt.want {
+			t.Errorf("HourOfDay(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestDayIndex(t *testing.T) {
+	tests := []struct {
+		t    time.Duration
+		want int
+	}{
+		{0, 0},
+		{Day - time.Nanosecond, 0},
+		{Day, 1},
+		{100*Day + 5*time.Hour, 100},
+	}
+	for _, tt := range tests {
+		if got := DayIndex(tt.t); got != tt.want {
+			t.Errorf("DayIndex(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestInPeakWindow(t *testing.T) {
+	tests := []struct {
+		hour int
+		want bool
+	}{
+		{18, false},
+		{19, true},
+		{20, true},
+		{21, true},
+		{22, true},
+		{23, false},
+		{0, false},
+		{12, false},
+	}
+	for _, tt := range tests {
+		ts := At(5, tt.hour)
+		if got := InPeakWindow(ts); got != tt.want {
+			t.Errorf("InPeakWindow(hour %d) = %v, want %v", tt.hour, got, tt.want)
+		}
+	}
+}
+
+func TestAtRoundTrip(t *testing.T) {
+	f := func(d uint8, h uint8) bool {
+		day := int(d % 200)
+		hour := int(h % 24)
+		ts := At(day, hour)
+		return DayIndex(ts) == day && HourOfDay(ts) == hour
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtPanicsOnBadHour(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hour 24")
+		}
+	}()
+	At(0, 24)
+}
+
+func TestFormatSimTime(t *testing.T) {
+	tests := []struct {
+		t    time.Duration
+		want string
+	}{
+		{0, "d00 00:00:00"},
+		{At(3, 14) + 5*time.Minute + 9*time.Second, "d03 14:05:09"},
+		{Day, "d01 00:00:00"},
+	}
+	for _, tt := range tests {
+		if got := FormatSimTime(tt.t); got != tt.want {
+			t.Errorf("FormatSimTime(%v) = %q, want %q", tt.t, got, tt.want)
+		}
+	}
+}

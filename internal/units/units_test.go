@@ -1,0 +1,220 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitRateConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		rate BitRate
+		mbps float64
+		gbps float64
+	}{
+		{"stream rate", StreamRate, 8.06, 0.00806},
+		{"one gbps", Gbps, 1000, 1},
+		{"upstream", CoaxUpstream, 215, 0.215},
+		{"zero", 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rate.Mbps(); !approx(got, tt.mbps, 1e-9) {
+				t.Errorf("Mbps() = %v, want %v", got, tt.mbps)
+			}
+			if got := tt.rate.Gbps(); !approx(got, tt.gbps, 1e-9) {
+				t.Errorf("Gbps() = %v, want %v", got, tt.gbps)
+			}
+		})
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	tests := []struct {
+		name string
+		rate BitRate
+		d    time.Duration
+		want ByteSize
+	}{
+		{"zero duration", StreamRate, 0, 0},
+		{"one second at 8 bps", 8, time.Second, 1},
+		{"one second at 8.06 Mbps", StreamRate, time.Second, 1_007_500},
+		{"segment at stream rate", StreamRate, SegmentDuration, 302_250_000},
+		{"half second", 16, 500 * time.Millisecond, 1},
+		{"gbps for an hour", Gbps, time.Hour, 450 * GB},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rate.BytesIn(tt.d); got != tt.want {
+				t.Errorf("BytesIn(%v) = %d, want %d", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBytesInLongDurationNoOverflow(t *testing.T) {
+	// Seven months at coax max downstream must not overflow.
+	d := 214 * Day
+	got := CoaxDownstreamMax.BytesIn(d)
+	// 6.6e9 b/s * 214*86400 s / 8 = 1.5255e16 bytes
+	want := ByteSize(6_600_000_000 / 8 * 214 * 86400)
+	if got != want {
+		t.Fatalf("BytesIn(7 months) = %d, want %d", got, want)
+	}
+}
+
+func TestDurationAt(t *testing.T) {
+	seg := StreamRate.BytesIn(SegmentDuration)
+	if got := seg.DurationAt(StreamRate); got != SegmentDuration {
+		t.Errorf("segment transfer at stream rate = %v, want %v", got, SegmentDuration)
+	}
+	if got := ByteSize(0).DurationAt(StreamRate); got != 0 {
+		t.Errorf("zero bytes = %v, want 0", got)
+	}
+	if got := ByteSize(1).DurationAt(8 * BitPerSecond); got != time.Second {
+		t.Errorf("1 byte at 8 b/s = %v, want 1s", got)
+	}
+}
+
+func TestDurationAtPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero rate")
+		}
+	}()
+	ByteSize(1).DurationAt(0)
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		size ByteSize
+		want string
+	}{
+		{10 * GB, "10 GB"},
+		{1500 * GB, "1.5 TB"},
+		{302_250_000, "302.25 MB"},
+		{0, "0 B"},
+		{999, "999 B"},
+		{KB, "1 KB"},
+	}
+	for _, tt := range tests {
+		if got := tt.size.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	tests := []struct {
+		rate BitRate
+		want string
+	}{
+		{StreamRate, "8.06 Mb/s"},
+		{17 * Gbps, "17 Gb/s"},
+		{CoaxUpstream, "215 Mb/s"},
+		{500, "500 b/s"},
+		{2 * Kbps, "2 Kb/s"},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", tt.rate, got, tt.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    ByteSize
+		wantErr bool
+	}{
+		{"10GB", 10 * GB, false},
+		{"1.5 TB", 1500 * GB, false},
+		{"500 MB", 500 * MB, false},
+		{"  2kb ", 2 * KB, false},
+		{"7B", 7, false},
+		{"10", 0, true},
+		{"x GB", 0, true},
+		{"-1GB", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseByteSize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseByteSize(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    BitRate
+		wantErr bool
+	}{
+		{"8.06Mb/s", StreamRate, false},
+		{"17 Gb/s", 17 * Gbps, false},
+		{"215Mbps", CoaxUpstream, false},
+		{"9600 b/s", 9600, false},
+		{"64 Kb/s", 64 * Kbps, false},
+		{"fast", 0, true},
+		{"-1Mb/s", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBitRate(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBitRate(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseBitRate(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseByteSizeRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := ByteSize(raw) * MB // keep display exact at two decimals
+		parsed, err := ParseByteSize(s.String())
+		if err != nil {
+			return false
+		}
+		// String() keeps two decimals, so allow 1% of a unit of slack.
+		diff := parsed - s
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= 0.01*float64(s)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesInMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		da := time.Duration(a) * time.Second
+		db := time.Duration(b) * time.Second
+		ba := StreamRate.BytesIn(da)
+		bb := StreamRate.BytesIn(db)
+		if da <= db {
+			return ba <= bb
+		}
+		return ba >= bb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func approx(got, want, eps float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
