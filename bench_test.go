@@ -122,6 +122,41 @@ func BenchmarkTable16aScalingGrid(b *testing.B) {
 func BenchmarkFig16bPopulationScaling(b *testing.B) { benchArtifact(b, "fig16b") }
 func BenchmarkFig16cCatalogScaling(b *testing.B)    { benchArtifact(b, "fig16c") }
 
+// Suite benchmarks: every light (non-heavy) artifact end to end, at
+// serial and at default (GOMAXPROCS) sweep parallelism. The pair
+// measures the experiment engine's fan-out: on an N-core machine the
+// parallel run should approach N-fold speedup on the simulation sweeps.
+// TinyScale keeps one iteration in benchmark territory; trace
+// generation happens outside the timer and each iteration gets a fresh
+// workload so no variant benefits from another's derived-trace cache.
+
+func benchSuite(b *testing.B, workers int) {
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := experiments.NewWorkload(experiments.TinyScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Trace(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, e := range experiments.All() {
+			if e.Heavy {
+				continue
+			}
+			if _, err := e.Run(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
 // Ablations (design-choice benches called out in DESIGN.md).
 
 func BenchmarkAblationFillMode(b *testing.B)        { benchArtifact(b, "abl-fill") }

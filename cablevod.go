@@ -10,18 +10,22 @@
 // served by a peer broadcast on a cache hit and by the central media
 // server on a miss; simple LRU/LFU strategies decide cache contents.
 //
-// Quick start:
+// Quick start (compilable as shown; see also examples/quickstart):
 //
-//	tr, err := cablevod.GenerateTrace(cablevod.TraceOptions{
-//		Users: 5_000, Programs: 1_000, Days: 7, Seed: 1,
-//	})
-//	if err != nil { ... }
+//	opts := cablevod.DefaultTraceOptions() // paper-calibrated generator
+//	opts.Users, opts.Programs, opts.Days = 5_000, 1_000, 7
+//	tr, err := cablevod.GenerateTrace(opts)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	res, err := cablevod.Run(cablevod.Config{
 //		NeighborhoodSize: 500,
 //		PerPeerStorage:   cablevod.GB * 10,
 //		Strategy:         cablevod.LFU,
 //	}, tr)
-//	if err != nil { ... }
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Printf("server load %v, savings %.0f%%\n",
 //		res.Server.Mean, 100*res.SavingsVsDemand)
 //
@@ -207,6 +211,14 @@ var (
 	// QuickScale is a shortened window for benchmarks.
 	QuickScale = experiments.QuickScale
 )
+
+// SetExperimentParallelism bounds the worker pool that experiment
+// parameter sweeps fan out across; n <= 0 restores the default
+// (GOMAXPROCS). Experiment reports are deterministic for every width —
+// the knob only trades wall-clock time against CPU and memory.
+func SetExperimentParallelism(n int) {
+	experiments.SetParallelism(n)
+}
 
 // RunExperiment reproduces one paper artifact ("fig8", "tab16a", ...) at
 // the given scale. ListExperiments enumerates valid IDs.

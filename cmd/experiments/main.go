@@ -7,6 +7,11 @@
 //	experiments -all            # every artifact (the scaling grid is slow)
 //	experiments -all -light     # every artifact except the scaling grid
 //	experiments -scale quick    # shorter workload window
+//	experiments -parallel 8     # sweep worker-pool width (0 = GOMAXPROCS)
+//	experiments -progress       # per-point progress on stderr
+//
+// Reports are deterministic for every -parallel value; the flag only
+// trades wall-clock time against CPU.
 package main
 
 import (
@@ -35,9 +40,20 @@ func run(args []string) error {
 		light     = fs.Bool("light", false, "with -all, skip the heavy scaling artifacts")
 		scaleName = fs.String("scale", "full", "workload scale: full, quick or tiny")
 		seed      = fs.Uint64("seed", 1, "workload seed")
+		parallel  = fs.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
+		progress  = fs.Bool("progress", false, "print per-point sweep progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	experiments.SetParallelism(*parallel)
+	defer experiments.SetParallelism(0)
+	if *progress {
+		experiments.SetProgress(func(point string, done, total int) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, point)
+		})
+		defer experiments.SetProgress(nil)
 	}
 
 	if *list {
@@ -89,8 +105,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %d users, %d programs, %d days (%d warmup), seed %d\n\n",
-		scale.Users, scale.Programs, scale.Days, scale.WarmupDays, scale.Seed)
+	fmt.Printf("workload: %d users, %d programs, %d days (%d warmup), seed %d, %d workers\n\n",
+		scale.Users, scale.Programs, scale.Days, scale.WarmupDays, scale.Seed,
+		experiments.Parallelism())
 	for _, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(w)

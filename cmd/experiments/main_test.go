@@ -43,6 +43,16 @@ func TestRunMultipleArtifactsTiny(t *testing.T) {
 	}
 }
 
+func TestRunParallelWithProgressTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system experiments in -short mode")
+	}
+	quietStdout(t)
+	if err := run([]string{"-run", "fig14", "-scale", "tiny", "-parallel", "4", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	quietStdout(t)
 	cases := [][]string{

@@ -1,0 +1,31 @@
+package cablevod_test
+
+import (
+	"fmt"
+	"log"
+
+	"cablevod"
+)
+
+// Example mirrors the package documentation's quick start verbatim, so
+// the doc snippet is compile-checked with the test suite. It has no
+// Output comment and is therefore never executed during tests (a real
+// run takes seconds; see examples/quickstart for a runnable program).
+func Example() {
+	opts := cablevod.DefaultTraceOptions() // paper-calibrated generator
+	opts.Users, opts.Programs, opts.Days = 5_000, 1_000, 7
+	tr, err := cablevod.GenerateTrace(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cablevod.Run(cablevod.Config{
+		NeighborhoodSize: 500,
+		PerPeerStorage:   cablevod.GB * 10,
+		Strategy:         cablevod.LFU,
+	}, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server load %v, savings %.0f%%\n",
+		res.Server.Mean, 100*res.SavingsVsDemand)
+}

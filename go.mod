@@ -1,0 +1,3 @@
+module cablevod
+
+go 1.24

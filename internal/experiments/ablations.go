@@ -14,6 +14,29 @@ import (
 // when a complete miss broadcast is absorbed by a storing peer; disabling
 // broadcast fill entirely leaves the cache permanently empty of data.
 func AblationFillMode(w *Workload) (*Report, error) {
+	variants := []struct {
+		label  string
+		fill   core.FillMode
+		noFill bool
+	}{
+		{"immediate (paper)", core.FillImmediate, false},
+		{"on-broadcast", core.FillOnBroadcast, false},
+		{"no fill at all", core.FillOnBroadcast, true},
+	}
+	points := make([]point[core.Config], 0, len(variants))
+	for _, v := range variants {
+		points = append(points, pt(fmt.Sprintf("abl-fill %s", v.label), core.Config{
+			Topology:         hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy:         core.StrategyLFU,
+			Fill:             v.fill,
+			DisableCacheFill: v.noFill,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-fill",
 		Title:        "Ablation: segment availability model (1,000 peers, 10 GB per peer, LFU)",
@@ -24,29 +47,11 @@ func AblationFillMode(w *Workload) (*Report, error) {
 			"quantifies the cost of the paper's instant-placement assumption",
 		},
 	}
-	variants := []struct {
-		label  string
-		fill   core.FillMode
-		noFill bool
-	}{
-		{"immediate (paper)", core.FillImmediate, false},
-		{"on-broadcast", core.FillOnBroadcast, false},
-		{"no fill at all", core.FillOnBroadcast, true},
-	}
-	for _, v := range variants {
-		res, err := runSim(w, core.Config{
-			Topology:         hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-			Strategy:         core.StrategyLFU,
-			Fill:             v.fill,
-			DisableCacheFill: v.noFill,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-fill %s: %w", v.label, err)
-		}
+	for i, v := range variants {
 		rep.RowLabels = append(rep.RowLabels, v.label)
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			100 * res.Counters.HitRatio(),
+			results[i].Server.Mean.Gbps(),
+			100 * results[i].Counters.HitRatio(),
 		})
 	}
 	return rep, nil
@@ -55,6 +60,26 @@ func AblationFillMode(w *Workload) (*Report, error) {
 // AblationPeerStreamLimit quantifies the two-stream set-top constraint of
 // Section V-C: how much server load the peer-busy misses cost.
 func AblationPeerStreamLimit(w *Workload) (*Report, error) {
+	variants := []struct {
+		label   string
+		disable bool
+	}{
+		{"enforced (paper)", false},
+		{"unlimited", true},
+	}
+	points := make([]point[core.Config], 0, len(variants))
+	for _, v := range variants {
+		points = append(points, pt(fmt.Sprintf("abl-streams %s", v.label), core.Config{
+			Topology:               hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy:               core.StrategyLFU,
+			DisablePeerStreamLimit: v.disable,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-streams",
 		Title:        "Ablation: set-top two-stream limit (1,000 peers, 10 GB per peer, LFU)",
@@ -62,25 +87,11 @@ func AblationPeerStreamLimit(w *Workload) (*Report, error) {
 		RowLabel:     "stream limit",
 		ColumnLabels: []string{"server load", "peer-busy misses"},
 	}
-	for _, v := range []struct {
-		label   string
-		disable bool
-	}{
-		{"enforced (paper)", false},
-		{"unlimited", true},
-	} {
-		res, err := runSim(w, core.Config{
-			Topology:               hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-			Strategy:               core.StrategyLFU,
-			DisablePeerStreamLimit: v.disable,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-streams %s: %w", v.label, err)
-		}
+	for i, v := range variants {
 		rep.RowLabels = append(rep.RowLabels, v.label)
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			float64(res.Counters.MissPeerBusy),
+			results[i].Server.Mean.Gbps(),
+			float64(results[i].Counters.MissPeerBusy),
 		})
 	}
 	return rep, nil
@@ -96,6 +107,19 @@ func AblationPeerStreamLimit(w *Workload) (*Report, error) {
 // with the limit disabled (placement identical): the delta in peer-busy
 // misses is the congestion attributable to placement concentration.
 func AblationSegmentPlacement(w *Workload) (*Report, error) {
+	sizes := []int{100, 500, 1000}
+	points := make([]point[core.Config], 0, len(sizes))
+	for _, size := range sizes {
+		points = append(points, pt(fmt.Sprintf("abl-placement %d", size), core.Config{
+			Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
+			Strategy: core.StrategyLFU,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-placement",
 		Title:        "Ablation: striping pressure at varying neighborhood sizes (LFU, 10 GB per peer)",
@@ -103,14 +127,8 @@ func AblationSegmentPlacement(w *Workload) (*Report, error) {
 		RowLabel:     "peers",
 		ColumnLabels: []string{"peer-busy misses", "per 1k requests"},
 	}
-	for _, size := range []int{100, 500, 1000} {
-		res, err := runSim(w, core.Config{
-			Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
-			Strategy: core.StrategyLFU,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-placement %d: %w", size, err)
-		}
+	for i, size := range sizes {
+		res := results[i]
 		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", size))
 		perK := 0.0
 		if res.Counters.SegmentRequests > 0 {

@@ -28,10 +28,37 @@ var strategyColumns = []struct {
 	{"LRU", core.StrategyLRU},
 }
 
+// strategyPoints declares the row x strategy sweep shared by the
+// cache-size and neighborhood-size experiments: for every row topology,
+// one point per caching strategy, in column order.
+func strategyPoints(id string, rows []hfc.Config, rowLabel func(hfc.Config) string) []point[core.Config] {
+	points := make([]point[core.Config], 0, len(rows)*len(strategyColumns))
+	for _, topo := range rows {
+		for _, sc := range strategyColumns {
+			points = append(points, pt(
+				fmt.Sprintf("%s %s %s", id, rowLabel(topo), sc.label),
+				core.Config{Topology: topo, Strategy: sc.strat},
+			))
+		}
+	}
+	return points
+}
+
 // Fig8CacheSizeFixedNeighborhood reproduces Figure 8: average peak-hour
 // server load for total cache sizes of 1, 3, 5 and 10 TB with the
 // neighborhood size fixed at 1,000 peers (per-peer storage varies).
 func Fig8CacheSizeFixedNeighborhood(w *Workload) (*Report, error) {
+	var rows []hfc.Config
+	for _, perPeer := range []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB} {
+		rows = append(rows, hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer})
+	}
+	results, err := runSims(w, strategyPoints("fig8", rows, func(t hfc.Config) string {
+		return (t.PerPeerStorage * 1000).String()
+	}))
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig8",
 		Title:        "Server load vs total cache size (neighborhood fixed at 1,000 peers)",
@@ -42,25 +69,18 @@ func Fig8CacheSizeFixedNeighborhood(w *Workload) (*Report, error) {
 			"paper anchors: 17 Gb/s uncached; ~10 Gb/s at 1 TB; ~2.1 Gb/s at 10 TB",
 		},
 	}
-	for _, perPeer := range []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB} {
+	for ri, rowRes := range chunkRows(results, len(strategyColumns)) {
 		row := make([]float64, 5)
 		var lfuStats *core.Result
 		for si, sc := range strategyColumns {
-			res, err := runSim(w, core.Config{
-				Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer},
-				Strategy: sc.strat,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %v %s: %w", perPeer, sc.label, err)
-			}
-			row[si] = res.Server.Mean.Gbps()
+			row[si] = rowRes[si].Server.Mean.Gbps()
 			if sc.strat == core.StrategyLFU {
-				lfuStats = res
+				lfuStats = rowRes[si]
 			}
 		}
 		row[3] = lfuStats.Server.P05.Gbps()
 		row[4] = lfuStats.Server.P95.Gbps()
-		rep.RowLabels = append(rep.RowLabels, (perPeer * 1000).String())
+		rep.RowLabels = append(rep.RowLabels, (rows[ri].PerPeerStorage * 1000).String())
 		rep.Cells = append(rep.Cells, row)
 	}
 	return rep, nil
@@ -70,6 +90,17 @@ func Fig8CacheSizeFixedNeighborhood(w *Workload) (*Report, error) {
 // with per-peer storage fixed at 10 GB and the neighborhood size varying
 // (100 peers = 1 TB ... 1,000 peers = 10 TB).
 func Fig9CacheSizeFixedPerPeer(w *Workload) (*Report, error) {
+	var rows []hfc.Config
+	for _, size := range []int{100, 300, 500, 1000} {
+		rows = append(rows, hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB})
+	}
+	results, err := runSims(w, strategyPoints("fig9", rows, func(t hfc.Config) string {
+		return fmt.Sprintf("%d peers", t.NeighborhoodSize)
+	}))
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig9",
 		Title:        "Server load vs total cache size (per-peer storage fixed at 10 GB)",
@@ -80,19 +111,13 @@ func Fig9CacheSizeFixedPerPeer(w *Workload) (*Report, error) {
 			"total cache size varies through neighborhood size: 100, 300, 500, 1000 peers",
 		},
 	}
-	for _, size := range []int{100, 300, 500, 1000} {
-		row := make([]float64, 3)
-		for si, sc := range strategyColumns {
-			res, err := runSim(w, core.Config{
-				Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
-				Strategy: sc.strat,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %d peers %s: %w", size, sc.label, err)
-			}
-			row[si] = res.Server.Mean.Gbps()
+	for ri, rowRes := range chunkRows(results, len(strategyColumns)) {
+		row := make([]float64, len(strategyColumns))
+		for si := range strategyColumns {
+			row[si] = rowRes[si].Server.Mean.Gbps()
 		}
-		rep.RowLabels = append(rep.RowLabels, (10 * units.GB * units.ByteSize(size)).String())
+		total := rows[ri].PerPeerStorage * units.ByteSize(rows[ri].NeighborhoodSize)
+		rep.RowLabels = append(rep.RowLabels, total.String())
 		rep.Cells = append(rep.Cells, row)
 	}
 	return rep, nil
@@ -104,6 +129,20 @@ func Fig9CacheSizeFixedPerPeer(w *Workload) (*Report, error) {
 // neighborhood size because more usage data sharpens its popularity
 // estimates.
 func Fig10NeighborhoodSize(w *Workload) (*Report, error) {
+	var rows []hfc.Config
+	for _, size := range []int{100, 500, 1000} {
+		rows = append(rows, hfc.Config{
+			NeighborhoodSize: size,
+			PerPeerStorage:   units.TB / units.ByteSize(size),
+		})
+	}
+	results, err := runSims(w, strategyPoints("fig10", rows, func(t hfc.Config) string {
+		return fmt.Sprintf("%d peers", t.NeighborhoodSize)
+	}))
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig10",
 		Title:        "Server load for neighborhoods of varying sizes (1 TB total cache)",
@@ -111,20 +150,12 @@ func Fig10NeighborhoodSize(w *Workload) (*Report, error) {
 		RowLabel:     "peers",
 		ColumnLabels: []string{"Oracle", "LFU", "LRU"},
 	}
-	for _, size := range []int{100, 500, 1000} {
-		perPeer := units.TB / units.ByteSize(size)
-		row := make([]float64, 3)
-		for si, sc := range strategyColumns {
-			res, err := runSim(w, core.Config{
-				Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: perPeer},
-				Strategy: sc.strat,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %d peers %s: %w", size, sc.label, err)
-			}
-			row[si] = res.Server.Mean.Gbps()
+	for ri, rowRes := range chunkRows(results, len(strategyColumns)) {
+		row := make([]float64, len(strategyColumns))
+		for si := range strategyColumns {
+			row[si] = rowRes[si].Server.Mean.Gbps()
 		}
-		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", size))
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", rows[ri].NeighborhoodSize))
 		rep.Cells = append(rep.Cells, row)
 	}
 	return rep, nil
@@ -134,21 +165,12 @@ func Fig10NeighborhoodSize(w *Workload) (*Report, error) {
 // window on server load in a 500-peer, 2-TB configuration. History 0 is
 // exactly LRU; gains appear past 24 hours and taper beyond a week.
 func Fig11LFUHistory(w *Workload) (*Report, error) {
-	rep := &Report{
-		ID:           "fig11",
-		Title:        "Effects of history length on LFU strategy (500 peers, 2 TB)",
-		Unit:         "Gb/s",
-		RowLabel:     "history (days)",
-		ColumnLabels: []string{"LFU"},
-		Notes: []string{
-			"paper anchors: flat vs LRU below 1 day, savings to ~1 week, taper after",
-		},
-	}
 	histories := []time.Duration{
 		0, 6 * time.Hour, 12 * time.Hour,
 		1 * 24 * time.Hour, 2 * 24 * time.Hour, 3 * 24 * time.Hour,
 		5 * 24 * time.Hour, 7 * 24 * time.Hour, 9 * 24 * time.Hour, 12 * 24 * time.Hour,
 	}
+	points := make([]point[core.Config], 0, len(histories))
 	for _, h := range histories {
 		cfg := core.Config{
 			Topology: hfc.Config{NeighborhoodSize: 500, PerPeerStorage: 4 * units.GB},
@@ -159,12 +181,26 @@ func Fig11LFUHistory(w *Workload) (*Report, error) {
 		} else {
 			cfg.LFUHistory = h
 		}
-		res, err := runSim(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig11 history %v: %w", h, err)
-		}
+		points = append(points, pt(fmt.Sprintf("fig11 history %v", h), cfg))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:           "fig11",
+		Title:        "Effects of history length on LFU strategy (500 peers, 2 TB)",
+		Unit:         "Gb/s",
+		RowLabel:     "history (days)",
+		ColumnLabels: []string{"LFU"},
+		Notes: []string{
+			"paper anchors: flat vs LRU below 1 day, savings to ~1 week, taper after",
+		},
+	}
+	for i, h := range histories {
 		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.2g", h.Hours()/24))
-		rep.Cells = append(rep.Cells, []float64{res.Server.Mean.Gbps()})
+		rep.Cells = append(rep.Cells, []float64{results[i].Server.Mean.Gbps()})
 	}
 	return rep, nil
 }
@@ -173,16 +209,6 @@ func Fig11LFUHistory(w *Workload) (*Report, error) {
 // data (live, 30-minute lag, 2-hour lag) against the local baseline, for
 // per-peer storage of 1, 3, 5 and 10 GB in 1,000-peer neighborhoods.
 func Fig13GlobalPopularity(w *Workload) (*Report, error) {
-	rep := &Report{
-		ID:           "fig13",
-		Title:        "Effects of global popularity data on the LFU strategy",
-		Unit:         "Gb/s",
-		RowLabel:     "per-peer",
-		ColumnLabels: []string{"Global", "Global 30m lag", "Global 2h lag", "Local"},
-		Notes: []string{
-			"paper anchor: global data helps, but the improvement is small",
-		},
-	}
 	variants := []struct {
 		label string
 		strat core.Strategy
@@ -193,20 +219,41 @@ func Fig13GlobalPopularity(w *Workload) (*Report, error) {
 		{"Global 2h lag", core.StrategyGlobalLFU, 2 * time.Hour},
 		{"Local", core.StrategyLFU, 0},
 	}
-	for _, perPeer := range []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB} {
-		row := make([]float64, len(variants))
-		for vi, v := range variants {
-			res, err := runSim(w, core.Config{
-				Topology:  hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer},
-				Strategy:  v.strat,
-				GlobalLag: v.lag,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %v %s: %w", perPeer, v.label, err)
-			}
-			row[vi] = res.Server.Mean.Gbps()
+	sizes := []units.ByteSize{1 * units.GB, 3 * units.GB, 5 * units.GB, 10 * units.GB}
+	var points []point[core.Config]
+	for _, perPeer := range sizes {
+		for _, v := range variants {
+			points = append(points, pt(
+				fmt.Sprintf("fig13 %v %s", perPeer, v.label),
+				core.Config{
+					Topology:  hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: perPeer},
+					Strategy:  v.strat,
+					GlobalLag: v.lag,
+				},
+			))
 		}
-		rep.RowLabels = append(rep.RowLabels, perPeer.String())
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:           "fig13",
+		Title:        "Effects of global popularity data on the LFU strategy",
+		Unit:         "Gb/s",
+		RowLabel:     "per-peer",
+		ColumnLabels: []string{"Global", "Global 30m lag", "Global 2h lag", "Local"},
+		Notes: []string{
+			"paper anchor: global data helps, but the improvement is small",
+		},
+	}
+	for ri, rowRes := range chunkRows(results, len(variants)) {
+		row := make([]float64, len(variants))
+		for vi := range variants {
+			row[vi] = rowRes[vi].Server.Mean.Gbps()
+		}
+		rep.RowLabels = append(rep.RowLabels, sizes[ri].String())
 		rep.Cells = append(rep.Cells, row)
 	}
 	return rep, nil

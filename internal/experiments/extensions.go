@@ -6,6 +6,7 @@ import (
 	"cablevod/internal/core"
 	"cablevod/internal/hfc"
 	"cablevod/internal/synth"
+	"cablevod/internal/trace"
 	"cablevod/internal/units"
 )
 
@@ -14,6 +15,20 @@ import (
 // capacity for fewer two-stream peer-busy misses (an extension the paper
 // leaves to future work).
 func AblationReplication(w *Workload) (*Report, error) {
+	counts := []int{1, 2, 3}
+	points := make([]point[core.Config], 0, len(counts))
+	for _, replicas := range counts {
+		points = append(points, pt(fmt.Sprintf("abl-replicas %d", replicas), core.Config{
+			Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy: core.StrategyLFU,
+			Replicas: replicas,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-replicas",
 		Title:        "Extension: segment replication (1,000 peers, 10 GB per peer, LFU)",
@@ -21,20 +36,12 @@ func AblationReplication(w *Workload) (*Report, error) {
 		RowLabel:     "replicas",
 		ColumnLabels: []string{"server load", "peer-busy misses", "hit %"},
 	}
-	for _, replicas := range []int{1, 2, 3} {
-		res, err := runSim(w, core.Config{
-			Topology: hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-			Strategy: core.StrategyLFU,
-			Replicas: replicas,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-replicas %d: %w", replicas, err)
-		}
+	for i, replicas := range counts {
 		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", replicas))
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			float64(res.Counters.MissPeerBusy),
-			100 * res.Counters.HitRatio(),
+			results[i].Server.Mean.Gbps(),
+			float64(results[i].Counters.MissPeerBusy),
+			100 * results[i].Counters.HitRatio(),
 		})
 	}
 	return rep, nil
@@ -46,6 +53,20 @@ func AblationReplication(w *Workload) (*Report, error) {
 // whole programs) is sharpest. Motivated by the paper's attrition data —
 // half of all sessions end within the first two segments.
 func AblationPrefixCaching(w *Workload) (*Report, error) {
+	prefixes := []int{0, 2, 4, 8}
+	points := make([]point[core.Config], 0, len(prefixes))
+	for _, prefix := range prefixes {
+		points = append(points, pt(fmt.Sprintf("abl-prefix %d", prefix), core.Config{
+			Topology:       hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 1 * units.GB},
+			Strategy:       core.StrategyLFU,
+			PrefixSegments: prefix,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-prefix",
 		Title:        "Extension: prefix caching (1,000 peers, 1 GB per peer, LFU)",
@@ -53,24 +74,16 @@ func AblationPrefixCaching(w *Workload) (*Report, error) {
 		RowLabel:     "prefix",
 		ColumnLabels: []string{"server load", "hit %", "cached programs"},
 	}
-	for _, prefix := range []int{0, 2, 4, 8} {
-		res, err := runSim(w, core.Config{
-			Topology:       hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 1 * units.GB},
-			Strategy:       core.StrategyLFU,
-			PrefixSegments: prefix,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("abl-prefix %d: %w", prefix, err)
-		}
+	for i, prefix := range prefixes {
 		label := fmt.Sprintf("%d segs", prefix)
 		if prefix == 0 {
 			label = "whole"
 		}
 		rep.RowLabels = append(rep.RowLabels, label)
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			100 * res.Counters.HitRatio(),
-			avgCachedPrograms(res),
+			results[i].Server.Mean.Gbps(),
+			100 * results[i].Counters.HitRatio(),
+			avgCachedPrograms(results[i]),
 		})
 	}
 	return rep, nil
@@ -87,8 +100,41 @@ func avgCachedPrograms(res *core.Result) float64 {
 
 // AblationSeekWorkload regenerates the workload with the paper's proposed
 // fast-forward jumps (a fraction of sessions starting at later segment
-// boundaries) and measures the impact on cache performance.
+// boundaries) and measures the impact on cache performance. Each seek
+// probability is an independent sweep point: its trace is derived once
+// through the workload cache, then simulated.
 func AblationSeekWorkload(w *Workload) (*Report, error) {
+	probs := []float64{0, 0.15, 0.30}
+	points := make([]point[float64], 0, len(probs))
+	for _, p := range probs {
+		points = append(points, pt(fmt.Sprintf("abl-seek %.0f%%", 100*p), p))
+	}
+	results, err := mapPoints(points, func(seekProb float64) (*core.Result, error) {
+		var tr *trace.Trace
+		var err error
+		if seekProb == 0 {
+			// The zero point is the base workload; don't regenerate it.
+			tr, err = w.Trace()
+		} else {
+			tr, err = w.DerivedTrace(fmt.Sprintf("seek/%.2f", seekProb), func() (*trace.Trace, error) {
+				cfg := w.Scale.synthConfig()
+				cfg.SeekProb = seekProb
+				return synth.Generate(cfg)
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return core.Run(core.Config{
+			Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy:   core.StrategyLFU,
+			WarmupDays: w.Scale.WarmupDays,
+		}, tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "abl-seek",
 		Title:        "Extension: fast-forward jump sessions (1,000 peers, 10 GB per peer, LFU)",
@@ -99,26 +145,12 @@ func AblationSeekWorkload(w *Workload) (*Report, error) {
 			"jumps to predetermined points, the paper's proposed fast-forward mechanism",
 		},
 	}
-	for _, seekProb := range []float64{0, 0.15, 0.30} {
-		cfg := w.Scale.synthConfig()
-		cfg.SeekProb = seekProb
-		tr, err := synth.Generate(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("abl-seek %v: %w", seekProb, err)
-		}
-		res, err := core.Run(core.Config{
-			Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-			Strategy:   core.StrategyLFU,
-			WarmupDays: w.Scale.WarmupDays,
-		}, tr)
-		if err != nil {
-			return nil, fmt.Errorf("abl-seek %v: %w", seekProb, err)
-		}
-		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.0f%%", 100*seekProb))
+	for i, p := range probs {
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.0f%%", 100*p))
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			100 * res.Counters.HitRatio(),
-			res.Demand.Mean.Gbps(),
+			results[i].Server.Mean.Gbps(),
+			100 * results[i].Counters.HitRatio(),
+			results[i].Demand.Mean.Gbps(),
 		})
 	}
 	return rep, nil

@@ -14,7 +14,10 @@ type Experiment struct {
 	// Heavy marks experiments that multiply the workload (the scaling
 	// grid) and dominate full-suite runtime.
 	Heavy bool
-	// Run executes the experiment on a workload.
+	// Run executes the experiment on a workload. Experiments with a
+	// parameter sweep fan their points out across the worker pool
+	// (see SetParallelism); the returned Report is deterministic for
+	// any worker count.
 	Run func(w *Workload) (*Report, error)
 }
 

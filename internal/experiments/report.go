@@ -1,8 +1,14 @@
 // Package experiments defines one named, reproducible experiment per
 // table and figure in the paper's evaluation (Section VI), plus the
 // ablations called out in DESIGN.md. Each experiment builds its workload,
-// sweeps the paper's parameters, and emits a Report shaped like the
-// original artifact (same rows, same series).
+// declares its parameter sweep as a list of independent points, and
+// emits a Report shaped like the original artifact (same rows, same
+// series).
+//
+// Sweep points execute concurrently on a bounded worker pool
+// (GOMAXPROCS workers by default; see SetParallelism) sharing one
+// read-only workload trace; results are reassembled in declaration
+// order, so reports are byte-identical at every worker count.
 package experiments
 
 import (

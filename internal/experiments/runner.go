@@ -1,0 +1,159 @@
+package experiments
+
+// The parallel sweep engine. Every experiment declares its parameter
+// sweep as an ordered list of independent points (label + configuration);
+// the runner fans the points out across a bounded worker pool and hands
+// the results back in declaration order, so a Report is byte-identical
+// whatever the worker count. Workloads memoize their traces (base and
+// derived), so concurrent workers share one read-only generation pass.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cablevod/internal/core"
+)
+
+// parallelismOverride holds the configured worker-pool width; 0 or
+// negative means "use GOMAXPROCS".
+var parallelismOverride atomic.Int32
+
+// Parallelism returns the sweep worker-pool width currently in effect.
+func Parallelism() int {
+	if n := parallelismOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism bounds the sweep worker pool to n workers; n <= 0
+// restores the default (GOMAXPROCS). Reports are deterministic for every
+// width, so this only trades wall-clock time against CPU and memory.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelismOverride.Store(int32(n))
+}
+
+// ProgressFunc observes sweep progress: point is the label of the sweep
+// point that just finished, done counts completed points and total is the
+// sweep size. Callbacks may arrive concurrently from multiple workers.
+type ProgressFunc func(point string, done, total int)
+
+var progressFn atomic.Value // ProgressFunc
+
+// SetProgress installs a sweep progress observer (nil disables).
+func SetProgress(fn ProgressFunc) {
+	progressFn.Store(fn)
+}
+
+func reportProgress(point string, done, total int) {
+	if fn, _ := progressFn.Load().(ProgressFunc); fn != nil {
+		fn(point, done, total)
+	}
+}
+
+// point is one independent unit of a sweep: a label (used in errors and
+// progress output) plus the configuration the sweep varies.
+type point[C any] struct {
+	label string
+	cfg   C
+}
+
+// pt builds a sweep point.
+func pt[C any](label string, cfg C) point[C] {
+	return point[C]{label: label, cfg: cfg}
+}
+
+// mapPoints executes fn once per point across the worker pool and
+// returns the results in point order. The first error (by completion)
+// stops the sweep from picking up further points; errors are wrapped
+// with the point label.
+func mapPoints[C, R any](points []point[C], fn func(C) (R, error)) ([]R, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]R, n)
+	errs := make([]error, n)
+
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Inline serial path: no pool overhead, plain stack traces.
+		for i, p := range points {
+			r, err := fn(p.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.label, err)
+			}
+			results[i] = r
+			reportProgress(p.label, i+1, n)
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64
+		done   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(points[i].cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", points[i].label, err)
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				reportProgress(points[i].label, int(done.Add(1)), n)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runSims executes one full-system simulation per point on the shared
+// workload trace, fanning out across the worker pool.
+func runSims(w *Workload, points []point[core.Config]) ([]*core.Result, error) {
+	return mapPoints(points, func(cfg core.Config) (*core.Result, error) {
+		return runSim(w, cfg)
+	})
+}
+
+// chunkRows regroups a flat sweep-result slice into rows of the given
+// width, in sweep order. Used by experiments whose report rows combine
+// several points (one per column).
+func chunkRows[R any](flat []R, width int) [][]R {
+	if width <= 0 {
+		return nil
+	}
+	rows := make([][]R, 0, (len(flat)+width-1)/width)
+	for i := 0; i < len(flat); i += width {
+		end := i + width
+		if end > len(flat) {
+			end = len(flat)
+		}
+		rows = append(rows, flat[i:end])
+	}
+	return rows
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cablevod/internal/trace"
+)
+
+func TestParallelismDefaultAndOverride(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(0)
+	if got, want := Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("parallelism = %d, want 3", got)
+	}
+	SetParallelism(-5)
+	if got, want := Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("negative override: parallelism = %d, want default %d", got, want)
+	}
+}
+
+func TestMapPointsPreservesOrder(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 4, 16} {
+		SetParallelism(workers)
+		var points []point[int]
+		for i := 0; i < 50; i++ {
+			points = append(points, pt(fmt.Sprintf("p%d", i), i))
+		}
+		got, err := mapPoints(points, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapPointsEmpty(t *testing.T) {
+	got, err := mapPoints(nil, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("empty sweep = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestMapPointsWrapsErrorWithLabel(t *testing.T) {
+	defer SetParallelism(0)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		points := []point[int]{pt("good", 0), pt("bad point", 1), pt("after", 2)}
+		_, err := mapPoints(points, func(i int) (int, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error %v does not wrap the cause", workers, err)
+		}
+		if !strings.Contains(err.Error(), "bad point") {
+			t.Errorf("workers=%d: error %v missing point label", workers, err)
+		}
+	}
+}
+
+func TestMapPointsReportsProgress(t *testing.T) {
+	defer SetParallelism(0)
+	defer SetProgress(nil)
+	SetParallelism(4)
+
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var maxDone int
+	SetProgress(func(label string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[label] = true
+		if done > maxDone {
+			maxDone = done
+		}
+		if total != 8 {
+			t.Errorf("total = %d, want 8", total)
+		}
+	})
+
+	var points []point[int]
+	for i := 0; i < 8; i++ {
+		points = append(points, pt(fmt.Sprintf("pt%d", i), i))
+	}
+	if _, err := mapPoints(points, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 || maxDone != 8 {
+		t.Errorf("progress saw %d labels, max done %d; want 8 and 8", len(seen), maxDone)
+	}
+}
+
+func TestDerivedTraceGeneratedOncePerKey(t *testing.T) {
+	w := tinyWorkload(t)
+	var calls atomic.Int64
+	gen := func() (*trace.Trace, error) {
+		calls.Add(1)
+		return &trace.Trace{}, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*trace.Trace, 16)
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := w.DerivedTrace("k", gen)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tr
+		}()
+	}
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("generator ran %d times for one key, want 1", got)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("concurrent callers got different traces")
+		}
+	}
+	if _, err := w.DerivedTrace("k2", gen); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("second key: generator ran %d times total, want 2", got)
+	}
+}
+
+// TestReportsDeterministicAcrossParallelism is the engine's core
+// guarantee: the same Report — byte-identical rendering — must come back
+// at every worker-pool width. Each width gets a fresh workload so cached
+// traces cannot mask a nondeterministic assembly path.
+func TestReportsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweeps in -short mode")
+	}
+	defer SetParallelism(0)
+
+	// One sweep-heavy system experiment, one strategy grid, the scaling
+	// grid (derived traces) and one derived-workload extension.
+	ids := []string{"fig8", "fig14", "abl-seek"}
+	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	baseline := map[string]string{}
+	for _, workers := range widths {
+		SetParallelism(workers)
+		w := tinyWorkload(t)
+		for _, id := range ids {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.Run(w)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, id, err)
+			}
+			out := rep.Render()
+			if base, ok := baseline[id]; !ok {
+				baseline[id] = out
+			} else if out != base {
+				t.Errorf("workers=%d: %s report differs from serial baseline:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+					workers, id, base, workers, out)
+			}
+		}
+
+		// The scaling grid exercises the derived-trace cache.
+		rep, err := ScalingGrid(w, 2, 2)
+		if err != nil {
+			t.Fatalf("workers=%d grid: %v", workers, err)
+		}
+		out := rep.Render()
+		if base, ok := baseline["grid"]; !ok {
+			baseline["grid"] = out
+		} else if out != base {
+			t.Errorf("workers=%d: scaling grid differs from serial baseline", workers)
+		}
+	}
+}

@@ -16,6 +16,19 @@ import (
 // linear increase reaching ~450 Mb/s average / ~650 Mb/s p95 at 1,000
 // subscribers — under 17% of coax capacity.
 func Fig14CoaxTraffic(w *Workload) (*Report, error) {
+	sizes := []int{200, 400, 600, 800, 1000}
+	points := make([]point[core.Config], 0, len(sizes))
+	for _, size := range sizes {
+		points = append(points, pt(fmt.Sprintf("fig14 %d peers", size), core.Config{
+			Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
+			Strategy: core.StrategyLFU,
+		}))
+	}
+	results, err := runSims(w, points)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig14",
 		Title:        "Traffic on the coaxial network with varying neighborhood sizes",
@@ -26,14 +39,8 @@ func Fig14CoaxTraffic(w *Workload) (*Report, error) {
 			"paper anchors: linear growth; ~450 Mb/s avg and ~650 Mb/s p95 at 1,000 peers",
 		},
 	}
-	for _, size := range []int{200, 400, 600, 800, 1000} {
-		res, err := runSim(w, core.Config{
-			Topology: hfc.Config{NeighborhoodSize: size, PerPeerStorage: 10 * units.GB},
-			Strategy: core.StrategyLFU,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig14 %d peers: %w", size, err)
-		}
+	for i, size := range sizes {
+		res := results[i]
 		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%d", size))
 		rep.Cells = append(rep.Cells, []float64{
 			res.Coax.Mean.Mbps(),
@@ -45,15 +52,25 @@ func Fig14CoaxTraffic(w *Workload) (*Report, error) {
 }
 
 // scaledTrace applies the paper's user/catalog scaling transforms to the
-// base trace (Section V-A).
+// base trace (Section V-A). The catalog-scaled intermediate is derived
+// once per catalog factor and cached on the workload — every population
+// row of the scaling grid shares it — while the population transform,
+// whose result is unique to one grid cell, stays per-call so the big
+// scaled traces are not retained.
 func scaledTrace(w *Workload, popX, catX int) (*trace.Trace, error) {
 	tr, err := w.Trace()
 	if err != nil {
 		return nil, err
 	}
 	if catX > 1 {
-		rng := randdist.NewRNG(w.Scale.Seed, 0xca7a*uint64(catX))
-		tr, err = trace.ScaleCatalog(tr, catX, rng)
+		tr, err = w.DerivedTrace(fmt.Sprintf("catscaled/c%d", catX), func() (*trace.Trace, error) {
+			base, err := w.Trace()
+			if err != nil {
+				return nil, err
+			}
+			rng := randdist.NewRNG(w.Scale.Seed, 0xca7a*uint64(catX))
+			return trace.ScaleCatalog(base, catX, rng)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -66,6 +83,11 @@ func scaledTrace(w *Workload, popX, catX int) (*trace.Trace, error) {
 		}
 	}
 	return tr, nil
+}
+
+// gridCell is one (population factor, catalog factor) scaling point.
+type gridCell struct {
+	popX, catX int
 }
 
 // runScaledCell simulates one (population, catalog) scaling cell with the
@@ -83,12 +105,34 @@ func runScaledCell(w *Workload, popX, catX int) (*core.Result, error) {
 	}, tr)
 }
 
+// runScaledCells fans a list of scaling cells out across the worker pool.
+func runScaledCells(w *Workload, id string, cells []gridCell) ([]*core.Result, error) {
+	points := make([]point[gridCell], 0, len(cells))
+	for _, c := range cells {
+		points = append(points, pt(fmt.Sprintf("%s cell %dx/%dx", id, c.popX, c.catX), c))
+	}
+	return mapPoints(points, func(c gridCell) (*core.Result, error) {
+		return runScaledCell(w, c.popX, c.catX)
+	})
+}
+
 // ScalingGrid reproduces Figure 15 / Table 16(a): average peak-hour server
 // load for population x {1..maxPop} and catalog x {1..maxCat}.
 func ScalingGrid(w *Workload, maxPop, maxCat int) (*Report, error) {
 	if maxPop < 1 || maxCat < 1 {
 		return nil, fmt.Errorf("experiments: scaling grid needs positive factors")
 	}
+	var cells []gridCell
+	for p := 1; p <= maxPop; p++ {
+		for c := 1; c <= maxCat; c++ {
+			cells = append(cells, gridCell{popX: p, catX: c})
+		}
+	}
+	results, err := runScaledCells(w, "tab16a", cells)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:       "tab16a",
 		Title:    "Server load with increases in subscriber population and catalog size",
@@ -102,15 +146,11 @@ func ScalingGrid(w *Workload, maxPop, maxCat int) (*Report, error) {
 	for c := 1; c <= maxCat; c++ {
 		rep.ColumnLabels = append(rep.ColumnLabels, fmt.Sprintf("catalog %dx", c))
 	}
-	for p := 1; p <= maxPop; p++ {
-		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", p))
+	for ri, rowRes := range chunkRows(results, maxCat) {
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", ri+1))
 		row := make([]float64, maxCat)
-		for c := 1; c <= maxCat; c++ {
-			res, err := runScaledCell(w, p, c)
-			if err != nil {
-				return nil, fmt.Errorf("scaling cell %dx/%dx: %w", p, c, err)
-			}
-			row[c-1] = res.Server.Mean.Gbps()
+		for ci := range row {
+			row[ci] = rowRes[ci].Server.Mean.Gbps()
 		}
 		rep.Cells = append(rep.Cells, row)
 	}
@@ -132,6 +172,15 @@ func Fig15ScalingGrid(w *Workload) (*Report, error) {
 // population increase with the original catalog. The relationship is
 // linear and the percentage savings stays fixed.
 func Fig16bPopulationScaling(w *Workload) (*Report, error) {
+	var cells []gridCell
+	for p := 1; p <= 5; p++ {
+		cells = append(cells, gridCell{popX: p, catX: 1})
+	}
+	results, err := runScaledCells(w, "fig16b", cells)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig16b",
 		Title:        "Server load with increases in subscriber population",
@@ -142,15 +191,11 @@ func Fig16bPopulationScaling(w *Workload) (*Report, error) {
 			"paper anchor: linear growth, constant ~88% savings",
 		},
 	}
-	for p := 1; p <= 5; p++ {
-		res, err := runScaledCell(w, p, 1)
-		if err != nil {
-			return nil, fmt.Errorf("fig16b %dx: %w", p, err)
-		}
-		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", p))
+	for i, cell := range cells {
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", cell.popX))
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			100 * res.SavingsVsDemand,
+			results[i].Server.Mean.Gbps(),
+			100 * results[i].SavingsVsDemand,
 		})
 	}
 	return rep, nil
@@ -160,6 +205,15 @@ func Fig16bPopulationScaling(w *Workload) (*Report, error) {
 // increase with the original population; the impact diminishes with
 // growing factors.
 func Fig16cCatalogScaling(w *Workload) (*Report, error) {
+	var cells []gridCell
+	for c := 1; c <= 10; c++ {
+		cells = append(cells, gridCell{popX: 1, catX: c})
+	}
+	results, err := runScaledCells(w, "fig16c", cells)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &Report{
 		ID:           "fig16c",
 		Title:        "Server load with increases in catalog size",
@@ -170,15 +224,11 @@ func Fig16cCatalogScaling(w *Workload) (*Report, error) {
 			"paper anchor: diminishing impact of catalog growth",
 		},
 	}
-	for c := 1; c <= 10; c++ {
-		res, err := runScaledCell(w, 1, c)
-		if err != nil {
-			return nil, fmt.Errorf("fig16c %dx: %w", c, err)
-		}
-		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", c))
+	for i, cell := range cells {
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%dx", cell.catX))
 		rep.Cells = append(rep.Cells, []float64{
-			res.Server.Mean.Gbps(),
-			100 * res.SavingsVsDemand,
+			results[i].Server.Mean.Gbps(),
+			100 * results[i].SavingsVsDemand,
 		})
 	}
 	return rep, nil

@@ -1,5 +1,12 @@
 package experiments
 
+// Trace-analysis experiments (Figures 2, 3, 6, 7, 12) are single-point:
+// they run one analysis pass over the shared workload trace instead of a
+// simulation sweep, so they execute inline rather than through the
+// worker pool. They are cheap relative to the system experiments and
+// safe to run concurrently with them — every Trace accessor they use is
+// read-only (Fig6 clones before mutating).
+
 import (
 	"fmt"
 	"math"

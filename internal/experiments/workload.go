@@ -62,10 +62,23 @@ func (s Scale) synthConfig() synth.Config {
 }
 
 // Workload lazily generates and caches the base trace for a scale so a
-// sweep of simulations shares one generation pass.
+// sweep of simulations shares one generation pass. Derived traces
+// (scaled populations, reseeked sessions, ...) are memoized the same
+// way, keyed by the deriving transform. All caching is safe under the
+// concurrent sweep runner: each trace is generated exactly once and
+// shared read-only across workers.
 type Workload struct {
 	Scale Scale
 
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+
+	mu      sync.Mutex
+	derived map[string]*derivedTrace
+}
+
+type derivedTrace struct {
 	once sync.Once
 	tr   *trace.Trace
 	err  error
@@ -85,4 +98,26 @@ func (w *Workload) Trace() (*trace.Trace, error) {
 		w.tr, w.err = synth.Generate(w.Scale.synthConfig())
 	})
 	return w.tr, w.err
+}
+
+// DerivedTrace returns the trace produced by gen, generating it at most
+// once per key even under concurrent access and sharing the cached
+// result read-only afterwards. Keys name the deriving transform
+// ("scaled/p2/c3", "seek/0.15", ...); gen must be deterministic for its
+// key so reports stay identical across worker counts.
+func (w *Workload) DerivedTrace(key string, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
+	w.mu.Lock()
+	if w.derived == nil {
+		w.derived = make(map[string]*derivedTrace)
+	}
+	e := w.derived[key]
+	if e == nil {
+		e = &derivedTrace{}
+		w.derived[key] = e
+	}
+	w.mu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = gen()
+	})
+	return e.tr, e.err
 }
