@@ -29,6 +29,14 @@
 //	fmt.Printf("server load %v, savings %.0f%%\n",
 //		res.Server.Mean, 100*res.SavingsVsDemand)
 //
+// Beyond batch replay, the package exposes the engine online: New builds
+// a long-lived System that ingests session records incrementally
+// (Submit), reports live aggregates mid-flight (Snapshot), and finalizes
+// the same Result on Close. Caching strategies are pluggable — implement
+// Policy, add it with RegisterStrategy, and select it by name through
+// Config.StrategyName; the built-in strategies resolve through the same
+// registry.
+//
 // The paper's full evaluation (every table and figure) is reproducible
 // through RunExperiment and the cmd/experiments binary; see EXPERIMENTS.md
 // for measured-vs-paper numbers.
@@ -127,6 +135,11 @@ type Config struct {
 	// Strategy picks the caching strategy (default LFU).
 	Strategy Strategy
 
+	// StrategyName selects a registered strategy by name, overriding
+	// Strategy when non-empty. Strategies added with RegisterStrategy
+	// (beyond the built-in enum) are selectable only this way.
+	StrategyName string
+
 	// LFUHistory is the LFU sliding window (default 72 h).
 	LFUHistory time.Duration
 
@@ -149,6 +162,24 @@ type Config struct {
 
 	// WarmupDays excludes leading days from reported statistics.
 	WarmupDays int
+
+	// Subscribers lists the full user population for a long-lived
+	// System built with New. Placement is deterministic over the sorted
+	// population, so the engine needs it up front; Submit rejects users
+	// outside it. Run ignores it (the trace supplies the population).
+	Subscribers []UserID
+
+	// Catalog maps each program to its full playback length, for a
+	// System built with New. Programs absent from the catalog are never
+	// cached and always stream from the central server. Run ignores it
+	// (the trace supplies the lengths); TraceCatalog derives the same
+	// table from a known trace.
+	Catalog map[ProgramID]time.Duration
+
+	// Future supplies the upcoming request sequence to offline
+	// strategies (Oracle) in a System built with New. Run ignores it
+	// (the trace is its own future).
+	Future *Trace
 }
 
 func (c Config) internal() core.Config {
@@ -160,6 +191,7 @@ func (c Config) internal() core.Config {
 			CoaxCapacity:      c.CoaxCapacity,
 		},
 		Strategy:        c.Strategy,
+		StrategyName:    c.StrategyName,
 		LFUHistory:      c.LFUHistory,
 		OracleLookahead: c.OracleLookahead,
 		GlobalLag:       c.GlobalLag,
@@ -170,7 +202,10 @@ func (c Config) internal() core.Config {
 	}
 }
 
-// Run simulates the cooperative-cache VoD system over a trace.
+// Run simulates the cooperative-cache VoD system over a trace. It is a
+// thin batch wrapper over the System engine: the trace supplies the
+// population, catalog, and future knowledge, and every record is
+// submitted in order.
 func Run(cfg Config, tr *Trace) (*Result, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("cablevod: nil trace")

@@ -7,12 +7,15 @@
 //
 //	vodsim -synth -neighborhood 1000 -storage 10GB -strategy lfu
 //	vodsim -trace trace.gob -strategy oracle -warmup 7
+//	vodsim -synth -replicas 2 -prefix-segments 4 -max-streams 4
+//	vodsim -synth -live 1        # drive the online engine, daily snapshots
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cablevod"
@@ -44,6 +47,10 @@ func run(args []string) error {
 		lag          = fs.Duration("lag", 0, "global popularity publication lag")
 		warmup       = fs.Int("warmup", 7, "days excluded from statistics")
 		fillMode     = fs.String("fill", "immediate", "segment availability: immediate or on-broadcast")
+		replicas     = fs.Int("replicas", 1, "copies kept per cached segment")
+		prefixSegs   = fs.Int("prefix-segments", 0, "cache only the first N segments per program (0 = whole program)")
+		maxStreams   = fs.Int("max-streams", 0, "concurrent stream limit per set-top box (0 = default 2)")
+		live         = fs.Int("live", 0, "drive the online engine, printing a snapshot every N simulated days")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,9 +75,17 @@ func run(args []string) error {
 		return err
 	}
 
-	strategy, err := core.ParseStrategy(*strategyName)
-	if err != nil {
-		return err
+	// Built-in names parse to the enum; anything else must be a
+	// registered custom strategy, selected by name.
+	var strategy cablevod.Strategy
+	var customName string
+	if parsed, err := core.ParseStrategy(*strategyName); err == nil {
+		strategy = parsed
+	} else if registered(*strategyName) {
+		customName = *strategyName
+	} else {
+		return fmt.Errorf("unknown strategy %q (registered: %s)",
+			*strategyName, strings.Join(cablevod.Strategies(), ", "))
 	}
 	perPeer, err := units.ParseByteSize(*storage)
 	if err != nil {
@@ -87,16 +102,25 @@ func run(args []string) error {
 	}
 
 	cfg := cablevod.Config{
-		NeighborhoodSize: *neighborhood,
-		PerPeerStorage:   perPeer,
-		Strategy:         strategy,
-		LFUHistory:       *history,
-		GlobalLag:        *lag,
-		Fill:             fill,
-		WarmupDays:       *warmup,
+		NeighborhoodSize:  *neighborhood,
+		PerPeerStorage:    perPeer,
+		MaxStreamsPerPeer: *maxStreams,
+		Strategy:          strategy,
+		StrategyName:      customName,
+		LFUHistory:        *history,
+		GlobalLag:         *lag,
+		Fill:              fill,
+		Replicas:          *replicas,
+		PrefixSegments:    *prefixSegs,
+		WarmupDays:        *warmup,
 	}
 	start := time.Now()
-	res, err := cablevod.Run(cfg, tr)
+	var res *cablevod.Result
+	if *live > 0 {
+		res, err = runLive(cfg, tr, *live)
+	} else {
+		res, err = cablevod.Run(cfg, tr)
+	}
 	if err != nil {
 		return err
 	}
@@ -104,9 +128,54 @@ func run(args []string) error {
 	return nil
 }
 
+// registered reports whether name is in the strategy registry.
+func registered(name string) bool {
+	for _, s := range cablevod.Strategies() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runLive drives the long-lived online engine record by record, printing
+// a live metrics snapshot every snapshotDays simulated days.
+func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablevod.Result, error) {
+	cfg.Subscribers = tr.Users()
+	cfg.Catalog = cablevod.TraceCatalog(tr)
+	cfg.Future = tr
+	sys, err := cablevod.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nextDay := snapshotDays
+	for i, rec := range tr.Records {
+		if day := int(rec.Start / (24 * time.Hour)); day >= nextDay {
+			printSnapshot(sys.Snapshot())
+			for nextDay <= day {
+				nextDay += snapshotDays
+			}
+		}
+		if err := sys.Submit(rec); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	printSnapshot(sys.Snapshot())
+	return sys.Close()
+}
+
+// printSnapshot renders one live metrics line.
+func printSnapshot(m cablevod.Metrics) {
+	fmt.Printf("[day %3.1f] sessions %d (%d active)  hit %5.1f%%  server %6.2f Gb/s avg  coax %5.0f Mb/s avg  cache %3.0f%% of %v  adm %d  evi %d\n",
+		m.Now.Hours()/24, m.Counters.Sessions, m.ActiveSessions,
+		100*m.HitRatio(), m.ServerRate.Gbps(), m.CoaxRate.Mbps(),
+		100*float64(m.CacheUsed)/float64(max(int64(m.CacheCapacity), 1)), m.CacheCapacity,
+		m.Counters.Admissions, m.Counters.Evictions)
+}
+
 func printResult(res *cablevod.Result, elapsed time.Duration) {
 	c := res.Counters
-	fmt.Printf("strategy            %v (fill %v)\n", res.Config.Strategy, res.Config.Fill)
+	fmt.Printf("strategy            %v (fill %v)\n", res.Config.StrategyLabel(), res.Config.Fill)
 	fmt.Printf("neighborhoods       %d x %d subscribers\n", res.Neighborhoods, res.Config.Topology.NeighborhoodSize)
 	fmt.Printf("cache/neighborhood  %v\n", res.Config.TotalCachePerNeighborhood())
 	fmt.Printf("trace days          %d (warmup %d)\n", res.Days, res.Config.WarmupDays)

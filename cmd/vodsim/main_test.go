@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cablevod"
 )
@@ -87,3 +88,61 @@ func TestRunSynth(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunExtensionFlags(t *testing.T) {
+	quietStdout(t)
+	path := smallTraceFile(t)
+	if err := run([]string{
+		"-trace", path, "-neighborhood", "150", "-storage", "1GB", "-warmup", "0",
+		"-replicas", "2", "-prefix-segments", "4", "-max-streams", "4",
+	}); err != nil {
+		t.Error(err)
+	}
+	// Invalid values surface as config errors.
+	if err := run([]string{"-trace", path, "-replicas", "-1"}); err == nil {
+		t.Error("expected error for negative replicas")
+	}
+	if err := run([]string{"-trace", path, "-prefix-segments", "-1"}); err == nil {
+		t.Error("expected error for negative prefix segments")
+	}
+	if err := run([]string{"-trace", path, "-max-streams", "-1"}); err == nil {
+		t.Error("expected error for negative max streams")
+	}
+}
+
+func TestRunLive(t *testing.T) {
+	quietStdout(t)
+	path := smallTraceFile(t)
+	for _, strat := range []string{"lfu", "oracle"} {
+		if err := run([]string{
+			"-trace", path, "-neighborhood", "150", "-storage", "1GB",
+			"-strategy", strat, "-warmup", "0", "-live", "1",
+		}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunRegisteredStrategyName(t *testing.T) {
+	quietStdout(t)
+	if err := cablevod.RegisterStrategy("vodsim-test-lru", func(cablevod.Config) cablevod.Policy {
+		return nopPolicy{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := smallTraceFile(t)
+	if err := run([]string{"-trace", path, "-neighborhood", "150", "-strategy", "vodsim-test-lru", "-warmup", "0"}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nopPolicy never caches anything.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                                         { return "nop" }
+func (nopPolicy) Advance(time.Duration)                                {}
+func (nopPolicy) OnRequest(cablevod.ProgramID, time.Duration)          {}
+func (nopPolicy) CandidateValue(cablevod.ProgramID, time.Duration) int { return -1 }
+func (nopPolicy) OnAdmit(cablevod.ProgramID, time.Duration)            {}
+func (nopPolicy) OnEvict(cablevod.ProgramID)                           {}
+func (nopPolicy) EvictionOrder(func(cablevod.ProgramID, int) bool)     {}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"cablevod/internal/cache"
@@ -115,8 +116,15 @@ type Config struct {
 	// Topology configures the cable plant.
 	Topology hfc.Config
 
-	// Strategy picks the caching strategy (default LFU).
+	// Strategy picks the caching strategy (default LFU). The enum
+	// constants resolve through the strategy registry by their String
+	// names.
 	Strategy Strategy
+
+	// StrategyName selects a registered strategy by name, overriding
+	// Strategy when non-empty. Strategies added with RegisterStrategy
+	// (beyond the built-in enum) are reachable only this way.
+	StrategyName string
 
 	// LFUHistory is the LFU window (default 72 h). Zero means "use the
 	// default"; use NoHistory for an explicit zero-length window (= LRU).
@@ -162,7 +170,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Strategy == 0 {
+	if c.Strategy == 0 && c.StrategyName == "" {
 		c.Strategy = StrategyLFU
 	}
 	if c.LFUHistory == 0 && !c.NoHistory {
@@ -189,10 +197,18 @@ func (c Config) Validate() error {
 	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
-	switch c.Strategy {
-	case StrategyLRU, StrategyLFU, StrategyOracle, StrategyGlobalLFU:
-	default:
-		return fmt.Errorf("core: invalid strategy %d", c.Strategy)
+	if c.StrategyName == "" {
+		switch c.Strategy {
+		case StrategyLRU, StrategyLFU, StrategyOracle, StrategyGlobalLFU:
+		default:
+			return fmt.Errorf("core: invalid strategy %d", c.Strategy)
+		}
+	}
+	if name := c.strategyName(); name != "" {
+		if _, ok := LookupStrategyFactory(name); !ok {
+			return fmt.Errorf("core: unknown strategy %q (registered: %s)",
+				name, strings.Join(RegisteredStrategies(), ", "))
+		}
 	}
 	if c.LFUHistory < 0 {
 		return fmt.Errorf("core: negative LFU history %v", c.LFUHistory)
@@ -219,6 +235,19 @@ func (c Config) Validate() error {
 	}
 	return nil
 }
+
+// strategyName resolves the registry name this configuration selects:
+// StrategyName verbatim when set, else the enum constant's String name.
+func (c Config) strategyName() string {
+	if c.StrategyName != "" {
+		return c.StrategyName
+	}
+	return c.Strategy.String()
+}
+
+// StrategyLabel returns the human-readable strategy selection — the
+// registered name for custom strategies, the enum name otherwise.
+func (c Config) StrategyLabel() string { return c.strategyName() }
 
 // TotalCachePerNeighborhood returns the pooled cache size one
 // neighborhood contributes under this configuration.

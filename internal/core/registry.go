@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/hfc"
+	"cablevod/internal/trace"
+)
+
+// PolicyEnv is what a strategy factory can see when building the cache
+// policies for one run: the resolved configuration, the built plant, and
+// whatever future knowledge the workload supplies (nil for truly online
+// runs — offline strategies like the oracle must reject that).
+type PolicyEnv struct {
+	// Config is the run configuration with defaults applied.
+	Config Config
+
+	// Topology is the built cable plant; factories may use it to split
+	// shared state per neighborhood (Home, NeighborhoodCount).
+	Topology *hfc.Topology
+
+	// Future is the full upcoming request sequence in timestamp order,
+	// or nil when the engine is driven online without future knowledge.
+	Future []trace.Record
+}
+
+// StrategyFactory builds the per-neighborhood cache policies for one run.
+// It is called once per System construction and returns a constructor
+// invoked once per neighborhood, so strategies can hold per-run shared
+// state (the global-LFU popularity aggregator) or pre-split per-plant
+// data (the oracle's future index).
+type StrategyFactory func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]StrategyFactory)
+)
+
+// RegisterStrategy adds a named caching strategy to the registry.
+// Registered names are resolved by Config.StrategyName (and by the
+// Strategy enum constants, whose String names are registered at init).
+// Registering an empty name, a nil factory, or a duplicate name fails.
+func RegisterStrategy(name string, f StrategyFactory) error {
+	if name == "" {
+		return fmt.Errorf("core: empty strategy name")
+	}
+	if f == nil {
+		return fmt.Errorf("core: nil factory for strategy %q", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("core: strategy %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// mustRegisterStrategy registers a built-in and panics on conflict.
+func mustRegisterStrategy(name string, f StrategyFactory) {
+	if err := RegisterStrategy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// LookupStrategyFactory resolves a registered strategy name.
+func LookupStrategyFactory(name string) (StrategyFactory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// RegisteredStrategies returns every registered strategy name, sorted.
+func RegisteredStrategies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// perNeighborhood lifts a context-free policy constructor into a factory.
+func perNeighborhood(build func(cfg Config) (cache.Policy, error)) StrategyFactory {
+	return func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+		cfg := env.Config
+		return func(int) (cache.Policy, error) { return build(cfg) }, nil
+	}
+}
+
+func init() {
+	mustRegisterStrategy(StrategyLRU.String(), perNeighborhood(
+		func(Config) (cache.Policy, error) { return cache.NewLRU(), nil }))
+
+	mustRegisterStrategy(StrategyLFU.String(), perNeighborhood(
+		func(cfg Config) (cache.Policy, error) { return cache.NewLFU(cfg.LFUHistory) }))
+
+	mustRegisterStrategy(StrategyOracle.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+		if env.Future == nil {
+			return nil, fmt.Errorf("core: strategy %q needs future knowledge (supply the upcoming trace)", StrategyOracle)
+		}
+		futures := make([][]trace.Record, env.Topology.NeighborhoodCount())
+		for _, r := range env.Future {
+			nb, ok := env.Topology.Home(r.User)
+			if !ok {
+				return nil, fmt.Errorf("core: user %d not homed", r.User)
+			}
+			futures[nb.ID()] = append(futures[nb.ID()], r)
+		}
+		lookahead := env.Config.OracleLookahead
+		return func(nb int) (cache.Policy, error) {
+			return cache.NewOracle(cache.BuildFutureIndex(futures[nb]), lookahead)
+		}, nil
+	})
+
+	mustRegisterStrategy(StrategyGlobalLFU.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+		global, err := cache.NewGlobal(env.Config.LFUHistory, env.Config.GlobalLag)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) (cache.Policy, error) { return global.NewPolicy(), nil }, nil
+	})
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/trace"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := RegisteredStrategies()
+	for _, want := range []string{"lru", "lfu", "oracle", "global-lfu"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndNil(t *testing.T) {
+	if err := RegisterStrategy("lfu", perNeighborhood(func(Config) (cache.Policy, error) {
+		return cache.NewLRU(), nil
+	})); err == nil {
+		t.Error("expected error re-registering lfu")
+	}
+	if err := RegisterStrategy("", nil); err == nil {
+		t.Error("expected error for empty name")
+	}
+	if err := RegisterStrategy("x-nil", nil); err == nil {
+		t.Error("expected error for nil factory")
+	}
+}
+
+func TestValidateUnknownStrategyName(t *testing.T) {
+	cfg := oneNeighborhoodConfig(StrategyLFU)
+	cfg.StrategyName = "never-registered"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("expected error for unregistered strategy name")
+	}
+	if !strings.Contains(err.Error(), "never-registered") {
+		t.Errorf("error %q does not name the strategy", err)
+	}
+}
+
+func TestOracleRequiresFuture(t *testing.T) {
+	cfg := oneNeighborhoodConfig(StrategyOracle)
+	_, err := NewSystem(cfg, Workload{Users: []trace.UserID{1, 2}})
+	if err == nil {
+		t.Fatal("expected error for oracle without future knowledge")
+	}
+	if !strings.Contains(err.Error(), "future") {
+		t.Errorf("error %q does not mention future knowledge", err)
+	}
+}

@@ -2,13 +2,9 @@ package core
 
 import (
 	"fmt"
-	"time"
 
-	"cablevod/internal/cache"
-	"cablevod/internal/eventq"
 	"cablevod/internal/hfc"
 	"cablevod/internal/metrics"
-	"cablevod/internal/segment"
 	"cablevod/internal/trace"
 	"cablevod/internal/units"
 )
@@ -81,324 +77,49 @@ type Result struct {
 	DemandBits int64
 }
 
-// Simulation replays a trace against the cooperative-cache system.
+// Simulation replays a trace against the cooperative-cache system. It is
+// the batch driver over the online System engine: the trace supplies the
+// population, catalog, and future knowledge up front, and Run feeds the
+// records through the engine in order.
 type Simulation struct {
-	cfg     Config
-	tr      *trace.Trace
-	topo    *hfc.Topology
-	queue   *eventq.Queue
-	servers []*IndexServer
-
-	serverMeter *metrics.RateMeter
-	demandMeter *metrics.RateMeter
-	coaxMeters  []*metrics.RateMeter
-
-	counters Counters
-	nextRec  int
-	days     int
+	sys *System
+	tr  *trace.Trace
+	ran bool
 }
 
 // NewSimulation wires the plant, strategies and meters for a run over tr.
 func NewSimulation(cfg Config, tr *trace.Trace) (*Simulation, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
 	if !tr.Sorted() {
 		return nil, fmt.Errorf("core: trace must be sorted")
 	}
-
-	topo, err := hfc.Build(cfg.Topology, tr.Users())
+	sys, err := NewSystem(cfg, WorkloadFromTrace(tr))
 	if err != nil {
 		return nil, err
 	}
-
-	s := &Simulation{
-		cfg:         cfg,
-		tr:          tr,
-		topo:        topo,
-		queue:       eventq.New(),
-		serverMeter: metrics.NewRateMeter(),
-		demandMeter: metrics.NewRateMeter(),
-	}
-	// Count evaluation days by session *starts*: sessions spilling past
-	// midnight of the last day would otherwise add a phantom final day
-	// with empty peak hours, deflating every peak average.
-	s.days = units.DayIndex(tr.Records[tr.Len()-1].Start) + 1
-
-	// Resolve every program length once up front: traces loaded from CSV
-	// have no length table, and the per-program fallback scans the whole
-	// trace.
-	lengthTable := make(map[trace.ProgramID]time.Duration, len(tr.ProgramLengths))
-	for _, r := range tr.Records {
-		if end := r.Offset + r.Duration; end > lengthTable[r.Program] {
-			lengthTable[r.Program] = end
-		}
-	}
-	// The explicit table wins over the observed fallback, matching
-	// trace.ProgramLength.
-	for p, l := range tr.ProgramLengths {
-		lengthTable[p] = l
-	}
-	lengths := func(p trace.ProgramID) time.Duration { return lengthTable[p] }
-
-	// Per-neighborhood future records for the oracle.
-	var futures [][]trace.Record
-	if cfg.Strategy == StrategyOracle {
-		futures = make([][]trace.Record, topo.NeighborhoodCount())
-		for _, r := range tr.Records {
-			nb, ok := topo.Home(r.User)
-			if !ok {
-				return nil, fmt.Errorf("core: user %d not homed", r.User)
-			}
-			futures[nb.ID()] = append(futures[nb.ID()], r)
-		}
-	}
-	var global *cache.Global
-	if cfg.Strategy == StrategyGlobalLFU {
-		global, err = cache.NewGlobal(cfg.LFUHistory, cfg.GlobalLag)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	s.servers = make([]*IndexServer, topo.NeighborhoodCount())
-	s.coaxMeters = make([]*metrics.RateMeter, topo.NeighborhoodCount())
-	for i, nb := range topo.Neighborhoods() {
-		var pol cache.Policy
-		switch cfg.Strategy {
-		case StrategyLRU:
-			pol = cache.NewLRU()
-		case StrategyLFU:
-			pol, err = cache.NewLFU(cfg.LFUHistory)
-		case StrategyOracle:
-			pol, err = cache.NewOracle(cache.BuildFutureIndex(futures[i]), cfg.OracleLookahead)
-		case StrategyGlobalLFU:
-			pol = global.NewPolicy()
-		}
-		if err != nil {
-			return nil, err
-		}
-		is, err := NewIndexServer(nb, pol, lengths, ServerOptions{
-			EnforceStreamLimit: !cfg.DisablePeerStreamLimit,
-			Fill:               cfg.Fill,
-			BroadcastFill:      !cfg.DisableCacheFill,
-			Replicas:           cfg.Replicas,
-			PrefixSegments:     cfg.PrefixSegments,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.servers[i] = is
-		s.coaxMeters[i] = metrics.NewRateMeter()
-	}
-	return s, nil
+	return &Simulation{sys: sys, tr: tr}, nil
 }
 
 // Topology returns the built plant.
-func (s *Simulation) Topology() *hfc.Topology { return s.topo }
+func (s *Simulation) Topology() *hfc.Topology { return s.sys.Topology() }
 
-// session is one in-flight viewing session.
-type session struct {
-	rec    trace.Record
-	is     *IndexServer
-	viewer *hfc.SetTopBox
-	coax   *hfc.Coax
-	meter  *metrics.RateMeter
-	// length is the full playback length of the program.
-	length time.Duration
-	// firstFetch marks the session that admitted the program under
-	// FillImmediate: it streams from the central server while peers are
-	// being seeded.
-	firstFetch bool
-}
-
-// position returns the program playback position at absolute time t.
-func (sess *session) position(t time.Duration) time.Duration {
-	return sess.rec.Offset + (t - sess.rec.Start)
-}
+// System returns the underlying online engine.
+func (s *Simulation) System() *System { return s.sys }
 
 // Run replays the whole trace and assembles the result.
 func (s *Simulation) Run() (*Result, error) {
-	if s.nextRec != 0 {
+	if s.ran {
 		return nil, fmt.Errorf("core: simulation already run")
 	}
-	s.scheduleNextRecord()
-	s.queue.Run()
-
-	warmup := s.cfg.WarmupDays
-	if warmup >= s.days {
-		warmup = 0 // a warmup longer than the trace would erase the run
-	}
-	res := &Result{
-		Config:        s.cfg,
-		Days:          s.days,
-		Counters:      s.counters,
-		Server:        s.serverMeter.PeakStatsRange(warmup, s.days),
-		ServerHourly:  s.serverMeter.HourOfDayAverage(s.days),
-		Demand:        s.demandMeter.PeakStatsRange(warmup, s.days),
-		Neighborhoods: s.topo.NeighborhoodCount(),
-		ServerBits:    s.serverMeter.TotalBits(),
-		DemandBits:    s.demandMeter.TotalBits(),
-	}
-	// Pool peak-hour samples across every neighborhood for Figure 14.
-	var coaxSamples []units.BitRate
-	for _, m := range s.coaxMeters {
-		coaxSamples = append(coaxSamples, m.HourSamplesRange(warmup, s.days, metrics.PeakHour)...)
-	}
-	res.Coax = metrics.NewRateStats(coaxSamples)
-	if res.Demand.Mean > 0 {
-		res.SavingsVsDemand = 1 - float64(res.Server.Mean)/float64(res.Demand.Mean)
-	}
-	return res, nil
-}
-
-// scheduleNextRecord feeds trace records into the event queue one at a
-// time so the pending-event set stays proportional to concurrency.
-func (s *Simulation) scheduleNextRecord() {
-	if s.nextRec >= s.tr.Len() {
-		return
-	}
-	rec := s.tr.Records[s.nextRec]
-	s.nextRec++
-	s.queue.Schedule(rec.Start, eventq.PrioritySessionStart, eventq.Func(func(now time.Duration) {
-		s.startSession(rec, now)
-		s.scheduleNextRecord()
-	}))
-}
-
-func (s *Simulation) startSession(rec trace.Record, now time.Duration) {
-	nb, ok := s.topo.Home(rec.User)
-	if !ok {
-		panic(fmt.Sprintf("core: user %d not homed", rec.User))
-	}
-	is := s.servers[nb.ID()]
-	viewer, ok := nb.PeerOf(rec.User)
-	if !ok {
-		panic(fmt.Sprintf("core: user %d has no box", rec.User))
-	}
-	s.counters.Sessions++
-
-	// The viewer's box holds a receive stream for the whole session.
-	viewer.ForceOpenStream()
-	s.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-		viewer.CloseStream()
-	}))
-
-	// The index server observes the request and updates the cache.
-	res := is.OnSessionStart(rec.Program, now)
-	if res.Admitted {
-		s.counters.Admissions++
-	}
-	s.counters.Evictions += uint64(len(res.Evicted))
-
-	sess := &session{
-		rec:        rec,
-		is:         is,
-		viewer:     viewer,
-		coax:       nb.Coax(),
-		meter:      s.coaxMeters[nb.ID()],
-		length:     s.tr.ProgramLength(rec.Program),
-		firstFetch: res.Admitted && s.cfg.Fill == FillImmediate,
-	}
-	s.processSegment(sess, now)
-}
-
-// processSegment serves the segment playing at time now and schedules the
-// next segment while the session lasts. Playback may start mid-program
-// (Record.Offset) and never runs past the program end.
-func (s *Simulation) processSegment(sess *session, now time.Duration) {
-	pos := sess.position(now)
-	if sess.length > 0 && pos >= sess.length {
-		return // session outlives the program; nothing left to stream
-	}
-	idx := segment.At(pos)
-
-	// Program position where this segment's playback ends.
-	segEndPos := time.Duration(idx+1) * units.SegmentDuration
-	if sess.length > 0 && segEndPos > sess.length {
-		segEndPos = sess.length
-	}
-	segEndAbs := now + (segEndPos - pos)
-	watchEnd := sess.rec.End()
-	if watchEnd > segEndAbs {
-		watchEnd = segEndAbs
-	}
-	if watchEnd <= now {
-		return
-	}
-	// A broadcast is complete when the whole segment went out: viewing
-	// started at the segment boundary and ran to its end.
-	complete := pos == time.Duration(idx)*units.SegmentDuration && watchEnd == segEndAbs
-	s.serveSegment(sess, idx, now, watchEnd, complete)
-
-	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
-		s.queue.Schedule(segEndAbs, eventq.PrioritySegment, eventq.Func(func(t time.Duration) {
-			s.processSegment(sess, t)
-		}))
-	}
-}
-
-// serveSegment resolves one segment request: peer broadcast on a hit,
-// central server on a miss, with opportunistic cache fill of complete
-// miss broadcasts.
-func (s *Simulation) serveSegment(sess *session, idx int, from, to time.Duration, complete bool) {
-	s.counters.SegmentRequests++
-	p := sess.rec.Program
-
-	// Demand accounting: what a cache-less system would pull from the
-	// central servers.
-	s.demandMeter.AddTransfer(from, to, units.StreamRate)
-
-	// Every broadcast consumes the same coax bandwidth whether it comes
-	// from a peer or the headend (Section VI-B).
-	sess.meter.AddTransfer(from, to, units.StreamRate)
-	if sess.coax.Admit(units.StreamRate) {
-		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			sess.coax.Release(units.StreamRate)
-		}))
-	} else {
-		s.counters.CoaxOverloads++
-	}
-
-	if sess.firstFetch {
-		s.counters.MissFirstFetch++
-		s.serverMeter.AddTransfer(from, to, units.StreamRate)
-		return
-	}
-
-	outcome, server := sess.is.ServeSegment(p, idx)
-	switch outcome {
-	case ServedByPeer:
-		s.counters.Hits++
-		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			server.CloseStream()
-		}))
-		return
-	case MissNotCached:
-		s.counters.MissNotCached++
-	case MissUnplaced:
-		s.counters.MissUnplaced++
-	case MissPeerBusy:
-		s.counters.MissPeerBusy++
-	}
-
-	// Miss: the central media server streams the segment over fiber and
-	// the headend broadcasts it (Figure 4).
-	s.serverMeter.AddTransfer(from, to, units.StreamRate)
-
-	// A complete miss broadcast can fill the cache at a storing peer.
-	if complete {
-		if filler := sess.is.TryFill(p, idx); filler != nil {
-			s.counters.Fills++
-			s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-				filler.CloseStream()
-			}))
+	s.ran = true
+	for i, rec := range s.tr.Records {
+		if err := s.sys.Submit(rec); err != nil {
+			return nil, fmt.Errorf("core: record %d: %w", i, err)
 		}
 	}
+	return s.sys.Close()
 }
 
 // Run builds and runs a simulation in one call.

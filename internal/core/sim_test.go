@@ -239,7 +239,7 @@ func TestSimulationEvictionFreesPeerStorage(t *testing.T) {
 		t.Errorf("hits = %d, want 0", res.Counters.Hits)
 	}
 	// After the run only one program's segments are stored.
-	stored := sim.servers[0].StoredBytes()
+	stored := sim.System().Server(0).StoredBytes()
 	maxOne := units.StreamRate.BytesIn(10 * time.Minute)
 	if stored > maxOne {
 		t.Errorf("stored = %v, want <= one program (%v)", stored, maxOne)

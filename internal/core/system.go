@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/eventq"
+	"cablevod/internal/hfc"
+	"cablevod/internal/metrics"
+	"cablevod/internal/segment"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// Workload is what the engine must know about the subscriber population
+// and catalog before serving requests online. The request sequence itself
+// arrives record by record through System.Submit.
+type Workload struct {
+	// Users is the full subscriber population to build the plant for.
+	// Placement is deterministic over the sorted population, so the
+	// engine needs it up front; Submit rejects users outside it.
+	Users []trace.UserID
+
+	// Lengths is the catalog: full playback length per program.
+	// Programs absent from the catalog are treated as length-unknown —
+	// they are never admitted to caches (admission size 0) and stream
+	// from the central server.
+	Lengths map[trace.ProgramID]time.Duration
+
+	// Future is the complete upcoming request sequence in timestamp
+	// order, for offline strategies (the oracle). nil for truly online
+	// runs; offline strategies then fail construction.
+	Future []trace.Record
+}
+
+// WorkloadFromTrace derives the Workload a batch replay of tr implies:
+// the trace's users, the length table Run has always used (explicit
+// ProgramLengths entries win over the longest observed playback), and
+// the trace itself as the future.
+func WorkloadFromTrace(tr *trace.Trace) Workload {
+	return Workload{
+		Users:   tr.Users(),
+		Lengths: TraceLengths(tr),
+		Future:  tr.Records,
+	}
+}
+
+// TraceLengths resolves every program length in tr once up front: traces
+// loaded from CSV have no length table, and the per-program fallback
+// scans the whole trace. The explicit table wins over the observed
+// fallback, matching trace.ProgramLength.
+func TraceLengths(tr *trace.Trace) map[trace.ProgramID]time.Duration {
+	lengths := make(map[trace.ProgramID]time.Duration, len(tr.ProgramLengths))
+	for _, r := range tr.Records {
+		if end := r.Offset + r.Duration; end > lengths[r.Program] {
+			lengths[r.Program] = end
+		}
+	}
+	for p, l := range tr.ProgramLengths {
+		lengths[p] = l
+	}
+	return lengths
+}
+
+// System is the long-lived online serving engine: the cable plant, one
+// index server per neighborhood, and the discrete-event state of every
+// in-flight session. Records submitted in timestamp order advance the
+// virtual clock; Snapshot reports live aggregates at any point; Close
+// drains remaining sessions and finalizes statistics.
+//
+// A System is single-goroutine: calls must not race.
+type System struct {
+	cfg   Config
+	topo  *hfc.Topology
+	queue *eventq.Queue
+
+	servers []*IndexServer
+
+	serverMeter *metrics.RateMeter
+	demandMeter *metrics.RateMeter
+	coaxMeters  []*metrics.RateMeter
+
+	// lengths resolves catalog program lengths.
+	lengths func(trace.ProgramID) time.Duration
+
+	counters  Counters
+	submitted int
+	active    int
+	lastStart time.Duration
+	closed    bool
+}
+
+// NewSystem builds the plant, caches, and strategy state for an online
+// run over the given population and catalog.
+func NewSystem(cfg Config, w Workload) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Users) == 0 {
+		return nil, fmt.Errorf("core: workload has no subscribers")
+	}
+
+	topo, err := hfc.Build(cfg.Topology, w.Users)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:         cfg,
+		topo:        topo,
+		queue:       eventq.New(),
+		serverMeter: metrics.NewRateMeter(),
+		demandMeter: metrics.NewRateMeter(),
+	}
+
+	lengths := w.Lengths
+	if lengths == nil {
+		lengths = map[trace.ProgramID]time.Duration{}
+	}
+	s.lengths = func(p trace.ProgramID) time.Duration { return lengths[p] }
+
+	factory, ok := LookupStrategyFactory(cfg.strategyName())
+	if !ok {
+		// Unreachable after Validate; kept as a defensive check.
+		return nil, fmt.Errorf("core: unknown strategy %q", cfg.strategyName())
+	}
+	newPolicy, err := factory(&PolicyEnv{Config: cfg, Topology: topo, Future: w.Future})
+	if err != nil {
+		return nil, err
+	}
+
+	s.servers = make([]*IndexServer, topo.NeighborhoodCount())
+	s.coaxMeters = make([]*metrics.RateMeter, topo.NeighborhoodCount())
+	for i, nb := range topo.Neighborhoods() {
+		pol, err := newPolicy(i)
+		if err != nil {
+			return nil, err
+		}
+		if pol == nil {
+			return nil, fmt.Errorf("core: strategy %q built a nil policy", cfg.strategyName())
+		}
+		is, err := NewIndexServer(nb, pol, s.lengths, ServerOptions{
+			EnforceStreamLimit: !cfg.DisablePeerStreamLimit,
+			Fill:               cfg.Fill,
+			BroadcastFill:      !cfg.DisableCacheFill,
+			Replicas:           cfg.Replicas,
+			PrefixSegments:     cfg.PrefixSegments,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.servers[i] = is
+		s.coaxMeters[i] = metrics.NewRateMeter()
+	}
+	return s, nil
+}
+
+// Topology returns the built plant.
+func (s *System) Topology() *hfc.Topology { return s.topo }
+
+// Server returns the index server of neighborhood nb.
+func (s *System) Server(nb int) *IndexServer { return s.servers[nb] }
+
+// Config returns the resolved run configuration (defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the engine's virtual clock: the time of the latest
+// processed event or submitted record.
+func (s *System) Now() time.Duration { return s.queue.Now() }
+
+// Submit ingests one session record, advancing virtual time to the
+// record's start. Records must arrive in non-decreasing Start order (for
+// bit-exact agreement with a batch Run over a trace, in the trace's full
+// (Start, User, Program) sort order); the record's user must belong to
+// the workload population.
+func (s *System) Submit(rec trace.Record) error {
+	if s.closed {
+		return fmt.Errorf("core: submit on closed system")
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	if rec.Start < s.lastStart {
+		return fmt.Errorf("core: record out of order: start %v before %v", rec.Start, s.lastStart)
+	}
+	nb, ok := s.topo.Home(rec.User)
+	if !ok {
+		return fmt.Errorf("core: user %d not in the subscriber population", rec.User)
+	}
+	viewer, ok := nb.PeerOf(rec.User)
+	if !ok {
+		return fmt.Errorf("core: user %d has no box", rec.User)
+	}
+
+	// Replay every queued event the batch loop would have run before
+	// this session-start event, then start the session at its time.
+	s.queue.RunBefore(rec.Start, eventq.PrioritySessionStart)
+	s.lastStart = rec.Start
+	s.submitted++
+	s.startSession(rec, nb, viewer, rec.Start)
+	return nil
+}
+
+// Close drains every in-flight session and finalizes the run statistics.
+// The system cannot be used afterwards.
+func (s *System) Close() (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: system already closed")
+	}
+	s.closed = true
+	s.queue.Run()
+
+	days := s.days()
+	warmup := s.cfg.WarmupDays
+	if warmup >= days {
+		warmup = 0 // a warmup longer than the trace would erase the run
+	}
+	res := &Result{
+		Config:        s.cfg,
+		Days:          days,
+		Counters:      s.counters,
+		Server:        s.serverMeter.PeakStatsRange(warmup, days),
+		ServerHourly:  s.serverMeter.HourOfDayAverage(days),
+		Demand:        s.demandMeter.PeakStatsRange(warmup, days),
+		Neighborhoods: s.topo.NeighborhoodCount(),
+		ServerBits:    s.serverMeter.TotalBits(),
+		DemandBits:    s.demandMeter.TotalBits(),
+	}
+	// Pool peak-hour samples across every neighborhood for Figure 14.
+	var coaxSamples []units.BitRate
+	for _, m := range s.coaxMeters {
+		coaxSamples = append(coaxSamples, m.HourSamplesRange(warmup, days, metrics.PeakHour)...)
+	}
+	res.Coax = metrics.NewRateStats(coaxSamples)
+	if res.Demand.Mean > 0 {
+		res.SavingsVsDemand = 1 - float64(res.Server.Mean)/float64(res.Demand.Mean)
+	}
+	return res, nil
+}
+
+// days counts evaluation days by session *starts*: sessions spilling past
+// midnight of the last day would otherwise add a phantom final day with
+// empty peak hours, deflating every peak average.
+func (s *System) days() int {
+	if s.submitted == 0 {
+		return 0
+	}
+	return units.DayIndex(s.lastStart) + 1
+}
+
+// Metrics is a live aggregate view of a running System, valid as of the
+// last submitted record's start time.
+type Metrics struct {
+	// Now is the virtual clock the aggregates are valid at.
+	Now time.Duration
+
+	// Submitted is the number of records accepted so far.
+	Submitted int
+
+	// ActiveSessions is the number of sessions currently playing.
+	ActiveSessions int
+
+	// Counters are the running event totals (hits, misses, admissions,
+	// evictions, ...).
+	Counters Counters
+
+	// ServerBits and DemandBits are bits transferred so far from the
+	// central server and by the uncached-demand baseline.
+	ServerBits, DemandBits int64
+
+	// ServerRate, DemandRate and CoaxRate are whole-run average rates
+	// up to Now (CoaxRate per neighborhood).
+	ServerRate, DemandRate, CoaxRate units.BitRate
+
+	// CacheUsed and CacheCapacity aggregate the pooled caches across
+	// all neighborhoods; CachedPrograms counts cached program copies.
+	CacheUsed, CacheCapacity units.ByteSize
+	CachedPrograms           int
+
+	// Neighborhoods is the number of headends serving.
+	Neighborhoods int
+}
+
+// HitRatio returns the running segment hit ratio.
+func (m Metrics) HitRatio() float64 { return m.Counters.HitRatio() }
+
+// Savings returns the running transfer savings against the uncached
+// baseline: 1 - ServerBits/DemandBits.
+func (m Metrics) Savings() float64 {
+	if m.DemandBits == 0 {
+		return 0
+	}
+	return 1 - float64(m.ServerBits)/float64(m.DemandBits)
+}
+
+// Snapshot reports live aggregates. It does not advance the clock: the
+// view reflects everything the engine served up to the last Submit.
+func (s *System) Snapshot() Metrics {
+	m := Metrics{
+		Now:            s.queue.Now(),
+		Submitted:      s.submitted,
+		ActiveSessions: s.active,
+		Counters:       s.counters,
+		ServerBits:     s.serverMeter.TotalBits(),
+		DemandBits:     s.demandMeter.TotalBits(),
+		Neighborhoods:  len(s.servers),
+	}
+	var coaxBits int64
+	for i, is := range s.servers {
+		c := is.Cache()
+		m.CacheUsed += c.Used()
+		m.CacheCapacity += c.Capacity()
+		m.CachedPrograms += c.Len()
+		coaxBits += s.coaxMeters[i].TotalBits()
+	}
+	if secs := m.Now.Seconds(); secs > 0 {
+		m.ServerRate = units.BitRate(float64(m.ServerBits) / secs)
+		m.DemandRate = units.BitRate(float64(m.DemandBits) / secs)
+		if n := len(s.servers); n > 0 {
+			m.CoaxRate = units.BitRate(float64(coaxBits) / secs / float64(n))
+		}
+	}
+	return m
+}
+
+// session is one in-flight viewing session.
+type session struct {
+	rec    trace.Record
+	is     *IndexServer
+	viewer *hfc.SetTopBox
+	coax   *hfc.Coax
+	meter  *metrics.RateMeter
+	// length is the full playback length of the program.
+	length time.Duration
+	// firstFetch marks the session that admitted the program under
+	// FillImmediate: it streams from the central server while peers are
+	// being seeded.
+	firstFetch bool
+}
+
+// position returns the program playback position at absolute time t.
+func (sess *session) position(t time.Duration) time.Duration {
+	return sess.rec.Offset + (t - sess.rec.Start)
+}
+
+func (s *System) startSession(rec trace.Record, nb *hfc.Neighborhood, viewer *hfc.SetTopBox, now time.Duration) {
+	is := s.servers[nb.ID()]
+	s.counters.Sessions++
+	s.active++
+
+	// The viewer's box holds a receive stream for the whole session.
+	viewer.ForceOpenStream()
+	s.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+		viewer.CloseStream()
+		s.active--
+	}))
+
+	// The index server observes the request and updates the cache.
+	res := is.OnSessionStart(rec.Program, now)
+	if res.Admitted {
+		s.counters.Admissions++
+	}
+	s.counters.Evictions += uint64(len(res.Evicted))
+
+	sess := &session{
+		rec:        rec,
+		is:         is,
+		viewer:     viewer,
+		coax:       nb.Coax(),
+		meter:      s.coaxMeters[nb.ID()],
+		length:     s.lengths(rec.Program),
+		firstFetch: res.Admitted && s.cfg.Fill == FillImmediate,
+	}
+	s.processSegment(sess, now)
+}
+
+// processSegment serves the segment playing at time now and schedules the
+// next segment while the session lasts. Playback may start mid-program
+// (Record.Offset) and never runs past the program end.
+func (s *System) processSegment(sess *session, now time.Duration) {
+	pos := sess.position(now)
+	if sess.length > 0 && pos >= sess.length {
+		return // session outlives the program; nothing left to stream
+	}
+	idx := segment.At(pos)
+
+	// Program position where this segment's playback ends.
+	segEndPos := time.Duration(idx+1) * units.SegmentDuration
+	if sess.length > 0 && segEndPos > sess.length {
+		segEndPos = sess.length
+	}
+	segEndAbs := now + (segEndPos - pos)
+	watchEnd := sess.rec.End()
+	if watchEnd > segEndAbs {
+		watchEnd = segEndAbs
+	}
+	if watchEnd <= now {
+		return
+	}
+	// A broadcast is complete when the whole segment went out: viewing
+	// started at the segment boundary and ran to its end.
+	complete := pos == time.Duration(idx)*units.SegmentDuration && watchEnd == segEndAbs
+	s.serveSegment(sess, idx, now, watchEnd, complete)
+
+	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
+		s.queue.Schedule(segEndAbs, eventq.PrioritySegment, eventq.Func(func(t time.Duration) {
+			s.processSegment(sess, t)
+		}))
+	}
+}
+
+// serveSegment resolves one segment request: peer broadcast on a hit,
+// central server on a miss, with opportunistic cache fill of complete
+// miss broadcasts.
+func (s *System) serveSegment(sess *session, idx int, from, to time.Duration, complete bool) {
+	s.counters.SegmentRequests++
+	p := sess.rec.Program
+
+	// Demand accounting: what a cache-less system would pull from the
+	// central servers.
+	s.demandMeter.AddTransfer(from, to, units.StreamRate)
+
+	// Every broadcast consumes the same coax bandwidth whether it comes
+	// from a peer or the headend (Section VI-B).
+	sess.meter.AddTransfer(from, to, units.StreamRate)
+	if sess.coax.Admit(units.StreamRate) {
+		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+			sess.coax.Release(units.StreamRate)
+		}))
+	} else {
+		s.counters.CoaxOverloads++
+	}
+
+	if sess.firstFetch {
+		s.counters.MissFirstFetch++
+		s.serverMeter.AddTransfer(from, to, units.StreamRate)
+		return
+	}
+
+	outcome, server := sess.is.ServeSegment(p, idx)
+	switch outcome {
+	case ServedByPeer:
+		s.counters.Hits++
+		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+			server.CloseStream()
+		}))
+		return
+	case MissNotCached:
+		s.counters.MissNotCached++
+	case MissUnplaced:
+		s.counters.MissUnplaced++
+	case MissPeerBusy:
+		s.counters.MissPeerBusy++
+	}
+
+	// Miss: the central media server streams the segment over fiber and
+	// the headend broadcasts it (Figure 4).
+	s.serverMeter.AddTransfer(from, to, units.StreamRate)
+
+	// A complete miss broadcast can fill the cache at a storing peer.
+	if complete {
+		if filler := sess.is.TryFill(p, idx); filler != nil {
+			s.counters.Fills++
+			s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+				filler.CloseStream()
+			}))
+		}
+	}
+}

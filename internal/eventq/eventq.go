@@ -183,6 +183,25 @@ func (q *Queue) Run() {
 	}
 }
 
+// RunBefore executes every pending event strictly ordered before a
+// hypothetical event at (at, prio) — that is, events at earlier
+// timestamps, plus same-timestamp events with a lower priority — then
+// advances the clock to at. It is the streaming engine's pre-ingest
+// drain: before an externally injected event at (at, prio) runs, the
+// queue reaches exactly the state the batch run loop would have.
+func (q *Queue) RunBefore(at time.Duration, prio Priority) {
+	for {
+		next, ok := q.peek()
+		if !ok || next.at > at || (next.at == at && next.prio >= prio) {
+			break
+		}
+		q.Step()
+	}
+	if q.now < at {
+		q.now = at
+	}
+}
+
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled later remain pending.
 func (q *Queue) RunUntil(deadline time.Duration) {

@@ -232,3 +232,52 @@ func TestExecutionOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunBefore(t *testing.T) {
+	q := New()
+	var got []string
+	add := func(at time.Duration, prio Priority, name string) {
+		q.Schedule(at, prio, Func(func(time.Duration) { got = append(got, name) }))
+	}
+	add(1*time.Second, PrioritySessionEnd, "end@1")
+	add(2*time.Second, PrioritySessionEnd, "end@2")
+	add(2*time.Second, PrioritySegment, "seg@2")
+	add(2*time.Second, PrioritySessionStart, "start@2")
+	add(3*time.Second, PrioritySessionEnd, "end@3")
+
+	// Everything strictly before (2s, SessionStart) runs: end@1, end@2,
+	// seg@2 — but not start@2 (same key) or end@3 (later).
+	q.RunBefore(2*time.Second, PrioritySessionStart)
+	want := []string{"end@1", "end@2", "seg@2"}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("executed %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", q.Now())
+	}
+	// A later boundary with no intervening events still advances the clock.
+	q.RunBefore(2*time.Second, PrioritySessionStart) // idempotent
+	if len(got) != 3 {
+		t.Fatalf("re-run executed extra events: %v", got)
+	}
+	q.Run()
+	if len(got) != 5 {
+		t.Fatalf("drain executed %v", got)
+	}
+	if got[3] != "start@2" || got[4] != "end@3" {
+		t.Fatalf("drain order %v", got)
+	}
+}
+
+func TestRunBeforeAdvancesClockOnEmptyQueue(t *testing.T) {
+	q := New()
+	q.RunBefore(5*time.Second, PrioritySessionStart)
+	if q.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", q.Now())
+	}
+}

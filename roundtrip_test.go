@@ -1,0 +1,66 @@
+package cablevod
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randomTrace draws a structurally valid trace from rng. Times are whole
+// seconds — the resolution of the CSV format — so the property below can
+// demand exact record preservation from both encodings.
+func randomTrace(rng *rand.Rand) *Trace {
+	tr := &Trace{ProgramLengths: map[ProgramID]time.Duration{}}
+	n := rng.Intn(200)
+	for i := 0; i < n; i++ {
+		tr.Append(Record{
+			User:     UserID(rng.Intn(1 << 20)),
+			Program:  ProgramID(rng.Intn(1 << 20)),
+			Start:    time.Duration(rng.Intn(14*24*3600)) * time.Second,
+			Duration: time.Duration(1+rng.Intn(4*3600)) * time.Second,
+			Offset:   time.Duration(rng.Intn(3600)) * time.Second,
+		})
+	}
+	tr.Sort()
+	progs := rng.Intn(20)
+	for i := 0; i < progs; i++ {
+		tr.ProgramLengths[ProgramID(rng.Intn(1<<20))] = time.Duration(1+rng.Intn(6*3600)) * time.Second
+	}
+	return tr
+}
+
+// TestSaveLoadTraceRoundTripProperty: for any valid trace with
+// second-granularity times, SaveTrace then LoadTrace preserves every
+// record exactly, in both the .csv and .gob encodings; .gob additionally
+// preserves the program-length table.
+func TestSaveLoadTraceRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTrace(rng)
+		for _, ext := range []string{".csv", ".gob"} {
+			path := filepath.Join(dir, "t"+ext)
+			if err := SaveTrace(tr, path); err != nil {
+				t.Fatalf("trial %d %s: save: %v", trial, ext, err)
+			}
+			got, err := LoadTrace(path)
+			if err != nil {
+				t.Fatalf("trial %d %s: load: %v", trial, ext, err)
+			}
+			if len(got.Records) != len(tr.Records) {
+				t.Fatalf("trial %d %s: %d records, want %d", trial, ext, len(got.Records), len(tr.Records))
+			}
+			for i := range tr.Records {
+				if got.Records[i] != tr.Records[i] {
+					t.Fatalf("trial %d %s: record %d = %+v, want %+v",
+						trial, ext, i, got.Records[i], tr.Records[i])
+				}
+			}
+			if ext == ".gob" && !reflect.DeepEqual(got.ProgramLengths, tr.ProgramLengths) {
+				t.Fatalf("trial %d: gob program lengths = %v, want %v", trial, got.ProgramLengths, tr.ProgramLengths)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package cablevod
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/core"
+)
+
+// System is the long-lived online serving engine: the public face of the
+// index servers, cooperative caches, and discrete-event session state for
+// one deployment. Unlike Run, which replays a complete trace in one call,
+// a System ingests session records incrementally as viewers tune in,
+// reports live metrics mid-flight, and finalizes statistics on Close:
+//
+//	sys, err := cablevod.New(cfg) // cfg.Subscribers + cfg.Catalog set
+//	for rec := range requests {   // in timestamp order
+//		if err := sys.Submit(rec); err != nil { ... }
+//		fmt.Println(sys.Snapshot().HitRatio())
+//	}
+//	res, err := sys.Close()
+//
+// A System is single-goroutine: calls must not race.
+type System struct {
+	sys *core.System
+}
+
+// Metrics is a live aggregate view of a running System: the virtual
+// clock, running counters, transfer totals, average server/coax rates,
+// and pooled cache occupancy.
+type Metrics = core.Metrics
+
+// New builds the topology, index servers, and caches for a long-lived
+// online system. Config.Subscribers (the full user population) is
+// required; Config.Catalog supplies program lengths (programs absent
+// from it are never cached); Config.Future is required only by the
+// Oracle strategy. Feed sessions with Submit and finalize with Close.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Subscribers) == 0 {
+		return nil, fmt.Errorf("cablevod: Config.Subscribers must list the user population")
+	}
+	w := core.Workload{Users: cfg.Subscribers, Lengths: cfg.Catalog}
+	if cfg.Future != nil {
+		if !cfg.Future.Sorted() {
+			return nil, fmt.Errorf("cablevod: Config.Future must be sorted")
+		}
+		w.Future = cfg.Future.Records
+	}
+	sys, err := core.NewSystem(cfg.internal(), w)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: sys}, nil
+}
+
+// Submit ingests one session record, advancing virtual time to the
+// record's start and serving its segments as simulation events unfold.
+// Records must arrive in non-decreasing Start order; the user must be in
+// the subscriber population.
+func (s *System) Submit(rec Record) error {
+	return s.sys.Submit(rec)
+}
+
+// Snapshot returns live aggregates — hit ratio, server and coax load,
+// admissions and evictions, cache occupancy — valid as of the last
+// submitted record. It never advances the clock.
+func (s *System) Snapshot() Metrics {
+	return s.sys.Snapshot()
+}
+
+// Now returns the engine's virtual clock.
+func (s *System) Now() time.Duration { return s.sys.Now() }
+
+// Close drains every in-flight session and finalizes the run statistics.
+// The system cannot be used afterwards.
+func (s *System) Close() (*Result, error) {
+	return s.sys.Close()
+}
+
+// Policy is a pluggable cache replacement strategy at program
+// granularity, mirroring the engine's internal policy contract. The
+// per-neighborhood cache container drives it; implementations maintain
+// whatever bookkeeping their strategy needs (recency lists, frequency
+// windows, future indexes). Register implementations with
+// RegisterStrategy and select them via Config.StrategyName.
+//
+// Time advances monotonically across calls. One Policy instance governs
+// one neighborhood's pooled cache.
+type Policy interface {
+	// Name identifies the strategy ("lru", "lfu", ...).
+	Name() string
+
+	// Advance moves the policy's clock to now, processing any pending
+	// decay (history-window expiry, future-window slide).
+	Advance(now time.Duration)
+
+	// OnRequest records that p was requested at now, before the hit or
+	// miss is resolved. For cached programs this refreshes recency.
+	OnRequest(p ProgramID, now time.Duration)
+
+	// CandidateValue returns the retention value of the (uncached)
+	// program p for admission comparison against victims: p is admitted
+	// only if its value is at least every displaced victim's value.
+	CandidateValue(p ProgramID, now time.Duration) int
+
+	// OnAdmit adds p to the policy's cached set.
+	OnAdmit(p ProgramID, now time.Duration)
+
+	// OnEvict removes p from the policy's cached set.
+	OnEvict(p ProgramID)
+
+	// EvictionOrder yields cached programs from least to most valuable
+	// (with least-recently-used tie-break) until yield returns false.
+	EvictionOrder(yield func(p ProgramID, value int) bool)
+}
+
+// RegisterStrategy adds a named caching strategy to the engine's
+// registry, making it selectable by Config.StrategyName in New and Run
+// alongside the built-in lru, lfu, oracle, and global-lfu strategies.
+// The factory is invoked once per neighborhood per run with the run's
+// resolved configuration. Registration fails on an empty name, a nil
+// factory, or a name already registered.
+func RegisterStrategy(name string, factory func(Config) Policy) error {
+	if factory == nil {
+		return fmt.Errorf("cablevod: nil factory for strategy %q", name)
+	}
+	return core.RegisterStrategy(name, func(env *core.PolicyEnv) (func(int) (cache.Policy, error), error) {
+		cfg := publicConfig(env.Config)
+		return func(int) (cache.Policy, error) {
+			pol := factory(cfg)
+			if pol == nil {
+				return nil, fmt.Errorf("cablevod: strategy %q factory returned nil policy", name)
+			}
+			return pol, nil
+		}, nil
+	})
+}
+
+// Strategies returns every registered strategy name, sorted.
+func Strategies() []string {
+	return core.RegisteredStrategies()
+}
+
+// publicConfig flattens a resolved internal configuration back into the
+// public view handed to strategy factories.
+func publicConfig(c core.Config) Config {
+	return Config{
+		NeighborhoodSize:  c.Topology.NeighborhoodSize,
+		PerPeerStorage:    c.Topology.PerPeerStorage,
+		MaxStreamsPerPeer: c.Topology.MaxStreamsPerPeer,
+		CoaxCapacity:      c.Topology.CoaxCapacity,
+		Strategy:          c.Strategy,
+		StrategyName:      c.StrategyName,
+		LFUHistory:        c.LFUHistory,
+		OracleLookahead:   c.OracleLookahead,
+		GlobalLag:         c.GlobalLag,
+		Fill:              c.Fill,
+		Replicas:          c.Replicas,
+		PrefixSegments:    c.PrefixSegments,
+		WarmupDays:        c.WarmupDays,
+	}
+}
+
+// TraceCatalog returns the program-length table a batch replay of tr
+// uses: explicit Trace.ProgramLengths entries win over the longest
+// observed playback per program. Useful as Config.Catalog when driving
+// a System online over a known workload.
+func TraceCatalog(tr *Trace) map[ProgramID]time.Duration {
+	if tr == nil {
+		return nil
+	}
+	return core.TraceLengths(tr)
+}

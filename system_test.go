@@ -1,0 +1,345 @@
+package cablevod
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// streamConfig returns cfg with the workload fields (Subscribers,
+// Catalog, Future) filled from tr, the way an online deployment that
+// knows its population and catalog would configure New.
+func streamConfig(cfg Config, tr *Trace) Config {
+	cfg.Subscribers = tr.Users()
+	cfg.Catalog = TraceCatalog(tr)
+	cfg.Future = tr
+	return cfg
+}
+
+// runStreaming drives tr through a long-lived System record by record.
+func runStreaming(t *testing.T, cfg Config, tr *Trace) *Result {
+	t.Helper()
+	sys, err := New(streamConfig(cfg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range tr.Records {
+		if err := sys.Submit(rec); err != nil {
+			t.Fatalf("submit record %d: %v", i, err)
+		}
+	}
+	res, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSystemMatchesRun is the streaming-vs-batch equivalence suite: a
+// System fed record by record must produce a Result identical to the
+// legacy batch Run for every strategy and fill mode, across seeds.
+func TestSystemMatchesRun(t *testing.T) {
+	strategies := []Strategy{LRU, LFU, Oracle, GlobalLFU}
+	fills := []FillMode{FillImmediate, FillOnBroadcast}
+	for seed := uint64(1); seed <= 3; seed++ {
+		opts := smallTraceOptions()
+		opts.Seed = seed
+		tr, err := GenerateTrace(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range strategies {
+			for _, fill := range fills {
+				cfg := Config{
+					NeighborhoodSize: 400,
+					PerPeerStorage:   2 * GB,
+					Strategy:         strat,
+					Fill:             fill,
+					WarmupDays:       1,
+				}
+				batch, err := Run(cfg, tr)
+				if err != nil {
+					t.Fatalf("seed %d %v/%v: %v", seed, strat, fill, err)
+				}
+				stream := runStreaming(t, cfg, tr)
+				if !reflect.DeepEqual(batch, stream) {
+					t.Errorf("seed %d %v/%v: streaming result differs from batch\nbatch:  %+v\nstream: %+v",
+						seed, strat, fill, batch, stream)
+				}
+			}
+		}
+	}
+}
+
+// fifoPolicy is a user-defined strategy: admit everything, evict in
+// admission order. It exercises the public Policy surface end-to-end.
+type fifoPolicy struct {
+	order []ProgramID
+}
+
+func (f *fifoPolicy) Name() string                                { return "fifo" }
+func (f *fifoPolicy) Advance(time.Duration)                       {}
+func (f *fifoPolicy) OnRequest(ProgramID, time.Duration)          {}
+func (f *fifoPolicy) CandidateValue(ProgramID, time.Duration) int { return int(^uint(0) >> 1) }
+func (f *fifoPolicy) OnAdmit(p ProgramID, _ time.Duration)        { f.order = append(f.order, p) }
+func (f *fifoPolicy) OnEvict(p ProgramID) {
+	for i, q := range f.order {
+		if q == p {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			return
+		}
+	}
+}
+func (f *fifoPolicy) EvictionOrder(yield func(p ProgramID, value int) bool) {
+	for _, p := range f.order {
+		if !yield(p, 0) {
+			return
+		}
+	}
+}
+
+func TestRegisterStrategyCustomPolicy(t *testing.T) {
+	if err := RegisterStrategy("fifo-test", func(Config) Policy { return &fifoPolicy{} }); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range Strategies() {
+		if name == "fifo-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fifo-test not listed in Strategies(): %v", Strategies())
+	}
+
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		NeighborhoodSize: 400,
+		PerPeerStorage:   1 * GB,
+		StrategyName:     "fifo-test",
+		WarmupDays:       1,
+	}
+
+	// The custom policy must run through both the batch wrapper and the
+	// streaming engine, identically.
+	batch, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := runStreaming(t, cfg, tr)
+	if !reflect.DeepEqual(batch, stream) {
+		t.Error("custom strategy: streaming result differs from batch")
+	}
+	if batch.Counters.Admissions == 0 {
+		t.Error("custom strategy admitted nothing")
+	}
+	if batch.Counters.Evictions == 0 {
+		t.Error("custom strategy evicted nothing (cache should overflow at 1 GB/peer)")
+	}
+	if batch.Counters.Hits == 0 {
+		t.Error("custom strategy served no hits")
+	}
+	if got := batch.Config.StrategyLabel(); got != "fifo-test" {
+		t.Errorf("StrategyLabel() = %q, want fifo-test", got)
+	}
+}
+
+func TestRegisterStrategyErrors(t *testing.T) {
+	if err := RegisterStrategy("", func(Config) Policy { return &fifoPolicy{} }); err == nil {
+		t.Error("expected error for empty name")
+	}
+	if err := RegisterStrategy("nil-factory", nil); err == nil {
+		t.Error("expected error for nil factory")
+	}
+	if err := RegisterStrategy("lru", func(Config) Policy { return &fifoPolicy{} }); err == nil {
+		t.Error("expected error re-registering built-in lru")
+	}
+	// A factory returning nil fails at System construction, not at
+	// registration.
+	if err := RegisterStrategy("nil-policy-test", func(Config) Policy { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamConfig(Config{NeighborhoodSize: 400, StrategyName: "nil-policy-test"}, tr)
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error for factory returning nil policy")
+	}
+}
+
+func TestSystemSnapshot(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamConfig(Config{NeighborhoodSize: 400, PerPeerStorage: 2 * GB}, tr)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if m := sys.Snapshot(); m.Submitted != 0 || m.Counters.Sessions != 0 {
+		t.Errorf("fresh system snapshot not empty: %+v", m)
+	}
+
+	half := tr.Len() / 2
+	for _, rec := range tr.Records[:half] {
+		if err := sys.Submit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := sys.Snapshot()
+	if mid.Submitted != half {
+		t.Errorf("Submitted = %d, want %d", mid.Submitted, half)
+	}
+	if mid.Counters.Sessions != uint64(half) {
+		t.Errorf("Sessions = %d, want %d", mid.Counters.Sessions, half)
+	}
+	if mid.Now != tr.Records[half-1].Start {
+		t.Errorf("Now = %v, want last submitted start %v", mid.Now, tr.Records[half-1].Start)
+	}
+	if mid.Counters.SegmentRequests == 0 || mid.DemandBits == 0 {
+		t.Error("mid-flight snapshot shows no traffic")
+	}
+	if mid.CacheCapacity == 0 || mid.CacheUsed == 0 || mid.CachedPrograms == 0 {
+		t.Errorf("mid-flight snapshot shows no cache state: %+v", mid)
+	}
+	if mid.DemandRate <= 0 || mid.ServerRate <= 0 || mid.CoaxRate <= 0 {
+		t.Errorf("mid-flight snapshot rates not positive: %+v", mid)
+	}
+	if s := mid.Savings(); s <= 0 || s > 1 {
+		t.Errorf("Savings() = %v, want in (0, 1]", s)
+	}
+
+	for _, rec := range tr.Records[half:] {
+		if err := sys.Submit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := sys.Snapshot()
+	if end.Submitted != tr.Len() {
+		t.Errorf("Submitted = %d, want %d", end.Submitted, tr.Len())
+	}
+	if end.Counters.SegmentRequests < mid.Counters.SegmentRequests {
+		t.Error("segment requests went backwards")
+	}
+
+	res, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Sessions != uint64(tr.Len()) {
+		t.Errorf("result sessions = %d, want %d", res.Counters.Sessions, tr.Len())
+	}
+	// After Close every session has ended.
+	if m := sys.Snapshot(); m.ActiveSessions != 0 {
+		t.Errorf("ActiveSessions after Close = %d, want 0", m.ActiveSessions)
+	}
+}
+
+func TestSystemSubmitErrors(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamConfig(Config{NeighborhoodSize: 400}, tr)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit(tr.Records[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Out of timestamp order.
+	early := tr.Records[1]
+	early.Start -= time.Hour
+	if err := sys.Submit(early); err == nil {
+		t.Error("expected error for out-of-order record")
+	}
+	// Unknown user.
+	stranger := tr.Records[1]
+	stranger.User = 1 << 30
+	if err := sys.Submit(stranger); err == nil {
+		t.Error("expected error for user outside the population")
+	}
+	// Invalid record.
+	bad := tr.Records[1]
+	bad.Duration = 0
+	if err := sys.Submit(bad); err == nil {
+		t.Error("expected error for invalid record")
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit(tr.Records[2]); err == nil {
+		t.Error("expected error submitting after Close")
+	}
+	if _, err := sys.Close(); err == nil {
+		t.Error("expected error closing twice")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NeighborhoodSize: 100}); err == nil {
+		t.Error("expected error without Subscribers")
+	}
+	// Oracle needs future knowledge.
+	cfg := Config{
+		NeighborhoodSize: 100,
+		Strategy:         Oracle,
+		Subscribers:      []UserID{1, 2, 3},
+	}
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error for oracle without Config.Future")
+	}
+	// Unknown strategy name.
+	if _, err := New(Config{
+		NeighborhoodSize: 100,
+		Subscribers:      []UserID{1, 2, 3},
+		StrategyName:     "no-such-strategy",
+	}); err == nil {
+		t.Error("expected error for unknown strategy name")
+	}
+}
+
+// TestSystemUncataloguedProgram: a program missing from the catalog is
+// never cached — every request streams from the central server.
+func TestSystemUncataloguedProgram(t *testing.T) {
+	sys, err := New(Config{
+		NeighborhoodSize: 2,
+		PerPeerStorage:   1 * GB,
+		Subscribers:      []UserID{1, 2},
+		Catalog:          map[ProgramID]time.Duration{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := sys.Submit(Record{
+			User: 1, Program: 7,
+			Start:    time.Duration(i) * time.Hour,
+			Duration: 5 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Admissions != 0 {
+		t.Errorf("admissions = %d, want 0 for uncatalogued program", res.Counters.Admissions)
+	}
+	if res.Counters.Hits != 0 {
+		t.Errorf("hits = %d, want 0", res.Counters.Hits)
+	}
+	if res.Counters.SegmentRequests == 0 {
+		t.Error("no segment requests recorded")
+	}
+}
