@@ -157,6 +157,71 @@ func benchSuite(b *testing.B, workers int) {
 func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
 func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 
+// Engine benchmarks: one full-system Run (LFU, the paper's 1,000-peer
+// neighborhoods at 10 GB per peer) with the shard worker pool serial
+// vs. GOMAXPROCS-wide. FullScale builds ~42 shards, so on an N-core
+// machine the sharded run should approach N-fold speedup; results are
+// bit-identical at both settings, which TestShardedEngineEquivalence
+// (internal/core) and TestSystemMatchesRun pin. Speedups measured on a
+// given machine are recorded in EXPERIMENTS.md.
+
+var engineBenchTraces struct {
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+}
+
+// engineBenchTrace memoizes one trace per scale so serial and sharded
+// variants share a single generation pass, outside the timer.
+func engineBenchTrace(b *testing.B, name string, scale experiments.Scale) *trace.Trace {
+	b.Helper()
+	engineBenchTraces.mu.Lock()
+	defer engineBenchTraces.mu.Unlock()
+	if tr, ok := engineBenchTraces.traces[name]; ok {
+		return tr
+	}
+	w, err := experiments.NewWorkload(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if engineBenchTraces.traces == nil {
+		engineBenchTraces.traces = make(map[string]*trace.Trace)
+	}
+	engineBenchTraces.traces[name] = tr
+	return tr
+}
+
+func benchEngineRun(b *testing.B, name string, scale experiments.Scale, parallelism int) {
+	tr := engineBenchTrace(b, name, scale)
+	cfg := Config{
+		NeighborhoodSize: 1000,
+		PerPeerStorage:   10 * GB,
+		Strategy:         LFU,
+		WarmupDays:       scale.WarmupDays,
+		Parallelism:      parallelism,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkRunSerial(b *testing.B) {
+	b.Run("QuickScale", func(b *testing.B) { benchEngineRun(b, "quick", experiments.QuickScale(), 1) })
+	b.Run("FullScale", func(b *testing.B) { benchEngineRun(b, "full", experiments.FullScale(), 1) })
+}
+
+func BenchmarkRunSharded(b *testing.B) {
+	b.Run("QuickScale", func(b *testing.B) { benchEngineRun(b, "quick", experiments.QuickScale(), 0) })
+	b.Run("FullScale", func(b *testing.B) { benchEngineRun(b, "full", experiments.FullScale(), 0) })
+}
+
 // Ablations (design-choice benches called out in DESIGN.md).
 
 func BenchmarkAblationFillMode(b *testing.B)        { benchArtifact(b, "abl-fill") }

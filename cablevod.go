@@ -31,11 +31,15 @@
 //
 // Beyond batch replay, the package exposes the engine online: New builds
 // a long-lived System that ingests session records incrementally
-// (Submit), reports live aggregates mid-flight (Snapshot), and finalizes
-// the same Result on Close. Caching strategies are pluggable — implement
-// Policy, add it with RegisterStrategy, and select it by name through
-// Config.StrategyName; the built-in strategies resolve through the same
-// registry.
+// (Submit, or SubmitBatch for bulk throughput), reports live aggregates
+// mid-flight (Snapshot, including a per-neighborhood breakdown), and
+// finalizes the same Result on Close. The engine is sharded per coax
+// neighborhood and executes shards concurrently on a worker pool bounded
+// by Config.Parallelism; results are bit-identical at every level.
+// Caching strategies are pluggable — implement Policy, add it with
+// RegisterStrategy (or RegisterIndependentStrategy to unlock concurrent
+// shards), and select it by name through Config.StrategyName; the
+// built-in strategies resolve through the same registry.
 //
 // The paper's full evaluation (every table and figure) is reproducible
 // through RunExperiment and the cmd/experiments binary; see EXPERIMENTS.md
@@ -163,6 +167,13 @@ type Config struct {
 	// WarmupDays excludes leading days from reported statistics.
 	WarmupDays int
 
+	// Parallelism bounds the worker pool the engine's per-neighborhood
+	// shards execute on: 0 uses GOMAXPROCS, 1 forces fully serial
+	// execution, higher values cap concurrent shards. Results are
+	// bit-identical at every level — the knob only trades wall-clock
+	// time against CPU. Negative values are rejected.
+	Parallelism int
+
 	// Subscribers lists the full user population for a long-lived
 	// System built with New. Placement is deterministic over the sorted
 	// population, so the engine needs it up front; Submit rejects users
@@ -199,6 +210,7 @@ func (c Config) internal() core.Config {
 		Replicas:        c.Replicas,
 		PrefixSegments:  c.PrefixSegments,
 		WarmupDays:      c.WarmupDays,
+		Parallelism:     c.Parallelism,
 	}
 }
 

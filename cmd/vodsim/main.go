@@ -9,6 +9,7 @@
 //	vodsim -trace trace.gob -strategy oracle -warmup 7
 //	vodsim -synth -replicas 2 -prefix-segments 4 -max-streams 4
 //	vodsim -synth -live 1        # drive the online engine, daily snapshots
+//	vodsim -synth -parallel 8    # run neighborhood shards on 8 workers
 package main
 
 import (
@@ -51,6 +52,7 @@ func run(args []string) error {
 		prefixSegs   = fs.Int("prefix-segments", 0, "cache only the first N segments per program (0 = whole program)")
 		maxStreams   = fs.Int("max-streams", 0, "concurrent stream limit per set-top box (0 = default 2)")
 		live         = fs.Int("live", 0, "drive the online engine, printing a snapshot every N simulated days")
+		parallel     = fs.Int("parallel", 0, "worker pool for concurrent neighborhood shards (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +115,7 @@ func run(args []string) error {
 		Replicas:          *replicas,
 		PrefixSegments:    *prefixSegs,
 		WarmupDays:        *warmup,
+		Parallelism:       *parallel,
 	}
 	start := time.Now()
 	var res *cablevod.Result
@@ -138,8 +141,10 @@ func registered(name string) bool {
 	return false
 }
 
-// runLive drives the long-lived online engine record by record, printing
-// a live metrics snapshot every snapshotDays simulated days.
+// runLive drives the long-lived online engine in day-sized batches
+// (SubmitBatch fans each batch across the neighborhood shards), printing
+// a live metrics snapshot every snapshotDays simulated days and the
+// per-neighborhood breakdown at the end of the run.
 func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablevod.Result, error) {
 	cfg.Subscribers = tr.Users()
 	cfg.Catalog = cablevod.TraceCatalog(tr)
@@ -148,19 +153,28 @@ func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablev
 	if err != nil {
 		return nil, err
 	}
+	fmt.Printf("engine: %d shards (one per neighborhood) on a %d-worker pool\n",
+		sys.Shards(), sys.Parallelism())
 	nextDay := snapshotDays
+	start := 0
 	for i, rec := range tr.Records {
 		if day := int(rec.Start / (24 * time.Hour)); day >= nextDay {
+			if err := sys.SubmitBatch(tr.Records[start:i]); err != nil {
+				return nil, fmt.Errorf("batch starting at record %d: %w", start, err)
+			}
+			start = i
 			printSnapshot(sys.Snapshot())
 			for nextDay <= day {
 				nextDay += snapshotDays
 			}
 		}
-		if err := sys.Submit(rec); err != nil {
-			return nil, fmt.Errorf("record %d: %w", i, err)
-		}
 	}
-	printSnapshot(sys.Snapshot())
+	if err := sys.SubmitBatch(tr.Records[start:]); err != nil {
+		return nil, fmt.Errorf("batch starting at record %d: %w", start, err)
+	}
+	final := sys.Snapshot()
+	printSnapshot(final)
+	printBreakdown(final)
 	return sys.Close()
 }
 
@@ -171,6 +185,20 @@ func printSnapshot(m cablevod.Metrics) {
 		100*m.HitRatio(), m.ServerRate.Gbps(), m.CoaxRate.Mbps(),
 		100*float64(m.CacheUsed)/float64(max(int64(m.CacheCapacity), 1)), m.CacheCapacity,
 		m.Counters.Admissions, m.Counters.Evictions)
+}
+
+// printBreakdown renders the per-neighborhood shard table of a snapshot.
+func printBreakdown(m cablevod.Metrics) {
+	fmt.Printf("per-neighborhood breakdown (%d shards):\n", m.Neighborhoods)
+	fmt.Printf("  %4s %10s %8s %12s %10s\n", "nb", "sessions", "hit", "coax avg", "cache")
+	for _, nb := range m.PerNeighborhood {
+		occupancy := 0.0
+		if nb.CacheCapacity > 0 {
+			occupancy = 100 * float64(nb.CacheUsed) / float64(nb.CacheCapacity)
+		}
+		fmt.Printf("  %4d %10d %7.1f%% %9.0f Mb/s %9.0f%%\n",
+			nb.ID, nb.Sessions, 100*nb.HitRatio, nb.CoaxRate.Mbps(), occupancy)
+	}
 }
 
 func printResult(res *cablevod.Result, elapsed time.Duration) {

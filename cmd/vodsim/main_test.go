@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -120,6 +122,84 @@ func TestRunLive(t *testing.T) {
 		}); err != nil {
 			t.Errorf("%s: %v", strat, err)
 		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf strings.Builder
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
+
+// TestRunLiveParallelBreakdown: -parallel wires the shard worker pool
+// and -live prints the shard count and per-neighborhood breakdown.
+func TestRunLiveParallelBreakdown(t *testing.T) {
+	path := smallTraceFile(t)
+	out := captureStdout(t, func() error {
+		return run([]string{
+			"-trace", path, "-neighborhood", "100", "-storage", "1GB",
+			"-warmup", "0", "-live", "1", "-parallel", "2",
+		})
+	})
+	if !strings.Contains(out, "shards (one per neighborhood)") {
+		t.Errorf("live output missing shard count line:\n%s", out)
+	}
+	if !strings.Contains(out, "per-neighborhood breakdown") {
+		t.Errorf("live output missing per-neighborhood breakdown:\n%s", out)
+	}
+	// 300 users over 100-peer neighborhoods = 3 shard rows.
+	for _, row := range []string{"   0 ", "   1 ", "   2 "} {
+		if !strings.Contains(out, row) {
+			t.Errorf("breakdown missing neighborhood row %q:\n%s", row, out)
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial: the batch CLI path produces identical
+// headline output at -parallel 1 and -parallel 4.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	path := smallTraceFile(t)
+	var outs []string
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return run([]string{
+				"-trace", path, "-neighborhood", "100", "-storage", "1GB",
+				"-warmup", "0", "-parallel", par,
+			})
+		})
+		// The elapsed line is wall-clock and legitimately differs.
+		lines := strings.Split(out, "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "elapsed") {
+				kept = append(kept, l)
+			}
+		}
+		outs = append(outs, strings.Join(kept, "\n"))
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s", outs[0], outs[1])
 	}
 }
 

@@ -1,6 +1,6 @@
 // Custom policy: plug a user-defined caching strategy into the engine
-// with RegisterStrategy and drive it through the long-lived online
-// System — no internal packages touched.
+// with RegisterIndependentStrategy and drive it through the long-lived
+// online System — no internal packages touched.
 //
 // The strategy here is "segmented LRU" (SLRU): a probationary queue for
 // programs seen once and a protected queue for programs re-requested
@@ -94,7 +94,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("custom_policy: ")
 
-	if err := cablevod.RegisterStrategy("slru", func(cablevod.Config) cablevod.Policy {
+	// Each call returns a fresh SLRU sharing nothing with its siblings,
+	// so the independent registration lets the engine run neighborhood
+	// shards concurrently.
+	if err := cablevod.RegisterIndependentStrategy("slru", func(cablevod.Config) cablevod.Policy {
 		return newSLRU()
 	}); err != nil {
 		log.Fatal(err)

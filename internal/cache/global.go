@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cablevod/internal/trace"
@@ -36,6 +37,17 @@ type Global struct {
 	// subscribers maps a program to the policies currently caching it,
 	// for live (lag == 0) bucket updates.
 	subscribers map[trace.ProgramID]map[*GlobalLFU]struct{}
+
+	// coordinated switches the aggregator into barrier-synchronized mode
+	// for concurrent neighborhood shards (see Coordinate): policies
+	// buffer their access records locally and only read the published
+	// snapshot; all shared-state mutation happens in Sync, which the
+	// engine calls between processing windows when no policy is running.
+	coordinated bool
+
+	// policies lists every view handed out by NewPolicy, in creation
+	// order, so Sync can drain their buffers deterministically.
+	policies []*GlobalLFU
 }
 
 // NewGlobal returns a shared aggregator with the given history window and
@@ -59,15 +71,80 @@ func NewGlobal(history, lag time.Duration) (*Global, error) {
 
 // NewPolicy returns a policy view of the aggregator for one neighborhood.
 func (g *Global) NewPolicy() *GlobalLFU {
-	return &GlobalLFU{global: g, set: newBucketSet()}
+	pol := &GlobalLFU{global: g, set: newBucketSet()}
+	g.policies = append(g.policies, pol)
+	return pol
 }
 
-// advance slides the window and publishes snapshots as time passes.
+// Coordinate switches the aggregator into barrier-synchronized mode for
+// concurrent per-neighborhood shards. Between barriers, policies read
+// only the immutable published snapshot and buffer their access records
+// locally; the engine calls Sync at each publication instant (while no
+// policy is running) to merge the buffers and republish. This reproduces
+// the serial lag semantics exactly — with lag > 0, counts are observable
+// only through publications, so deferring the merge to the publication
+// instant changes nothing. A live feed (lag == 0) couples neighborhoods
+// at per-request granularity and cannot be coordinated; callers must
+// serialize instead.
+func (g *Global) Coordinate() error {
+	if g.lag <= 0 {
+		return fmt.Errorf("cache: live global feed (lag 0) couples neighborhoods per request and cannot be barrier-coordinated")
+	}
+	if g.now != 0 || len(g.expiry) != 0 || len(g.counts) != 0 {
+		return fmt.Errorf("cache: Coordinate must be called before any traffic")
+	}
+	g.coordinated = true
+	return nil
+}
+
+// SyncNeeded reports whether shared state must be synchronized before a
+// request at time next is processed: the next publication instant has
+// been reached. Part of the engine's shard-coupling contract.
+func (g *Global) SyncNeeded(next time.Duration) bool {
+	return g.coordinated && next >= g.nextPublish
+}
+
+// Sync merges every policy's buffered access records and republishes the
+// popularity snapshot as of time now — the coordinated-mode equivalent
+// of the first advance call crossing a publication boundary. The engine
+// must call it with no policy running concurrently.
+func (g *Global) Sync(now time.Duration) {
+	if !g.coordinated {
+		return
+	}
+	var batch []expiryEvent
+	for _, pol := range g.policies {
+		batch = append(batch, pol.pending...)
+		pol.pending = pol.pending[:0]
+	}
+	// Record times are globally non-decreasing across windows, so the
+	// sorted batch keeps g.expiry monotone; tie order within a batch is
+	// irrelevant (only the set of events at or before a barrier matters).
+	sort.Slice(batch, func(i, j int) bool { return batch[i].at < batch[j].at })
+	for _, e := range batch {
+		g.counts[e.program]++
+		g.expiry = append(g.expiry, e)
+	}
+	if now > g.now {
+		g.now = now
+	}
+	g.expireTo(now)
+	g.maybePublish(now)
+}
+
+// advance slides the window and publishes snapshots as time passes. In
+// coordinated mode it is a no-op: all mutation happens in Sync.
 func (g *Global) advance(now time.Duration) {
-	if now <= g.now {
+	if g.coordinated || now <= g.now {
 		return
 	}
 	g.now = now
+	g.expireTo(now)
+	g.maybePublish(now)
+}
+
+// expireTo drops window entries at or before now.
+func (g *Global) expireTo(now time.Duration) {
 	for g.head < len(g.expiry) && g.expiry[g.head].at <= now {
 		e := g.expiry[g.head]
 		g.head++
@@ -82,6 +159,10 @@ func (g *Global) advance(now time.Duration) {
 		g.expiry = g.expiry[:n]
 		g.head = 0
 	}
+}
+
+// maybePublish publishes a snapshot when now crosses the lag boundary.
+func (g *Global) maybePublish(now time.Duration) {
 	if g.lag > 0 && now >= g.nextPublish {
 		g.publish()
 		for g.nextPublish <= now {
@@ -149,6 +230,10 @@ type GlobalLFU struct {
 	global  *Global
 	set     *bucketSet
 	version uint64
+
+	// pending buffers this neighborhood's access records between
+	// barriers in coordinated mode; only Sync drains it.
+	pending []expiryEvent
 }
 
 var _ Policy = (*GlobalLFU)(nil)
@@ -182,11 +267,18 @@ func (l *GlobalLFU) rebuild() {
 	}
 }
 
-// OnRequest records the access into the shared aggregator and refreshes
-// local recency.
+// OnRequest records the access into the shared aggregator (or, in
+// coordinated mode, the local barrier buffer) and refreshes local
+// recency.
 func (l *GlobalLFU) OnRequest(p trace.ProgramID, now time.Duration) {
 	l.Advance(now)
-	l.global.record(p, now)
+	if l.global.coordinated {
+		if l.global.history > 0 {
+			l.pending = append(l.pending, expiryEvent{program: p, at: now + l.global.history})
+		}
+	} else {
+		l.global.record(p, now)
+	}
 	if l.set.contains(p) {
 		if l.global.lag == 0 {
 			l.set.setCount(p, l.global.count(p))

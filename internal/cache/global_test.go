@@ -144,3 +144,78 @@ func TestGlobalUnsubscribeOnEvict(t *testing.T) {
 		t.Errorf("program 1 still has %d subscribers after eviction", len(subs))
 	}
 }
+
+// TestGlobalCoordinateRequiresLag: a live feed cannot be coordinated,
+// and coordination must precede traffic.
+func TestGlobalCoordinateRequiresLag(t *testing.T) {
+	if err := mustGlobal(t, 24*time.Hour, 0).Coordinate(); err == nil {
+		t.Error("expected error coordinating a live (lag 0) feed")
+	}
+	g := mustGlobal(t, 24*time.Hour, time.Hour)
+	pol := g.NewPolicy()
+	pol.OnRequest(1, time.Second)
+	if err := g.Coordinate(); err == nil {
+		t.Error("expected error coordinating after traffic")
+	}
+}
+
+// TestGlobalCoordinatedMatchesSerialLagged drives the same interleaved
+// request schedule through a serial lagged aggregator and a coordinated
+// one (buffered policies synchronized at exactly the publication
+// instants the serial aggregator would use) and requires identical
+// policy-visible counts at every step.
+func TestGlobalCoordinatedMatchesSerialLagged(t *testing.T) {
+	const (
+		history = 2 * time.Hour
+		lag     = 30 * time.Minute
+		nPols   = 3
+	)
+	// An interleaved schedule: (time, neighborhood, program) with
+	// several requests inside each lag window and program reuse across
+	// neighborhoods so counts genuinely aggregate.
+	type req struct {
+		at time.Duration
+		nb int
+		p  trace.ProgramID
+	}
+	var schedule []req
+	for i := 0; i < 300; i++ {
+		schedule = append(schedule, req{
+			at: time.Duration(i) * 97 * time.Second,
+			nb: i % nPols,
+			p:  trace.ProgramID(1 + (i*7)%11),
+		})
+	}
+
+	serial := mustGlobal(t, history, lag)
+	coord := mustGlobal(t, history, lag)
+	if err := coord.Coordinate(); err != nil {
+		t.Fatal(err)
+	}
+	var serialPols, coordPols []*GlobalLFU
+	for i := 0; i < nPols; i++ {
+		serialPols = append(serialPols, serial.NewPolicy())
+		coordPols = append(coordPols, coord.NewPolicy())
+	}
+
+	for i, r := range schedule {
+		// The engine syncs the coordinated aggregator exactly where the
+		// serial one would publish: at the first request past the lag
+		// boundary, before that request is processed.
+		if coord.SyncNeeded(r.at) {
+			coord.Sync(r.at)
+		}
+		serialPols[r.nb].OnRequest(r.p, r.at)
+		coordPols[r.nb].OnRequest(r.p, r.at)
+		for nb := 0; nb < nPols; nb++ {
+			for p := trace.ProgramID(1); p <= 12; p++ {
+				want := serialPols[nb].CandidateValue(p, r.at)
+				got := coordPols[nb].CandidateValue(p, r.at)
+				if got != want {
+					t.Fatalf("step %d (t=%v nb=%d): program %d: coordinated count %d, serial %d",
+						i, r.at, nb, p, got, want)
+				}
+			}
+		}
+	}
+}

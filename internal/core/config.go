@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -167,6 +168,13 @@ type Config struct {
 	// (ablation: Section V-C says the cache must trigger a miss when the
 	// serving peer is saturated).
 	DisablePeerStreamLimit bool
+
+	// Parallelism bounds the worker pool the engine's per-neighborhood
+	// shards execute on: 0 uses GOMAXPROCS, 1 is fully serial execution
+	// (the pre-sharding engine's path), higher values cap concurrent
+	// shards. Results are bit-identical at every level — the knob only
+	// trades wall-clock time against CPU. Negative values are invalid.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -233,7 +241,19 @@ func (c Config) Validate() error {
 	if c.PrefixSegments < 0 {
 		return fmt.Errorf("core: negative prefix segments %d", c.PrefixSegments)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d (0 = GOMAXPROCS, 1 = serial)", c.Parallelism)
+	}
 	return nil
+}
+
+// effectiveParallelism resolves the worker-pool width: the configured
+// Parallelism, or GOMAXPROCS when unset.
+func (c Config) effectiveParallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // strategyName resolves the registry name this configuration selects:

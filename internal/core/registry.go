@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"cablevod/internal/cache"
 	"cablevod/internal/hfc"
@@ -25,6 +26,52 @@ type PolicyEnv struct {
 	// Future is the full upcoming request sequence in timestamp order,
 	// or nil when the engine is driven online without future knowledge.
 	Future []trace.Record
+
+	// Parallelism is the resolved worker-pool width the engine will run
+	// neighborhood shards on (>= 1; 1 means fully serial execution).
+	// Factories whose policies share mutable state can skip coordination
+	// setup when it is 1.
+	Parallelism int
+
+	// coupler is set through Couple by factories whose policies share
+	// epoch-synchronizable state.
+	coupler ShardCoupler
+}
+
+// Couple hands the engine shared strategy state that must be
+// synchronized at epoch barriers. A factory calls it (at most once) when
+// its per-neighborhood policies share state whose observable changes
+// happen only at discrete publication instants — the engine then runs
+// shards concurrently between instants and calls Sync at each barrier
+// with no policy running. Factories that share per-request-coupled state
+// must NOT couple; leaving the registration traits at their zero value
+// makes the engine serialize instead.
+func (env *PolicyEnv) Couple(c ShardCoupler) { env.coupler = c }
+
+// ShardCoupler is strategy-shared state that couples concurrent
+// neighborhood shards and synchronizes at epoch barriers. The engine
+// checks SyncNeeded against each record's start time in global order and
+// calls Sync exactly where the serial engine would have published, so
+// results stay bit-identical at every parallelism level.
+type ShardCoupler interface {
+	// SyncNeeded reports whether shared state must synchronize before a
+	// record at time next is processed.
+	SyncNeeded(next time.Duration) bool
+
+	// Sync merges per-shard contributions and republishes shared state
+	// as of time now. The engine guarantees no policy runs concurrently.
+	Sync(now time.Duration)
+}
+
+// StrategyTraits declares how a strategy's per-neighborhood policies may
+// be distributed across concurrent shards.
+type StrategyTraits struct {
+	// ShardIndependent asserts that policies built by this factory for
+	// different neighborhoods share no mutable state, so shards may run
+	// fully concurrently. The zero value is the safe default: the engine
+	// processes records in global order on one goroutine unless the
+	// factory couples shared state explicitly (PolicyEnv.Couple).
+	ShardIndependent bool
 }
 
 // StrategyFactory builds the per-neighborhood cache policies for one run.
@@ -34,16 +81,33 @@ type PolicyEnv struct {
 // data (the oracle's future index).
 type StrategyFactory func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error)
 
+// strategyEntry is one registered strategy: its factory plus the
+// concurrency traits it declared.
+type strategyEntry struct {
+	factory StrategyFactory
+	traits  StrategyTraits
+}
+
 var (
 	registryMu sync.RWMutex
-	registry   = make(map[string]StrategyFactory)
+	registry   = make(map[string]strategyEntry)
 )
 
-// RegisterStrategy adds a named caching strategy to the registry.
-// Registered names are resolved by Config.StrategyName (and by the
-// Strategy enum constants, whose String names are registered at init).
-// Registering an empty name, a nil factory, or a duplicate name fails.
+// RegisterStrategy adds a named caching strategy to the registry with
+// zero traits: the engine serializes record processing for it unless the
+// factory couples shared state through PolicyEnv.Couple. Use
+// RegisterStrategyTraits to declare per-neighborhood independence and
+// unlock fully concurrent shards. Registered names are resolved by
+// Config.StrategyName (and by the Strategy enum constants, whose String
+// names are registered at init). Registering an empty name, a nil
+// factory, or a duplicate name fails.
 func RegisterStrategy(name string, f StrategyFactory) error {
+	return RegisterStrategyTraits(name, f, StrategyTraits{})
+}
+
+// RegisterStrategyTraits registers a strategy together with explicit
+// concurrency traits.
+func RegisterStrategyTraits(name string, f StrategyFactory, traits StrategyTraits) error {
 	if name == "" {
 		return fmt.Errorf("core: empty strategy name")
 	}
@@ -55,23 +119,40 @@ func RegisterStrategy(name string, f StrategyFactory) error {
 	if _, dup := registry[name]; dup {
 		return fmt.Errorf("core: strategy %q already registered", name)
 	}
-	registry[name] = f
+	registry[name] = strategyEntry{factory: f, traits: traits}
 	return nil
 }
 
 // mustRegisterStrategy registers a built-in and panics on conflict.
-func mustRegisterStrategy(name string, f StrategyFactory) {
-	if err := RegisterStrategy(name, f); err != nil {
+func mustRegisterStrategy(name string, f StrategyFactory, traits StrategyTraits) {
+	if err := RegisterStrategyTraits(name, f, traits); err != nil {
 		panic(err)
 	}
 }
 
-// LookupStrategyFactory resolves a registered strategy name.
-func LookupStrategyFactory(name string) (StrategyFactory, bool) {
+// independent is the traits value of built-ins whose per-neighborhood
+// policies share no mutable state.
+var independent = StrategyTraits{ShardIndependent: true}
+
+// lookupStrategy resolves a registered strategy entry.
+func lookupStrategy(name string) (strategyEntry, bool) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
-	f, ok := registry[name]
-	return f, ok
+	e, ok := registry[name]
+	return e, ok
+}
+
+// LookupStrategyFactory resolves a registered strategy name.
+func LookupStrategyFactory(name string) (StrategyFactory, bool) {
+	e, ok := lookupStrategy(name)
+	return e.factory, ok
+}
+
+// LookupStrategyTraits resolves a registered strategy's concurrency
+// traits.
+func LookupStrategyTraits(name string) (StrategyTraits, bool) {
+	e, ok := lookupStrategy(name)
+	return e.traits, ok
 }
 
 // RegisteredStrategies returns every registered strategy name, sorted.
@@ -96,10 +177,10 @@ func perNeighborhood(build func(cfg Config) (cache.Policy, error)) StrategyFacto
 
 func init() {
 	mustRegisterStrategy(StrategyLRU.String(), perNeighborhood(
-		func(Config) (cache.Policy, error) { return cache.NewLRU(), nil }))
+		func(Config) (cache.Policy, error) { return cache.NewLRU(), nil }), independent)
 
 	mustRegisterStrategy(StrategyLFU.String(), perNeighborhood(
-		func(cfg Config) (cache.Policy, error) { return cache.NewLFU(cfg.LFUHistory) }))
+		func(cfg Config) (cache.Policy, error) { return cache.NewLFU(cfg.LFUHistory) }), independent)
 
 	mustRegisterStrategy(StrategyOracle.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
 		if env.Future == nil {
@@ -117,13 +198,24 @@ func init() {
 		return func(nb int) (cache.Policy, error) {
 			return cache.NewOracle(cache.BuildFutureIndex(futures[nb]), lookahead)
 		}, nil
-	})
+	}, independent)
 
+	// Global-LFU policies share the popularity aggregator. With a
+	// publication lag, the shared state is observable only at
+	// publication instants, so the factory couples it for epoch-barrier
+	// execution; a live feed (lag 0) couples neighborhoods per request
+	// and leaves the zero traits, which makes the engine serialize.
 	mustRegisterStrategy(StrategyGlobalLFU.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
 		global, err := cache.NewGlobal(env.Config.LFUHistory, env.Config.GlobalLag)
 		if err != nil {
 			return nil, err
 		}
+		if env.Parallelism > 1 && env.Config.GlobalLag > 0 {
+			if err := global.Coordinate(); err != nil {
+				return nil, err
+			}
+			env.Couple(global)
+		}
 		return func(int) (cache.Policy, error) { return global.NewPolicy(), nil }, nil
-	})
+	}, StrategyTraits{})
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"time"
+
+	"cablevod/internal/eventq"
+	"cablevod/internal/hfc"
+	"cablevod/internal/metrics"
+	"cablevod/internal/segment"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// shard is one neighborhood's slice of the engine: the coax segment, its
+// index server and pooled cache, a private discrete-event queue, and
+// private metric accumulators. Neighborhoods are independent in the
+// paper's plant — only central-server load (a sum) and global popularity
+// (a batched feed) couple them — so shards execute concurrently on the
+// coordinator's worker pool and their accumulators merge exactly:
+// meters sum integer bits per hour bucket and counters sum event totals,
+// both order-independent.
+//
+// A shard is single-goroutine: the coordinator hands it to at most one
+// worker at a time.
+type shard struct {
+	sys   *System // read-only after construction (cfg, lengths)
+	nb    *hfc.Neighborhood
+	is    *IndexServer
+	queue *eventq.Queue
+
+	serverMeter *metrics.RateMeter
+	demandMeter *metrics.RateMeter
+	coaxMeter   *metrics.RateMeter
+
+	counters Counters
+	active   int
+
+	// pending is the shard's mailbox: records routed by the coordinator
+	// for the current processing window, drained by drainPending.
+	pending []trace.Record
+}
+
+// submit ingests one session record, advancing the shard's virtual time
+// to the record's start. The coordinator has already validated the
+// record and routed it here by user homing.
+func (sh *shard) submit(rec trace.Record) {
+	// Replay every queued event the batch loop would have run before
+	// this session-start event, then start the session at its time.
+	// Submission counts and the global clock live on the coordinator.
+	sh.queue.RunBefore(rec.Start, eventq.PrioritySessionStart)
+	sh.startSession(rec, rec.Start)
+}
+
+// drainPending submits every mailbox record in order and clears the
+// mailbox. Called on a worker goroutine; touches only this shard.
+func (sh *shard) drainPending() {
+	for _, rec := range sh.pending {
+		sh.submit(rec)
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// advanceTo runs the shard's queued events up to the engine-wide clock,
+// so cross-shard aggregates line up time-wise with the serial engine.
+func (sh *shard) advanceTo(at time.Duration) {
+	sh.queue.RunBefore(at, eventq.PrioritySessionStart)
+}
+
+// session is one in-flight viewing session.
+type session struct {
+	rec    trace.Record
+	sh     *shard
+	viewer *hfc.SetTopBox
+	// length is the full playback length of the program.
+	length time.Duration
+	// firstFetch marks the session that admitted the program under
+	// FillImmediate: it streams from the central server while peers are
+	// being seeded.
+	firstFetch bool
+}
+
+// position returns the program playback position at absolute time t.
+func (sess *session) position(t time.Duration) time.Duration {
+	return sess.rec.Offset + (t - sess.rec.Start)
+}
+
+func (sh *shard) startSession(rec trace.Record, now time.Duration) {
+	viewer, _ := sh.nb.PeerOf(rec.User) // membership validated on Submit
+	sh.counters.Sessions++
+	sh.active++
+
+	// The viewer's box holds a receive stream for the whole session.
+	viewer.ForceOpenStream()
+	sh.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+		viewer.CloseStream()
+		sh.active--
+	}))
+
+	// The index server observes the request and updates the cache.
+	res := sh.is.OnSessionStart(rec.Program, now)
+	if res.Admitted {
+		sh.counters.Admissions++
+	}
+	sh.counters.Evictions += uint64(len(res.Evicted))
+
+	sess := &session{
+		rec:        rec,
+		sh:         sh,
+		viewer:     viewer,
+		length:     sh.sys.lengths(rec.Program),
+		firstFetch: res.Admitted && sh.sys.cfg.Fill == FillImmediate,
+	}
+	sh.processSegment(sess, now)
+}
+
+// processSegment serves the segment playing at time now and schedules the
+// next segment while the session lasts. Playback may start mid-program
+// (Record.Offset) and never runs past the program end.
+func (sh *shard) processSegment(sess *session, now time.Duration) {
+	pos := sess.position(now)
+	if sess.length > 0 && pos >= sess.length {
+		return // session outlives the program; nothing left to stream
+	}
+	idx := segment.At(pos)
+
+	// Program position where this segment's playback ends.
+	segEndPos := time.Duration(idx+1) * units.SegmentDuration
+	if sess.length > 0 && segEndPos > sess.length {
+		segEndPos = sess.length
+	}
+	segEndAbs := now + (segEndPos - pos)
+	watchEnd := sess.rec.End()
+	if watchEnd > segEndAbs {
+		watchEnd = segEndAbs
+	}
+	if watchEnd <= now {
+		return
+	}
+	// A broadcast is complete when the whole segment went out: viewing
+	// started at the segment boundary and ran to its end.
+	complete := pos == time.Duration(idx)*units.SegmentDuration && watchEnd == segEndAbs
+	sh.serveSegment(sess, idx, now, watchEnd, complete)
+
+	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
+		sh.queue.Schedule(segEndAbs, eventq.PrioritySegment, eventq.Func(func(t time.Duration) {
+			sh.processSegment(sess, t)
+		}))
+	}
+}
+
+// serveSegment resolves one segment request: peer broadcast on a hit,
+// central server on a miss, with opportunistic cache fill of complete
+// miss broadcasts.
+func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, complete bool) {
+	sh.counters.SegmentRequests++
+	p := sess.rec.Program
+
+	// Demand accounting: what a cache-less system would pull from the
+	// central servers.
+	sh.demandMeter.AddTransfer(from, to, units.StreamRate)
+
+	// Every broadcast consumes the same coax bandwidth whether it comes
+	// from a peer or the headend (Section VI-B).
+	sh.coaxMeter.AddTransfer(from, to, units.StreamRate)
+	coax := sh.nb.Coax()
+	if coax.Admit(units.StreamRate) {
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+			coax.Release(units.StreamRate)
+		}))
+	} else {
+		sh.counters.CoaxOverloads++
+	}
+
+	if sess.firstFetch {
+		sh.counters.MissFirstFetch++
+		sh.serverMeter.AddTransfer(from, to, units.StreamRate)
+		return
+	}
+
+	outcome, server := sh.is.ServeSegment(p, idx)
+	switch outcome {
+	case ServedByPeer:
+		sh.counters.Hits++
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+			server.CloseStream()
+		}))
+		return
+	case MissNotCached:
+		sh.counters.MissNotCached++
+	case MissUnplaced:
+		sh.counters.MissUnplaced++
+	case MissPeerBusy:
+		sh.counters.MissPeerBusy++
+	}
+
+	// Miss: the central media server streams the segment over fiber and
+	// the headend broadcasts it (Figure 4).
+	sh.serverMeter.AddTransfer(from, to, units.StreamRate)
+
+	// A complete miss broadcast can fill the cache at a storing peer.
+	if complete {
+		if filler := sh.is.TryFill(p, idx); filler != nil {
+			sh.counters.Fills++
+			sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
+				filler.CloseStream()
+			}))
+		}
+	}
+}

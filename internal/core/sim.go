@@ -30,6 +30,22 @@ type Counters struct {
 	Evictions uint64
 }
 
+// Add folds another counter set into c — the shard-merge operation, an
+// exact integer sum field by field.
+func (c *Counters) Add(o Counters) {
+	c.Sessions += o.Sessions
+	c.SegmentRequests += o.SegmentRequests
+	c.Hits += o.Hits
+	c.MissNotCached += o.MissNotCached
+	c.MissUnplaced += o.MissUnplaced
+	c.MissPeerBusy += o.MissPeerBusy
+	c.MissFirstFetch += o.MissFirstFetch
+	c.Fills += o.Fills
+	c.CoaxOverloads += o.CoaxOverloads
+	c.Admissions += o.Admissions
+	c.Evictions += o.Evictions
+}
+
 // Misses returns all segment misses.
 func (c Counters) Misses() uint64 {
 	return c.MissNotCached + c.MissUnplaced + c.MissPeerBusy + c.MissFirstFetch
@@ -108,16 +124,16 @@ func (s *Simulation) Topology() *hfc.Topology { return s.sys.Topology() }
 // System returns the underlying online engine.
 func (s *Simulation) System() *System { return s.sys }
 
-// Run replays the whole trace and assembles the result.
+// Run replays the whole trace and assembles the result. The trace is
+// partitioned across the engine's per-neighborhood shards once up front
+// (SubmitBatch) and replayed on the configured worker pool.
 func (s *Simulation) Run() (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("core: simulation already run")
 	}
 	s.ran = true
-	for i, rec := range s.tr.Records {
-		if err := s.sys.Submit(rec); err != nil {
-			return nil, fmt.Errorf("core: record %d: %w", i, err)
-		}
+	if err := s.sys.SubmitBatch(s.tr.Records); err != nil {
+		return nil, err
 	}
 	return s.sys.Close()
 }

@@ -2,12 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cablevod/internal/eventq"
 	"cablevod/internal/hfc"
 	"cablevod/internal/metrics"
-	"cablevod/internal/segment"
 	"cablevod/internal/trace"
 	"cablevod/internal/units"
 )
@@ -18,7 +19,8 @@ import (
 type Workload struct {
 	// Users is the full subscriber population to build the plant for.
 	// Placement is deterministic over the sorted population, so the
-	// engine needs it up front; Submit rejects users outside it.
+	// engine needs it up front; Submit rejects users outside it. The
+	// population must be duplicate-free.
 	Users []trace.UserID
 
 	// Lengths is the catalog: full playback length per program.
@@ -62,30 +64,56 @@ func TraceLengths(tr *trace.Trace) map[trace.ProgramID]time.Duration {
 	return lengths
 }
 
-// System is the long-lived online serving engine: the cable plant, one
-// index server per neighborhood, and the discrete-event state of every
-// in-flight session. Records submitted in timestamp order advance the
-// virtual clock; Snapshot reports live aggregates at any point; Close
-// drains remaining sessions and finalizes statistics.
+// shardMode classifies how a run's shards may execute, decided once at
+// construction from the strategy's declared coupling.
+type shardMode int
+
+const (
+	// shardsIndependent: per-neighborhood policies share no mutable
+	// state; shards run fully concurrently and merge at the end.
+	shardsIndependent shardMode = iota
+	// shardsEpochCoupled: policies share state that is observable only
+	// at discrete publication instants (a ShardCoupler); shards run
+	// concurrently between instants and synchronize at each barrier.
+	shardsEpochCoupled
+	// shardsSerialized: policies couple shards at per-request
+	// granularity (a live global feed, or a custom strategy of unknown
+	// provenance); records are processed in global order on the calling
+	// goroutine. Event-queue drains still parallelize — queued events
+	// never touch policies.
+	shardsSerialized
+)
+
+// System is the long-lived online serving engine: a coordinator routing
+// session records to per-neighborhood shards. Each shard owns one
+// neighborhood's pooled cache, index server, coax channel, event queue,
+// and metric accumulators; the coordinator routes Submit records by user
+// homing, fans SubmitBatch windows out across a bounded worker pool
+// (Config.Parallelism), and merges shard metrics into Result and
+// Metrics. Results are bit-identical at every parallelism level: shard
+// accumulators are exact integer sums merged in neighborhood order, and
+// cross-shard strategy state synchronizes at deterministic epoch
+// barriers (see ShardCoupler).
 //
-// A System is single-goroutine: calls must not race.
+// Calls must not race: the System is driven from one goroutine and
+// manages its internal worker pool itself.
 type System struct {
-	cfg   Config
-	topo  *hfc.Topology
-	queue *eventq.Queue
+	cfg    Config
+	topo   *hfc.Topology
+	shards []*shard
 
-	servers []*IndexServer
-
-	serverMeter *metrics.RateMeter
-	demandMeter *metrics.RateMeter
-	coaxMeters  []*metrics.RateMeter
+	// workers bounds the worker pool shards execute on.
+	workers int
+	// mode is the concurrency class the strategy permits.
+	mode shardMode
+	// coupler synchronizes strategy-shared state at epoch barriers in
+	// shardsEpochCoupled mode; nil otherwise.
+	coupler ShardCoupler
 
 	// lengths resolves catalog program lengths.
 	lengths func(trace.ProgramID) time.Duration
 
-	counters  Counters
 	submitted int
-	active    int
 	lastStart time.Duration
 	closed    bool
 }
@@ -100,6 +128,13 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	if len(w.Users) == 0 {
 		return nil, fmt.Errorf("core: workload has no subscribers")
 	}
+	seen := make(map[trace.UserID]struct{}, len(w.Users))
+	for _, u := range w.Users {
+		if _, dup := seen[u]; dup {
+			return nil, fmt.Errorf("core: duplicate subscriber %d in the workload population", u)
+		}
+		seen[u] = struct{}{}
+	}
 
 	topo, err := hfc.Build(cfg.Topology, w.Users)
 	if err != nil {
@@ -107,11 +142,12 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	}
 
 	s := &System{
-		cfg:         cfg,
-		topo:        topo,
-		queue:       eventq.New(),
-		serverMeter: metrics.NewRateMeter(),
-		demandMeter: metrics.NewRateMeter(),
+		cfg:     cfg,
+		topo:    topo,
+		workers: cfg.effectiveParallelism(),
+	}
+	if s.workers > topo.NeighborhoodCount() {
+		s.workers = topo.NeighborhoodCount()
 	}
 
 	lengths := w.Lengths
@@ -120,18 +156,27 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	}
 	s.lengths = func(p trace.ProgramID) time.Duration { return lengths[p] }
 
-	factory, ok := LookupStrategyFactory(cfg.strategyName())
+	entry, ok := lookupStrategy(cfg.strategyName())
 	if !ok {
 		// Unreachable after Validate; kept as a defensive check.
 		return nil, fmt.Errorf("core: unknown strategy %q", cfg.strategyName())
 	}
-	newPolicy, err := factory(&PolicyEnv{Config: cfg, Topology: topo, Future: w.Future})
+	env := &PolicyEnv{Config: cfg, Topology: topo, Future: w.Future, Parallelism: s.workers}
+	newPolicy, err := entry.factory(env)
 	if err != nil {
 		return nil, err
 	}
+	switch {
+	case env.coupler != nil:
+		s.mode = shardsEpochCoupled
+		s.coupler = env.coupler
+	case entry.traits.ShardIndependent:
+		s.mode = shardsIndependent
+	default:
+		s.mode = shardsSerialized
+	}
 
-	s.servers = make([]*IndexServer, topo.NeighborhoodCount())
-	s.coaxMeters = make([]*metrics.RateMeter, topo.NeighborhoodCount())
+	s.shards = make([]*shard, topo.NeighborhoodCount())
 	for i, nb := range topo.Neighborhoods() {
 		pol, err := newPolicy(i)
 		if err != nil {
@@ -150,8 +195,15 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.servers[i] = is
-		s.coaxMeters[i] = metrics.NewRateMeter()
+		s.shards[i] = &shard{
+			sys:         s,
+			nb:          nb,
+			is:          is,
+			queue:       eventq.New(),
+			serverMeter: metrics.NewRateMeter(),
+			demandMeter: metrics.NewRateMeter(),
+			coaxMeter:   metrics.NewRateMeter(),
+		}
 	}
 	return s, nil
 }
@@ -160,46 +212,184 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 func (s *System) Topology() *hfc.Topology { return s.topo }
 
 // Server returns the index server of neighborhood nb.
-func (s *System) Server(nb int) *IndexServer { return s.servers[nb] }
+func (s *System) Server(nb int) *IndexServer { return s.shards[nb].is }
 
 // Config returns the resolved run configuration (defaults applied).
 func (s *System) Config() Config { return s.cfg }
 
+// Shards returns the number of engine shards (one per neighborhood).
+func (s *System) Shards() int { return len(s.shards) }
+
+// Parallelism returns the resolved worker-pool width shards execute on.
+func (s *System) Parallelism() int { return s.workers }
+
 // Now returns the engine's virtual clock: the time of the latest
 // processed event or submitted record.
-func (s *System) Now() time.Duration { return s.queue.Now() }
+func (s *System) Now() time.Duration {
+	now := s.lastStart
+	for _, sh := range s.shards {
+		if t := sh.queue.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// route validates one record against the engine state and resolves its
+// home shard.
+func (s *System) route(rec trace.Record, lastStart time.Duration) (*shard, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if rec.Start < lastStart {
+		return nil, fmt.Errorf("core: record out of order: start %v before %v", rec.Start, lastStart)
+	}
+	nb, ok := s.topo.Home(rec.User)
+	if !ok {
+		return nil, fmt.Errorf("core: user %d not in the subscriber population", rec.User)
+	}
+	if _, ok := nb.PeerOf(rec.User); !ok {
+		return nil, fmt.Errorf("core: user %d has no box", rec.User)
+	}
+	return s.shards[nb.ID()], nil
+}
 
 // Submit ingests one session record, advancing virtual time to the
 // record's start. Records must arrive in non-decreasing Start order (for
 // bit-exact agreement with a batch Run over a trace, in the trace's full
 // (Start, User, Program) sort order); the record's user must belong to
-// the workload population.
+// the workload population. For ingest throughput over many records, use
+// SubmitBatch, which fans independent shards out across the worker pool.
 func (s *System) Submit(rec trace.Record) error {
 	if s.closed {
 		return fmt.Errorf("core: submit on closed system")
 	}
-	if err := rec.Validate(); err != nil {
+	sh, err := s.route(rec, s.lastStart)
+	if err != nil {
 		return err
 	}
-	if rec.Start < s.lastStart {
-		return fmt.Errorf("core: record out of order: start %v before %v", rec.Start, s.lastStart)
+	if s.coupler != nil && s.coupler.SyncNeeded(rec.Start) {
+		s.coupler.Sync(rec.Start)
 	}
-	nb, ok := s.topo.Home(rec.User)
-	if !ok {
-		return fmt.Errorf("core: user %d not in the subscriber population", rec.User)
-	}
-	viewer, ok := nb.PeerOf(rec.User)
-	if !ok {
-		return fmt.Errorf("core: user %d has no box", rec.User)
-	}
-
-	// Replay every queued event the batch loop would have run before
-	// this session-start event, then start the session at its time.
-	s.queue.RunBefore(rec.Start, eventq.PrioritySessionStart)
+	sh.submit(rec)
 	s.lastStart = rec.Start
 	s.submitted++
-	s.startSession(rec, nb, viewer, rec.Start)
 	return nil
+}
+
+// SubmitBatch ingests a sequence of session records, subject to the same
+// ordering and membership rules as Submit. The batch is validated as a
+// whole before any record is processed — on error the engine state is
+// unchanged. Processing partitions the batch across shards by user
+// homing and advances every shard concurrently on the worker pool in
+// epoch windows, producing results bit-identical to submitting each
+// record individually at any parallelism level.
+func (s *System) SubmitBatch(recs []trace.Record) error {
+	if s.closed {
+		return fmt.Errorf("core: submit on closed system")
+	}
+	routed := make([]*shard, len(recs))
+	lastStart := s.lastStart
+	for i, rec := range recs {
+		sh, err := s.route(rec, lastStart)
+		if err != nil {
+			return fmt.Errorf("core: record %d: %w", i, err)
+		}
+		routed[i] = sh
+		lastStart = rec.Start
+	}
+
+	switch s.mode {
+	case shardsSerialized:
+		// Per-request cross-shard coupling: global order, one goroutine.
+		for i, rec := range recs {
+			routed[i].submit(rec)
+		}
+	case shardsEpochCoupled:
+		// Shards run concurrently between publication barriers; shared
+		// strategy state synchronizes exactly where the serial engine
+		// would have published.
+		start := 0
+		for i, rec := range recs {
+			if s.coupler.SyncNeeded(rec.Start) {
+				s.dispatch(recs[start:i], routed[start:i])
+				s.coupler.Sync(rec.Start)
+				start = i
+			}
+		}
+		s.dispatch(recs[start:], routed[start:])
+	default:
+		s.dispatch(recs, routed)
+	}
+
+	if len(recs) > 0 {
+		s.lastStart = recs[len(recs)-1].Start
+		s.submitted += len(recs)
+	}
+	return nil
+}
+
+// dispatch files one window of routed records into shard mailboxes and
+// drains every touched shard on the worker pool.
+func (s *System) dispatch(recs []trace.Record, routed []*shard) {
+	if len(recs) == 0 {
+		return
+	}
+	var touched []*shard
+	for i, rec := range recs {
+		sh := routed[i]
+		if len(sh.pending) == 0 {
+			touched = append(touched, sh)
+		}
+		sh.pending = append(sh.pending, rec)
+	}
+	s.forShards(touched, (*shard).drainPending)
+}
+
+// forShards runs fn once per shard across the bounded worker pool. fn
+// must touch only the shard it is handed (plus read-only engine state);
+// the pool provides the happens-before edges that make per-window shard
+// state visible to the coordinator and the next window's workers.
+func (s *System) forShards(shards []*shard, fn func(*shard)) {
+	n := len(shards)
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			fn(sh)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// flush advances every shard's event queue to the last submitted
+// record's start, so aggregates reflect exactly what the serial engine
+// would have processed by that point. Queued events never touch strategy
+// state, so the drain parallelizes in every mode.
+func (s *System) flush() {
+	if s.submitted == 0 {
+		return
+	}
+	at := s.lastStart
+	s.forShards(s.shards, func(sh *shard) { sh.advanceTo(at) })
 }
 
 // Close drains every in-flight session and finalizes the run statistics.
@@ -209,28 +399,41 @@ func (s *System) Close() (*Result, error) {
 		return nil, fmt.Errorf("core: system already closed")
 	}
 	s.closed = true
-	s.queue.Run()
+	s.forShards(s.shards, func(sh *shard) { sh.queue.Run() })
 
 	days := s.days()
 	warmup := s.cfg.WarmupDays
 	if warmup >= days {
 		warmup = 0 // a warmup longer than the trace would erase the run
 	}
+
+	// Central-server load and demand are time-aligned sums of the
+	// per-shard meters: integer bits per hour bucket, so the merge is
+	// exact and order-independent.
+	serverMeter := metrics.NewRateMeter()
+	demandMeter := metrics.NewRateMeter()
+	var counters Counters
+	for _, sh := range s.shards {
+		serverMeter.Merge(sh.serverMeter)
+		demandMeter.Merge(sh.demandMeter)
+		counters.Add(sh.counters)
+	}
+
 	res := &Result{
 		Config:        s.cfg,
 		Days:          days,
-		Counters:      s.counters,
-		Server:        s.serverMeter.PeakStatsRange(warmup, days),
-		ServerHourly:  s.serverMeter.HourOfDayAverage(days),
-		Demand:        s.demandMeter.PeakStatsRange(warmup, days),
-		Neighborhoods: s.topo.NeighborhoodCount(),
-		ServerBits:    s.serverMeter.TotalBits(),
-		DemandBits:    s.demandMeter.TotalBits(),
+		Counters:      counters,
+		Server:        serverMeter.PeakStatsRange(warmup, days),
+		ServerHourly:  serverMeter.HourOfDayAverage(days),
+		Demand:        demandMeter.PeakStatsRange(warmup, days),
+		Neighborhoods: len(s.shards),
+		ServerBits:    serverMeter.TotalBits(),
+		DemandBits:    demandMeter.TotalBits(),
 	}
 	// Pool peak-hour samples across every neighborhood for Figure 14.
 	var coaxSamples []units.BitRate
-	for _, m := range s.coaxMeters {
-		coaxSamples = append(coaxSamples, m.HourSamplesRange(warmup, days, metrics.PeakHour)...)
+	for _, sh := range s.shards {
+		coaxSamples = append(coaxSamples, sh.coaxMeter.HourSamplesRange(warmup, days, metrics.PeakHour)...)
 	}
 	res.Coax = metrics.NewRateStats(coaxSamples)
 	if res.Demand.Mean > 0 {
@@ -247,6 +450,32 @@ func (s *System) days() int {
 		return 0
 	}
 	return units.DayIndex(s.lastStart) + 1
+}
+
+// NeighborhoodMetrics is one neighborhood's slice of a Snapshot — the
+// per-shard breakdown the sharded engine exposes for free.
+type NeighborhoodMetrics struct {
+	// ID is the neighborhood (= shard) index.
+	ID int
+
+	// Sessions counts sessions started in this neighborhood.
+	Sessions uint64
+
+	// ActiveSessions is the number of sessions currently playing.
+	ActiveSessions int
+
+	// HitRatio is the neighborhood's running segment hit ratio.
+	HitRatio float64
+
+	// CoaxRate is the whole-run average broadcast load on this
+	// neighborhood's coax channel.
+	CoaxRate units.BitRate
+
+	// CacheUsed and CacheCapacity describe the pooled cache occupancy.
+	CacheUsed, CacheCapacity units.ByteSize
+
+	// CachedPrograms counts programs resident in the pooled cache.
+	CachedPrograms int
 }
 
 // Metrics is a live aggregate view of a running System, valid as of the
@@ -278,8 +507,13 @@ type Metrics struct {
 	CacheUsed, CacheCapacity units.ByteSize
 	CachedPrograms           int
 
-	// Neighborhoods is the number of headends serving.
+	// Neighborhoods is the number of headends serving (= the engine's
+	// shard count).
 	Neighborhoods int
+
+	// PerNeighborhood breaks load, hit ratio, and cache occupancy down
+	// by neighborhood, in neighborhood order.
+	PerNeighborhood []NeighborhoodMetrics
 }
 
 // HitRatio returns the running segment hit ratio.
@@ -294,177 +528,51 @@ func (m Metrics) Savings() float64 {
 	return 1 - float64(m.ServerBits)/float64(m.DemandBits)
 }
 
-// Snapshot reports live aggregates. It does not advance the clock: the
-// view reflects everything the engine served up to the last Submit.
+// Snapshot reports live aggregates, including the per-neighborhood
+// breakdown. It does not advance the clock past the last submitted
+// record: the view reflects everything the engine served up to the last
+// Submit, with lagging shards drained to that point first.
 func (s *System) Snapshot() Metrics {
+	s.flush()
 	m := Metrics{
-		Now:            s.queue.Now(),
-		Submitted:      s.submitted,
-		ActiveSessions: s.active,
-		Counters:       s.counters,
-		ServerBits:     s.serverMeter.TotalBits(),
-		DemandBits:     s.demandMeter.TotalBits(),
-		Neighborhoods:  len(s.servers),
+		Submitted:       s.submitted,
+		Neighborhoods:   len(s.shards),
+		PerNeighborhood: make([]NeighborhoodMetrics, len(s.shards)),
 	}
 	var coaxBits int64
-	for i, is := range s.servers {
-		c := is.Cache()
+	shardCoaxBits := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		c := sh.is.Cache()
+		shardCoax := sh.coaxMeter.TotalBits()
+		shardCoaxBits[i] = shardCoax
+		m.Counters.Add(sh.counters)
+		m.ActiveSessions += sh.active
+		m.ServerBits += sh.serverMeter.TotalBits()
+		m.DemandBits += sh.demandMeter.TotalBits()
 		m.CacheUsed += c.Used()
 		m.CacheCapacity += c.Capacity()
 		m.CachedPrograms += c.Len()
-		coaxBits += s.coaxMeters[i].TotalBits()
+		coaxBits += shardCoax
+		m.PerNeighborhood[i] = NeighborhoodMetrics{
+			ID:             i,
+			Sessions:       sh.counters.Sessions,
+			ActiveSessions: sh.active,
+			HitRatio:       sh.counters.HitRatio(),
+			CacheUsed:      c.Used(),
+			CacheCapacity:  c.Capacity(),
+			CachedPrograms: c.Len(),
+		}
 	}
+	m.Now = s.Now()
 	if secs := m.Now.Seconds(); secs > 0 {
 		m.ServerRate = units.BitRate(float64(m.ServerBits) / secs)
 		m.DemandRate = units.BitRate(float64(m.DemandBits) / secs)
-		if n := len(s.servers); n > 0 {
+		if n := len(s.shards); n > 0 {
 			m.CoaxRate = units.BitRate(float64(coaxBits) / secs / float64(n))
+		}
+		for i := range s.shards {
+			m.PerNeighborhood[i].CoaxRate = units.BitRate(float64(shardCoaxBits[i]) / secs)
 		}
 	}
 	return m
-}
-
-// session is one in-flight viewing session.
-type session struct {
-	rec    trace.Record
-	is     *IndexServer
-	viewer *hfc.SetTopBox
-	coax   *hfc.Coax
-	meter  *metrics.RateMeter
-	// length is the full playback length of the program.
-	length time.Duration
-	// firstFetch marks the session that admitted the program under
-	// FillImmediate: it streams from the central server while peers are
-	// being seeded.
-	firstFetch bool
-}
-
-// position returns the program playback position at absolute time t.
-func (sess *session) position(t time.Duration) time.Duration {
-	return sess.rec.Offset + (t - sess.rec.Start)
-}
-
-func (s *System) startSession(rec trace.Record, nb *hfc.Neighborhood, viewer *hfc.SetTopBox, now time.Duration) {
-	is := s.servers[nb.ID()]
-	s.counters.Sessions++
-	s.active++
-
-	// The viewer's box holds a receive stream for the whole session.
-	viewer.ForceOpenStream()
-	s.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-		viewer.CloseStream()
-		s.active--
-	}))
-
-	// The index server observes the request and updates the cache.
-	res := is.OnSessionStart(rec.Program, now)
-	if res.Admitted {
-		s.counters.Admissions++
-	}
-	s.counters.Evictions += uint64(len(res.Evicted))
-
-	sess := &session{
-		rec:        rec,
-		is:         is,
-		viewer:     viewer,
-		coax:       nb.Coax(),
-		meter:      s.coaxMeters[nb.ID()],
-		length:     s.lengths(rec.Program),
-		firstFetch: res.Admitted && s.cfg.Fill == FillImmediate,
-	}
-	s.processSegment(sess, now)
-}
-
-// processSegment serves the segment playing at time now and schedules the
-// next segment while the session lasts. Playback may start mid-program
-// (Record.Offset) and never runs past the program end.
-func (s *System) processSegment(sess *session, now time.Duration) {
-	pos := sess.position(now)
-	if sess.length > 0 && pos >= sess.length {
-		return // session outlives the program; nothing left to stream
-	}
-	idx := segment.At(pos)
-
-	// Program position where this segment's playback ends.
-	segEndPos := time.Duration(idx+1) * units.SegmentDuration
-	if sess.length > 0 && segEndPos > sess.length {
-		segEndPos = sess.length
-	}
-	segEndAbs := now + (segEndPos - pos)
-	watchEnd := sess.rec.End()
-	if watchEnd > segEndAbs {
-		watchEnd = segEndAbs
-	}
-	if watchEnd <= now {
-		return
-	}
-	// A broadcast is complete when the whole segment went out: viewing
-	// started at the segment boundary and ran to its end.
-	complete := pos == time.Duration(idx)*units.SegmentDuration && watchEnd == segEndAbs
-	s.serveSegment(sess, idx, now, watchEnd, complete)
-
-	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
-		s.queue.Schedule(segEndAbs, eventq.PrioritySegment, eventq.Func(func(t time.Duration) {
-			s.processSegment(sess, t)
-		}))
-	}
-}
-
-// serveSegment resolves one segment request: peer broadcast on a hit,
-// central server on a miss, with opportunistic cache fill of complete
-// miss broadcasts.
-func (s *System) serveSegment(sess *session, idx int, from, to time.Duration, complete bool) {
-	s.counters.SegmentRequests++
-	p := sess.rec.Program
-
-	// Demand accounting: what a cache-less system would pull from the
-	// central servers.
-	s.demandMeter.AddTransfer(from, to, units.StreamRate)
-
-	// Every broadcast consumes the same coax bandwidth whether it comes
-	// from a peer or the headend (Section VI-B).
-	sess.meter.AddTransfer(from, to, units.StreamRate)
-	if sess.coax.Admit(units.StreamRate) {
-		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			sess.coax.Release(units.StreamRate)
-		}))
-	} else {
-		s.counters.CoaxOverloads++
-	}
-
-	if sess.firstFetch {
-		s.counters.MissFirstFetch++
-		s.serverMeter.AddTransfer(from, to, units.StreamRate)
-		return
-	}
-
-	outcome, server := sess.is.ServeSegment(p, idx)
-	switch outcome {
-	case ServedByPeer:
-		s.counters.Hits++
-		s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			server.CloseStream()
-		}))
-		return
-	case MissNotCached:
-		s.counters.MissNotCached++
-	case MissUnplaced:
-		s.counters.MissUnplaced++
-	case MissPeerBusy:
-		s.counters.MissPeerBusy++
-	}
-
-	// Miss: the central media server streams the segment over fiber and
-	// the headend broadcasts it (Figure 4).
-	s.serverMeter.AddTransfer(from, to, units.StreamRate)
-
-	// A complete miss broadcast can fill the cache at a storing peer.
-	if complete {
-		if filler := sess.is.TryFill(p, idx); filler != nil {
-			s.counters.Fills++
-			s.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-				filler.CloseStream()
-			}))
-		}
-	}
 }

@@ -9,13 +9,18 @@ import (
 	"cablevod/internal/units"
 )
 
-// runSim is the shared harness for full-system experiments.
+// runSim is the shared harness for full-system experiments. Each
+// simulation runs its shards serially: the sweep itself already fans
+// points out across the worker pool, and nesting two pools would
+// oversubscribe the machine without changing any result (engine output
+// is bit-identical at every parallelism).
 func runSim(w *Workload, cfg core.Config) (*core.Result, error) {
 	tr, err := w.Trace()
 	if err != nil {
 		return nil, err
 	}
 	cfg.WarmupDays = w.Scale.WarmupDays
+	cfg.Parallelism = 1
 	return core.Run(cfg, tr)
 }
 

@@ -126,9 +126,10 @@ func AblationSeekWorkload(w *Workload) (*Report, error) {
 			return nil, err
 		}
 		return core.Run(core.Config{
-			Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-			Strategy:   core.StrategyLFU,
-			WarmupDays: w.Scale.WarmupDays,
+			Topology:    hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+			Strategy:    core.StrategyLFU,
+			WarmupDays:  w.Scale.WarmupDays,
+			Parallelism: 1, // the seek sweep already fans out across the pool
 		}, tr)
 	})
 	if err != nil {

@@ -99,9 +99,10 @@ func runScaledCell(w *Workload, popX, catX int) (*core.Result, error) {
 		return nil, err
 	}
 	return core.Run(core.Config{
-		Topology:   hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
-		Strategy:   core.StrategyLFU,
-		WarmupDays: w.Scale.WarmupDays,
+		Topology:    hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+		Strategy:    core.StrategyLFU,
+		WarmupDays:  w.Scale.WarmupDays,
+		Parallelism: 1, // the cell sweep already fans out across the pool
 	}, tr)
 }
 

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cablevod/internal/units"
+)
+
+// transfer is one accounted interval for the merge property tests.
+type transfer struct {
+	from, to time.Duration
+	rate     units.BitRate
+}
+
+// randomTransfers draws a stream of transfers with hour-straddling
+// intervals, zero-length intervals, and a wide rate range.
+func randomTransfers(rng *rand.Rand, n int) []transfer {
+	out := make([]transfer, 0, n)
+	for i := 0; i < n; i++ {
+		from := time.Duration(rng.Int63n(int64(96 * time.Hour)))
+		length := time.Duration(rng.Int63n(int64(5 * time.Hour)))
+		rate := units.BitRate(rng.Int63n(int64(20 * units.Mbps)))
+		out = append(out, transfer{from: from, to: from + length, rate: rate})
+	}
+	return out
+}
+
+// TestMergePartialMetersEqualsInterleavedStream is the correctness
+// keystone for the sharded engine's summed server load: splitting a
+// transfer stream across K partial meters and merging them must equal
+// one meter fed the interleaved stream, bucket for bucket, whatever the
+// partition and interleaving.
+func TestMergePartialMetersEqualsInterleavedStream(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := 1 + rng.Intn(8)
+		stream := randomTransfers(rng, 200)
+
+		// One meter over the whole stream, in stream order.
+		whole := NewRateMeter()
+		for _, tr := range stream {
+			whole.AddTransfer(tr.from, tr.to, tr.rate)
+		}
+
+		// K partial meters over a random partition of the same stream.
+		parts := make([]*RateMeter, k)
+		for i := range parts {
+			parts[i] = NewRateMeter()
+		}
+		for _, tr := range stream {
+			parts[rng.Intn(k)].AddTransfer(tr.from, tr.to, tr.rate)
+		}
+		merged := NewRateMeter()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+
+		if got, want := merged.TotalBits(), whole.TotalBits(); got != want {
+			t.Fatalf("trial %d (k=%d): merged total %d bits, interleaved %d", trial, k, got, want)
+		}
+		// Bucket-for-bucket equality: every derived statistic must agree
+		// exactly, not just the total.
+		days := 5
+		gotSamples := merged.HourSamplesRange(0, days, nil)
+		wantSamples := whole.HourSamplesRange(0, days, nil)
+		for h := range wantSamples {
+			if gotSamples[h] != wantSamples[h] {
+				t.Fatalf("trial %d (k=%d): hour %d: merged %v, interleaved %v",
+					trial, k, h, gotSamples[h], wantSamples[h])
+			}
+		}
+		if got, want := merged.PeakStats(days), whole.PeakStats(days); got != want {
+			t.Fatalf("trial %d (k=%d): peak stats differ: merged %+v, interleaved %+v", trial, k, got, want)
+		}
+		if got, want := merged.HourOfDayAverage(days), whole.HourOfDayAverage(days); got != want {
+			t.Fatalf("trial %d (k=%d): hour-of-day averages differ", trial, k)
+		}
+	}
+}
+
+// TestMergeEmptyAndNil: merging an empty or nil meter is a no-op.
+func TestMergeEmptyAndNil(t *testing.T) {
+	m := NewRateMeter()
+	m.AddTransfer(0, time.Hour, units.StreamRate)
+	want := m.TotalBits()
+	m.Merge(NewRateMeter())
+	m.Merge(nil)
+	if m.TotalBits() != want {
+		t.Errorf("merge of empty/nil changed total: %d != %d", m.TotalBits(), want)
+	}
+}
+
+// TestMergeLeavesSourceUntouched: Merge reads but never mutates other.
+func TestMergeLeavesSourceUntouched(t *testing.T) {
+	src := NewRateMeter()
+	src.AddTransfer(0, 30*time.Minute, units.StreamRate)
+	want := src.TotalBits()
+	dst := NewRateMeter()
+	dst.AddTransfer(time.Hour, 2*time.Hour, units.StreamRate)
+	own := dst.TotalBits()
+	dst.Merge(src)
+	if src.TotalBits() != want {
+		t.Errorf("Merge mutated source: %d != %d", src.TotalBits(), want)
+	}
+	if dst.TotalBits() != own+want {
+		t.Errorf("Merge missed bits: got %d, want %d", dst.TotalBits(), own+want)
+	}
+}

@@ -53,6 +53,21 @@ func (m *RateMeter) AddBits(t time.Duration, bits int64) {
 	m.bits[int64(t/time.Hour)] += bits
 }
 
+// Merge folds every bit accumulated by other into m, hour bucket by hour
+// bucket. Because buckets hold exact integer bit counts, merging K
+// partial meters yields the same meter as feeding their combined
+// transfer stream into one meter in any interleaving — the property that
+// lets the sharded engine account central-server load as a time-aligned
+// sum of per-shard meters. other is left untouched.
+func (m *RateMeter) Merge(other *RateMeter) {
+	if other == nil {
+		return
+	}
+	for idx, b := range other.bits {
+		m.bits[idx] += b
+	}
+}
+
 // TotalBits returns all accumulated bits.
 func (m *RateMeter) TotalBits() int64 {
 	var total int64

@@ -21,15 +21,26 @@ import (
 //	}
 //	res, err := sys.Close()
 //
-// A System is single-goroutine: calls must not race.
+// Internally the engine is sharded: each coax neighborhood owns its
+// caches, index server, event queue, and meters, and shards execute
+// concurrently on a bounded worker pool (Config.Parallelism) when
+// records arrive through SubmitBatch. Results are bit-identical at
+// every parallelism level.
+//
+// Calls must not race: a System is driven from one goroutine and
+// manages its internal worker pool itself.
 type System struct {
 	sys *core.System
 }
 
 // Metrics is a live aggregate view of a running System: the virtual
 // clock, running counters, transfer totals, average server/coax rates,
-// and pooled cache occupancy.
+// pooled cache occupancy, and the per-neighborhood breakdown.
 type Metrics = core.Metrics
+
+// NeighborhoodMetrics is one neighborhood's slice of a Snapshot: its
+// session count, hit ratio, coax load, and cache occupancy.
+type NeighborhoodMetrics = core.NeighborhoodMetrics
 
 // New builds the topology, index servers, and caches for a long-lived
 // online system. Config.Subscribers (the full user population) is
@@ -57,17 +68,36 @@ func New(cfg Config) (*System, error) {
 // Submit ingests one session record, advancing virtual time to the
 // record's start and serving its segments as simulation events unfold.
 // Records must arrive in non-decreasing Start order; the user must be in
-// the subscriber population.
+// the subscriber population. For bulk ingest, SubmitBatch fans the
+// records out across the engine's shards.
 func (s *System) Submit(rec Record) error {
 	return s.sys.Submit(rec)
 }
 
+// SubmitBatch ingests a sequence of session records under the same
+// ordering and membership rules as Submit, partitioned across the
+// per-neighborhood shards and processed concurrently on the worker pool
+// — the high-throughput ingest path. The batch is validated as a whole
+// before any record is processed: on error the engine state is
+// unchanged. Results are bit-identical to submitting each record
+// individually.
+func (s *System) SubmitBatch(recs []Record) error {
+	return s.sys.SubmitBatch(recs)
+}
+
 // Snapshot returns live aggregates — hit ratio, server and coax load,
-// admissions and evictions, cache occupancy — valid as of the last
-// submitted record. It never advances the clock.
+// admissions and evictions, cache occupancy, and the per-neighborhood
+// breakdown — valid as of the last submitted record. It never advances
+// the clock past that point.
 func (s *System) Snapshot() Metrics {
 	return s.sys.Snapshot()
 }
+
+// Shards returns the engine's shard count (one per coax neighborhood).
+func (s *System) Shards() int { return s.sys.Shards() }
+
+// Parallelism returns the resolved worker-pool width shards execute on.
+func (s *System) Parallelism() int { return s.sys.Parallelism() }
 
 // Now returns the engine's virtual clock.
 func (s *System) Now() time.Duration { return s.sys.Now() }
@@ -121,11 +151,32 @@ type Policy interface {
 // The factory is invoked once per neighborhood per run with the run's
 // resolved configuration. Registration fails on an empty name, a nil
 // factory, or a name already registered.
+//
+// Because the engine cannot know whether the factory's policies share
+// mutable state (a factory may close over a common structure), runs
+// selecting a strategy registered this way process records in global
+// order on one goroutine — always correct, never concurrent. If every
+// call of the factory returns a policy sharing no mutable state with
+// its siblings, use RegisterIndependentStrategy instead to unlock
+// concurrent shard execution.
 func RegisterStrategy(name string, factory func(Config) Policy) error {
+	return registerStrategy(name, factory, core.StrategyTraits{})
+}
+
+// RegisterIndependentStrategy is RegisterStrategy with a declaration
+// that policies built by the factory for different neighborhoods share
+// no mutable state, so the engine may execute neighborhood shards
+// concurrently (Config.Parallelism). Results remain bit-identical to
+// serial execution; the declaration only unlocks parallel speed.
+func RegisterIndependentStrategy(name string, factory func(Config) Policy) error {
+	return registerStrategy(name, factory, core.StrategyTraits{ShardIndependent: true})
+}
+
+func registerStrategy(name string, factory func(Config) Policy, traits core.StrategyTraits) error {
 	if factory == nil {
 		return fmt.Errorf("cablevod: nil factory for strategy %q", name)
 	}
-	return core.RegisterStrategy(name, func(env *core.PolicyEnv) (func(int) (cache.Policy, error), error) {
+	return core.RegisterStrategyTraits(name, func(env *core.PolicyEnv) (func(int) (cache.Policy, error), error) {
 		cfg := publicConfig(env.Config)
 		return func(int) (cache.Policy, error) {
 			pol := factory(cfg)
@@ -134,7 +185,7 @@ func RegisterStrategy(name string, factory func(Config) Policy) error {
 			}
 			return pol, nil
 		}, nil
-	})
+	}, traits)
 }
 
 // Strategies returns every registered strategy name, sorted.
@@ -159,6 +210,7 @@ func publicConfig(c core.Config) Config {
 		Replicas:          c.Replicas,
 		PrefixSegments:    c.PrefixSegments,
 		WarmupDays:        c.WarmupDays,
+		Parallelism:       c.Parallelism,
 	}
 }
 

@@ -35,9 +35,19 @@ func runStreaming(t *testing.T, cfg Config, tr *Trace) *Result {
 	return res
 }
 
+// normalizeParallelism strips the one intentionally
+// parallelism-dependent Result field so bit-identical engine output can
+// be compared across worker-pool widths.
+func normalizeParallelism(res *Result) *Result {
+	res.Config.Parallelism = 0
+	return res
+}
+
 // TestSystemMatchesRun is the streaming-vs-batch equivalence suite: a
 // System fed record by record must produce a Result identical to the
-// legacy batch Run for every strategy and fill mode, across seeds.
+// batch Run for every strategy and fill mode, across seeds, at every
+// shard parallelism (1 is the serial path; 4 exercises the concurrent
+// engine even on smaller machines).
 func TestSystemMatchesRun(t *testing.T) {
 	strategies := []Strategy{LRU, LFU, Oracle, GlobalLFU}
 	fills := []FillMode{FillImmediate, FillOnBroadcast}
@@ -50,24 +60,96 @@ func TestSystemMatchesRun(t *testing.T) {
 		}
 		for _, strat := range strategies {
 			for _, fill := range fills {
-				cfg := Config{
-					NeighborhoodSize: 400,
-					PerPeerStorage:   2 * GB,
-					Strategy:         strat,
-					Fill:             fill,
-					WarmupDays:       1,
-				}
-				batch, err := Run(cfg, tr)
-				if err != nil {
-					t.Fatalf("seed %d %v/%v: %v", seed, strat, fill, err)
-				}
-				stream := runStreaming(t, cfg, tr)
-				if !reflect.DeepEqual(batch, stream) {
-					t.Errorf("seed %d %v/%v: streaming result differs from batch\nbatch:  %+v\nstream: %+v",
-						seed, strat, fill, batch, stream)
+				var want *Result
+				for _, par := range []int{1, 4} {
+					cfg := Config{
+						NeighborhoodSize: 400,
+						PerPeerStorage:   2 * GB,
+						Strategy:         strat,
+						Fill:             fill,
+						WarmupDays:       1,
+						Parallelism:      par,
+					}
+					batch, err := Run(cfg, tr)
+					if err != nil {
+						t.Fatalf("seed %d %v/%v: %v", seed, strat, fill, err)
+					}
+					normalizeParallelism(batch)
+					if want == nil {
+						want = batch
+					} else if !reflect.DeepEqual(batch, want) {
+						t.Errorf("seed %d %v/%v: batch result at parallelism %d differs from parallelism 1",
+							seed, strat, fill, par)
+					}
+					stream := normalizeParallelism(runStreaming(t, cfg, tr))
+					if !reflect.DeepEqual(stream, want) {
+						t.Errorf("seed %d %v/%v par %d: streaming result differs from batch\nbatch:  %+v\nstream: %+v",
+							seed, strat, fill, par, want, stream)
+					}
 				}
 			}
 		}
+	}
+}
+
+// TestSystemSubmitBatch: the bulk-ingest path equals per-record Submit
+// and validates batches atomically.
+func TestSystemSubmitBatch(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		NeighborhoodSize: 400,
+		PerPeerStorage:   2 * GB,
+		WarmupDays:       1,
+		Parallelism:      4,
+	}
+	want := normalizeParallelism(runStreaming(t, cfg, tr))
+
+	sys, err := New(streamConfig(cfg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool is clamped to the shard count: more workers than shards
+	// would idle.
+	wantPar := 4
+	if sys.Shards() < wantPar {
+		wantPar = sys.Shards()
+	}
+	if sys.Shards() == 0 || sys.Parallelism() != wantPar {
+		t.Errorf("Shards() = %d, Parallelism() = %d, want shards > 0 and parallelism %d",
+			sys.Shards(), sys.Parallelism(), wantPar)
+	}
+	if err := sys.SubmitBatch(tr.Records); err != nil {
+		t.Fatal(err)
+	}
+	if m := sys.Snapshot(); len(m.PerNeighborhood) != sys.Shards() {
+		t.Errorf("snapshot breakdown has %d entries, want %d", len(m.PerNeighborhood), sys.Shards())
+	}
+	got, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeParallelism(got), want) {
+		t.Error("SubmitBatch result differs from per-record Submit")
+	}
+
+	// Atomic validation: a bad record anywhere rejects the whole batch.
+	sys2, err := New(streamConfig(cfg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]Record(nil), tr.Records[:5]...)
+	bad[3].User = 1 << 30
+	if err := sys2.SubmitBatch(bad); err == nil {
+		t.Error("expected error for unknown user in batch")
+	}
+	if m := sys2.Snapshot(); m.Submitted != 0 {
+		t.Errorf("failed batch left %d records behind", m.Submitted)
+	}
+	if _, err := sys2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
