@@ -41,6 +41,14 @@
 // shards), and select it by name through Config.StrategyName; the
 // built-in strategies resolve through the same registry.
 //
+// Beyond the paper's single static trace, the scenario engine generates
+// live workloads: RunScenario streams a named, composable scenario — a
+// flash crowd, a catalog premiere, a churn wave, regional popularity
+// drift — lazily into the online System under a virtual clock, emitting
+// periodic checkpoint Metrics so strategies can be compared
+// mid-scenario. ListScenarios enumerates the registry; SCENARIOS.md
+// catalogues each scenario's knobs and the question it answers.
+//
 // The paper's full evaluation (every table and figure) is reproducible
 // through RunExperiment and the cmd/experiments binary; see EXPERIMENTS.md
 // for measured-vs-paper numbers.

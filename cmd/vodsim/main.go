@@ -10,9 +10,13 @@
 //	vodsim -synth -replicas 2 -prefix-segments 4 -max-streams 4
 //	vodsim -synth -live 1        # drive the online engine, daily snapshots
 //	vodsim -synth -parallel 8    # run neighborhood shards on 8 workers
+//	vodsim -scenario-list        # registered live-workload scenarios
+//	vodsim -scenario flash-crowd -checkpoint 6   # drive one, 6h checkpoints
+//	vodsim -scenario premiere -snapshot-json     # machine-readable checkpoints
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,14 +57,29 @@ func run(args []string) error {
 		maxStreams   = fs.Int("max-streams", 0, "concurrent stream limit per set-top box (0 = default 2)")
 		live         = fs.Int("live", 0, "drive the online engine, printing a snapshot every N simulated days")
 		parallel     = fs.Int("parallel", 0, "worker pool for concurrent neighborhood shards (0 = GOMAXPROCS, 1 = serial)")
+
+		scenarioName = fs.String("scenario", "", "drive a registered live-workload scenario (see -scenario-list); sized by the -synth-* flags")
+		scenarioList = fs.Bool("scenario-list", false, "list registered scenarios and exit")
+		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none)")
+		accel        = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
+		snapJSON     = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *scenarioList {
+		for _, info := range cablevod.ListScenarios() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return nil
+	}
+
 	var tr *cablevod.Trace
 	var err error
 	switch {
+	case *scenarioName != "":
+		// The scenario generates its own workload lazily; no trace.
 	case *synth:
 		opts := cablevod.DefaultTraceOptions()
 		opts.Days = *days
@@ -119,9 +138,15 @@ func run(args []string) error {
 	}
 	start := time.Now()
 	var res *cablevod.Result
-	if *live > 0 {
-		res, err = runLive(cfg, tr, *live)
-	} else {
+	switch {
+	case *scenarioName != "":
+		res, err = runScenario(cfg, *scenarioName, scenarioRunOptions{
+			users: *users, programs: *programs, days: *days, seed: *seed,
+			checkpointHours: *checkpoint, accel: *accel, json: *snapJSON,
+		})
+	case *live > 0:
+		res, err = runLive(cfg, tr, *live, *snapJSON)
+	default:
 		res, err = cablevod.Run(cfg, tr)
 	}
 	if err != nil {
@@ -129,6 +154,61 @@ func run(args []string) error {
 	}
 	printResult(res, time.Since(start))
 	return nil
+}
+
+// scenarioRunOptions carries the CLI knobs of a -scenario run.
+type scenarioRunOptions struct {
+	users, programs, days int
+	seed                  uint64
+	checkpointHours       int
+	accel                 float64
+	json                  bool
+}
+
+// runScenario drives a registered scenario through the live engine,
+// printing each checkpoint as it is taken.
+func runScenario(cfg cablevod.Config, name string, o scenarioRunOptions) (*cablevod.Result, error) {
+	if o.checkpointHours < 0 {
+		return nil, fmt.Errorf("negative -checkpoint %d", o.checkpointHours)
+	}
+	workload := cablevod.DefaultTraceOptions()
+	workload.Users, workload.Programs, workload.Days, workload.Seed = o.users, o.programs, o.days, o.seed
+	res, _, err := cablevod.RunScenario(name, cfg, cablevod.ScenarioOptions{
+		Workload:     workload,
+		Checkpoint:   time.Duration(o.checkpointHours) * time.Hour,
+		Acceleration: o.accel,
+		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
+	})
+	return res, err
+}
+
+// printCheckpoint renders one scenario checkpoint, as a JSON line or a
+// phase-labelled snapshot line.
+func printCheckpoint(cp cablevod.ScenarioCheckpoint, asJSON bool) {
+	if asJSON {
+		printJSON(struct {
+			AtHours float64          `json:"at_hours"`
+			Phases  string           `json:"phases"`
+			Metrics cablevod.Metrics `json:"metrics"`
+		}{AtHours: cp.At.Hours(), Phases: cp.Phases, Metrics: cp.Metrics})
+		return
+	}
+	label := cp.Phases
+	if label == "" {
+		label = "-"
+	}
+	fmt.Printf("[%-10s] ", label)
+	printSnapshot(cp.Metrics)
+}
+
+// printJSON writes one JSON line to stdout.
+func printJSON(v any) {
+	out, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim: marshal snapshot:", err)
+		return
+	}
+	fmt.Println(string(out))
 }
 
 // registered reports whether name is in the strategy registry.
@@ -145,7 +225,7 @@ func registered(name string) bool {
 // (SubmitBatch fans each batch across the neighborhood shards), printing
 // a live metrics snapshot every snapshotDays simulated days and the
 // per-neighborhood breakdown at the end of the run.
-func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablevod.Result, error) {
+func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int, asJSON bool) (*cablevod.Result, error) {
 	cfg.Subscribers = tr.Users()
 	cfg.Catalog = cablevod.TraceCatalog(tr)
 	cfg.Future = tr
@@ -155,6 +235,13 @@ func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablev
 	}
 	fmt.Printf("engine: %d shards (one per neighborhood) on a %d-worker pool\n",
 		sys.Shards(), sys.Parallelism())
+	emit := func(m cablevod.Metrics) {
+		if asJSON {
+			printJSON(m)
+		} else {
+			printSnapshot(m)
+		}
+	}
 	nextDay := snapshotDays
 	start := 0
 	for i, rec := range tr.Records {
@@ -163,7 +250,7 @@ func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablev
 				return nil, fmt.Errorf("batch starting at record %d: %w", start, err)
 			}
 			start = i
-			printSnapshot(sys.Snapshot())
+			emit(sys.Snapshot())
 			for nextDay <= day {
 				nextDay += snapshotDays
 			}
@@ -173,8 +260,10 @@ func runLive(cfg cablevod.Config, tr *cablevod.Trace, snapshotDays int) (*cablev
 		return nil, fmt.Errorf("batch starting at record %d: %w", start, err)
 	}
 	final := sys.Snapshot()
-	printSnapshot(final)
-	printBreakdown(final)
+	emit(final)
+	if !asJSON {
+		printBreakdown(final)
+	}
 	return sys.Close()
 }
 

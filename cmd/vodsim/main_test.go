@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -213,6 +214,119 @@ func TestRunRegisteredStrategyName(t *testing.T) {
 	path := smallTraceFile(t)
 	if err := run([]string{"-trace", path, "-neighborhood", "150", "-strategy", "vodsim-test-lru", "-warmup", "0"}); err != nil {
 		t.Error(err)
+	}
+}
+
+// scenarioArgs are the common CI-scale sizing flags for -scenario runs.
+func scenarioArgs(extra ...string) []string {
+	args := []string{
+		"-scenario", "flash-crowd", "-synth-users", "300", "-synth-programs", "60",
+		"-synth-days", "3", "-neighborhood", "150", "-storage", "1GB", "-warmup", "0",
+	}
+	return append(args, extra...)
+}
+
+// TestRunScenarioMode: -scenario drives a registered scenario end to
+// end, with checkpoints labelled by the active phase.
+func TestRunScenarioMode(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(scenarioArgs("-checkpoint", "24"))
+	})
+	if !strings.Contains(out, "[flash") {
+		t.Errorf("no checkpoint labelled with the flash phase:\n%s", out)
+	}
+	if !strings.Contains(out, "savings") {
+		t.Errorf("missing final result:\n%s", out)
+	}
+}
+
+// TestRunScenarioList: -scenario-list prints the registry.
+func TestRunScenarioList(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-scenario-list"})
+	})
+	for _, name := range []string{"flash-crowd", "premiere", "churn-wave", "weekend-surge", "regional-drift"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scenario list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRunScenarioJSON: -snapshot-json emits one parseable JSON object
+// per checkpoint with the machine-readable metrics fields.
+func TestRunScenarioJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(scenarioArgs("-checkpoint", "24", "-snapshot-json"))
+	})
+	jsonLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		jsonLines++
+		var cp struct {
+			AtHours float64 `json:"at_hours"`
+			Phases  string  `json:"phases"`
+			Metrics struct {
+				HitRatio        float64          `json:"hit_ratio"`
+				Counters        map[string]int64 `json:"counters"`
+				PerNeighborhood []map[string]any `json:"per_neighborhood"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &cp); err != nil {
+			t.Fatalf("unparseable checkpoint line: %v\n%s", err, line)
+		}
+		if cp.AtHours <= 0 || cp.Metrics.Counters["sessions"] == 0 || len(cp.Metrics.PerNeighborhood) != 2 {
+			t.Errorf("checkpoint JSON missing fields: %s", line)
+		}
+	}
+	if jsonLines != 3 {
+		t.Errorf("got %d JSON checkpoint lines, want 3:\n%s", jsonLines, out)
+	}
+}
+
+// TestRunLiveJSON: -live -snapshot-json emits JSON snapshots.
+func TestRunLiveJSON(t *testing.T) {
+	path := smallTraceFile(t)
+	out := captureStdout(t, func() error {
+		return run([]string{
+			"-trace", path, "-neighborhood", "150", "-storage", "1GB",
+			"-warmup", "0", "-live", "1", "-snapshot-json",
+		})
+	})
+	saw := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable snapshot line: %v\n%s", err, line)
+		}
+		if _, ok := m["per_neighborhood"]; !ok {
+			t.Errorf("snapshot JSON missing per_neighborhood: %s", line)
+		}
+		saw = true
+	}
+	if !saw {
+		t.Errorf("no JSON snapshot lines in live output:\n%s", out)
+	}
+}
+
+// TestRunScenarioErrors: broken scenario flags are rejected.
+func TestRunScenarioErrors(t *testing.T) {
+	quietStdout(t)
+	cases := [][]string{
+		{"-scenario", "no-such-scenario"},   // unknown name
+		scenarioArgs("-checkpoint", "-1"),   // negative checkpoint
+		scenarioArgs("-accel", "-2"),        // negative acceleration
+		scenarioArgs("-strategy", "oracle"), // offline strategy, no future
+		scenarioArgs("-synth-days", "0"),    // invalid base workload
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
 	}
 }
 

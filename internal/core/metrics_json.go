@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/json"
+)
+
+// JSON encodings for the live metrics types, so vodsim and scenario
+// Driver checkpoints are machine-readable. Durations are emitted in
+// seconds, rates in bits per second, and sizes in bytes — plain numbers
+// a downstream dashboard can consume without knowing Go's duration or
+// unit encodings. Derived ratios (hit ratio, savings) are included so
+// consumers need no counter arithmetic.
+
+// countersJSON is the wire form of Counters.
+type countersJSON struct {
+	Sessions        uint64 `json:"sessions"`
+	SegmentRequests uint64 `json:"segment_requests"`
+	Hits            uint64 `json:"hits"`
+	MissNotCached   uint64 `json:"miss_not_cached"`
+	MissUnplaced    uint64 `json:"miss_unplaced"`
+	MissPeerBusy    uint64 `json:"miss_peer_busy"`
+	MissFirstFetch  uint64 `json:"miss_first_fetch"`
+	Fills           uint64 `json:"fills"`
+	CoaxOverloads   uint64 `json:"coax_overloads"`
+	Admissions      uint64 `json:"admissions"`
+	Evictions       uint64 `json:"evictions"`
+}
+
+// MarshalJSON encodes the counters with stable snake_case keys.
+func (c Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(countersJSON{
+		Sessions:        c.Sessions,
+		SegmentRequests: c.SegmentRequests,
+		Hits:            c.Hits,
+		MissNotCached:   c.MissNotCached,
+		MissUnplaced:    c.MissUnplaced,
+		MissPeerBusy:    c.MissPeerBusy,
+		MissFirstFetch:  c.MissFirstFetch,
+		Fills:           c.Fills,
+		CoaxOverloads:   c.CoaxOverloads,
+		Admissions:      c.Admissions,
+		Evictions:       c.Evictions,
+	})
+}
+
+// neighborhoodJSON is the wire form of NeighborhoodMetrics.
+type neighborhoodJSON struct {
+	ID                 int     `json:"id"`
+	Sessions           uint64  `json:"sessions"`
+	ActiveSessions     int     `json:"active_sessions"`
+	HitRatio           float64 `json:"hit_ratio"`
+	CoaxBps            float64 `json:"coax_bps"`
+	CacheUsedBytes     int64   `json:"cache_used_bytes"`
+	CacheCapacityBytes int64   `json:"cache_capacity_bytes"`
+	CachedPrograms     int     `json:"cached_programs"`
+}
+
+// MarshalJSON encodes one neighborhood's snapshot slice.
+func (n NeighborhoodMetrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(neighborhoodJSON{
+		ID:                 n.ID,
+		Sessions:           n.Sessions,
+		ActiveSessions:     n.ActiveSessions,
+		HitRatio:           n.HitRatio,
+		CoaxBps:            float64(n.CoaxRate),
+		CacheUsedBytes:     int64(n.CacheUsed),
+		CacheCapacityBytes: int64(n.CacheCapacity),
+		CachedPrograms:     n.CachedPrograms,
+	})
+}
+
+// metricsJSON is the wire form of Metrics.
+type metricsJSON struct {
+	NowSeconds         float64               `json:"now_seconds"`
+	Submitted          int                   `json:"submitted"`
+	ActiveSessions     int                   `json:"active_sessions"`
+	Counters           Counters              `json:"counters"`
+	HitRatio           float64               `json:"hit_ratio"`
+	Savings            float64               `json:"savings"`
+	ServerBits         int64                 `json:"server_bits"`
+	DemandBits         int64                 `json:"demand_bits"`
+	ServerBps          float64               `json:"server_bps"`
+	DemandBps          float64               `json:"demand_bps"`
+	CoaxBps            float64               `json:"coax_bps"`
+	CacheUsedBytes     int64                 `json:"cache_used_bytes"`
+	CacheCapacityBytes int64                 `json:"cache_capacity_bytes"`
+	CachedPrograms     int                   `json:"cached_programs"`
+	Neighborhoods      int                   `json:"neighborhoods"`
+	PerNeighborhood    []NeighborhoodMetrics `json:"per_neighborhood"`
+}
+
+// MarshalJSON encodes the full snapshot, including the per-neighborhood
+// breakdown.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(metricsJSON{
+		NowSeconds:         m.Now.Seconds(),
+		Submitted:          m.Submitted,
+		ActiveSessions:     m.ActiveSessions,
+		Counters:           m.Counters,
+		HitRatio:           m.HitRatio(),
+		Savings:            m.Savings(),
+		ServerBits:         m.ServerBits,
+		DemandBits:         m.DemandBits,
+		ServerBps:          float64(m.ServerRate),
+		DemandBps:          float64(m.DemandRate),
+		CoaxBps:            float64(m.CoaxRate),
+		CacheUsedBytes:     int64(m.CacheUsed),
+		CacheCapacityBytes: int64(m.CacheCapacity),
+		CachedPrograms:     m.CachedPrograms,
+		Neighborhoods:      m.Neighborhoods,
+		PerNeighborhood:    m.PerNeighborhood,
+	})
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"cablevod/internal/hfc"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// TestMetricsMarshalJSON: a snapshot round-trips into plain-number JSON
+// with durations in seconds, rates in bps, sizes in bytes, and the
+// per-neighborhood breakdown present.
+func TestMetricsMarshalJSON(t *testing.T) {
+	m := Metrics{
+		Now:            36 * time.Hour,
+		Submitted:      1200,
+		ActiveSessions: 7,
+		Counters: Counters{
+			Sessions:        1200,
+			SegmentRequests: 5000,
+			Hits:            4000,
+			MissNotCached:   1000,
+			Admissions:      90,
+			Evictions:       30,
+		},
+		ServerBits:    8_060_000,
+		DemandBits:    16_120_000,
+		ServerRate:    units.BitRate(2_000_000),
+		DemandRate:    units.BitRate(4_000_000),
+		CoaxRate:      units.BitRate(500_000),
+		CacheUsed:     3 * units.GB,
+		CacheCapacity: 10 * units.GB,
+		Neighborhoods: 2,
+		PerNeighborhood: []NeighborhoodMetrics{
+			{ID: 0, Sessions: 700, HitRatio: 0.8, CoaxRate: units.BitRate(600_000),
+				CacheUsed: 2 * units.GB, CacheCapacity: 5 * units.GB, CachedPrograms: 12},
+			{ID: 1, Sessions: 500, HitRatio: 0.75, CoaxRate: units.BitRate(400_000),
+				CacheUsed: 1 * units.GB, CacheCapacity: 5 * units.GB, CachedPrograms: 9},
+		},
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	checks := map[string]float64{
+		"now_seconds":          36 * 3600,
+		"submitted":            1200,
+		"active_sessions":      7,
+		"hit_ratio":            0.8,
+		"savings":              0.5,
+		"server_bits":          8_060_000,
+		"server_bps":           2_000_000,
+		"coax_bps":             500_000,
+		"cache_used_bytes":     float64(3 * units.GB),
+		"cache_capacity_bytes": float64(10 * units.GB),
+		"neighborhoods":        2,
+	}
+	for key, want := range checks {
+		v, ok := got[key].(float64)
+		if !ok {
+			t.Errorf("key %q missing or non-numeric: %v", key, got[key])
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %v, want %v", key, v, want)
+		}
+	}
+	counters, ok := got["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("counters missing: %s", raw)
+	}
+	if counters["hits"].(float64) != 4000 || counters["sessions"].(float64) != 1200 {
+		t.Errorf("counters wrong: %v", counters)
+	}
+	nbs, ok := got["per_neighborhood"].([]any)
+	if !ok || len(nbs) != 2 {
+		t.Fatalf("per_neighborhood missing or wrong length: %s", raw)
+	}
+	nb0 := nbs[0].(map[string]any)
+	if nb0["id"].(float64) != 0 || nb0["sessions"].(float64) != 700 ||
+		nb0["coax_bps"].(float64) != 600_000 || nb0["cached_programs"].(float64) != 12 {
+		t.Errorf("neighborhood 0 wrong: %v", nb0)
+	}
+}
+
+// TestLiveSnapshotMarshals: a real engine snapshot marshals cleanly.
+func TestLiveSnapshotMarshals(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Topology: hfc.Config{NeighborhoodSize: 2, PerPeerStorage: 1 * units.GB},
+	}, Workload{
+		Users:   []trace.UserID{1, 2, 3},
+		Lengths: map[trace.ProgramID]time.Duration{7: 30 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := sys.Submit(trace.Record{
+			User: trace.UserID(1 + i%3), Program: 7,
+			Start: time.Duration(i) * time.Hour, Duration: 10 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := json.Marshal(sys.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("live snapshot not valid JSON: %v", err)
+	}
+	if _, ok := got["per_neighborhood"]; !ok {
+		t.Error("live snapshot missing per_neighborhood")
+	}
+}

@@ -47,6 +47,10 @@ func All() []Experiment {
 		{ID: "abl-replicas", Title: "Extension: segment replication", Run: AblationReplication},
 		{ID: "abl-prefix", Title: "Extension: prefix caching", Run: AblationPrefixCaching},
 		{ID: "abl-seek", Title: "Extension: fast-forward jump sessions", Run: AblationSeekWorkload},
+		{ID: "scen-flash", Title: "Scenario: flash-crowd hit-ratio resilience", Run: ScenFlashCrowd},
+		{ID: "scen-premiere", Title: "Scenario: catalog-premiere warm-up latency", Run: ScenPremiere},
+		{ID: "scen-churn", Title: "Scenario: churn-wave cache stability", Run: ScenChurn},
+		{ID: "scen-drift", Title: "Scenario: regional skew drift, local vs global popularity", Run: ScenDrift},
 	}
 }
 

@@ -1,0 +1,324 @@
+package experiments
+
+// Scenario experiments: the live-workload counterpart of the paper's
+// static-trace artifacts. Each one instantiates a registered scenario
+// at the workload scale, streams it through the scenario Driver into
+// the online engine (one simulation per sweep point, fanned out across
+// the worker pool), and reads strategy behaviour off the mid-run
+// checkpoint series — the measurements a batch replay cannot take.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/scenario"
+	"cablevod/internal/units"
+)
+
+// scenarioCheckpointEvery is the checkpoint cadence scenario
+// experiments sample the live engine at.
+const scenarioCheckpointEvery = 3 * time.Hour
+
+// scenarioConfig is the standard engine configuration scenario
+// experiments run under: the paper's 1,000-peer neighborhoods at 10 GB
+// per peer. Per-sim parallelism stays 1 — the sweep already saturates
+// the pool.
+func scenarioConfig(w *Workload, strategy core.Strategy) core.Config {
+	return core.Config{
+		Topology:    hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 10 * units.GB},
+		Strategy:    strategy,
+		WarmupDays:  w.Scale.WarmupDays,
+		Parallelism: 1,
+	}
+}
+
+// scenarioRun is one driver run's outcome: the final result plus the
+// checkpoint series.
+type scenarioRun struct {
+	res *core.Result
+	cps []scenario.Checkpoint
+}
+
+// runScenario streams one spec through the live Driver.
+func runScenario(spec scenario.Spec, cfg core.Config) (*scenarioRun, error) {
+	d, err := scenario.NewDriver(cfg, spec, scenario.Options{
+		Checkpoint: scenarioCheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &scenarioRun{res: res, cps: d.Checkpoints()}, nil
+}
+
+// builtScenario instantiates a registered scenario at the workload
+// scale.
+func builtScenario(w *Workload, name string) (scenario.Spec, error) {
+	b, err := scenario.Lookup(name)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	return b.Build(w.Scale.synthConfig()), nil
+}
+
+// countersAt returns the cumulative counters as of virtual time t: the
+// last checkpoint at or before t (zero before the first).
+func countersAt(cps []scenario.Checkpoint, t time.Duration) core.Counters {
+	var out core.Counters
+	for _, cp := range cps {
+		if cp.At > t {
+			break
+		}
+		out = cp.Metrics.Counters
+	}
+	return out
+}
+
+// windowHitRatio is the segment hit ratio over the checkpoint-aligned
+// window [from, to); NaN when the window saw no requests.
+func windowHitRatio(cps []scenario.Checkpoint, from, to time.Duration) float64 {
+	a, b := countersAt(cps, from), countersAt(cps, to)
+	req := b.SegmentRequests - a.SegmentRequests
+	if req == 0 {
+		return math.NaN()
+	}
+	return float64(b.Hits-a.Hits) / float64(req)
+}
+
+// ScenFlashCrowd measures flash-crowd hit-ratio resilience per
+// strategy: the segment hit ratio in the six hours before the crowd,
+// during the crowd window, and in the six hours after, plus the final
+// run savings.
+func ScenFlashCrowd(w *Workload) (*Report, error) {
+	spec, err := builtScenario(w, "flash-crowd")
+	if err != nil {
+		return nil, err
+	}
+	flash, ok := spec.Phase("flash")
+	if !ok {
+		return nil, fmt.Errorf("experiments: flash-crowd scenario has no flash phase")
+	}
+	strategies := []core.Strategy{core.StrategyLRU, core.StrategyLFU, core.StrategyGlobalLFU}
+	points := make([]point[core.Config], 0, len(strategies))
+	for _, s := range strategies {
+		points = append(points, pt(fmt.Sprintf("scen-flash %v", s), scenarioConfig(w, s)))
+	}
+	runs, err := mapPoints(points, func(cfg core.Config) (*scenarioRun, error) {
+		return runScenario(spec, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:           "scen-flash",
+		Title:        "Flash crowd: hit-ratio resilience per strategy (live Driver)",
+		Unit:         "%",
+		RowLabel:     "strategy",
+		ColumnLabels: []string{"hit pre", "hit flash", "hit post", "savings"},
+		Notes: []string{
+			spec.Description,
+			fmt.Sprintf("flash window [%v, %v); 40x demand on one title, 1.3x tune-ins", flash.From, flash.To),
+		},
+	}
+	for i, s := range strategies {
+		r := runs[i]
+		rep.RowLabels = append(rep.RowLabels, s.String())
+		rep.Cells = append(rep.Cells, []float64{
+			100 * windowHitRatio(r.cps, flash.From-6*time.Hour, flash.From),
+			100 * windowHitRatio(r.cps, flash.From, flash.To),
+			100 * windowHitRatio(r.cps, flash.To, flash.To+6*time.Hour),
+			100 * r.res.SavingsVsDemand,
+		})
+	}
+	return rep, nil
+}
+
+// ScenPremiere measures premiere warm-up latency: how the hit ratio
+// moves through the windows after a hot title lands, and how many hours
+// each strategy needs to recover to its pre-premiere hit ratio.
+func ScenPremiere(w *Workload) (*Report, error) {
+	spec, err := builtScenario(w, "premiere")
+	if err != nil {
+		return nil, err
+	}
+	ph, ok := spec.Phase("premiere")
+	if !ok {
+		return nil, fmt.Errorf("experiments: premiere scenario has no premiere phase")
+	}
+	strategies := []core.Strategy{core.StrategyLRU, core.StrategyLFU}
+	points := make([]point[core.Config], 0, len(strategies))
+	for _, s := range strategies {
+		points = append(points, pt(fmt.Sprintf("scen-premiere %v", s), scenarioConfig(w, s)))
+	}
+	runs, err := mapPoints(points, func(cfg core.Config) (*scenarioRun, error) {
+		return runScenario(spec, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	span := spec.Span()
+	rep := &Report{
+		ID:           "scen-premiere",
+		Title:        "Catalog premiere: warm-up latency per strategy (live Driver)",
+		Unit:         "% (recovery in hours)",
+		RowLabel:     "strategy",
+		ColumnLabels: []string{"hit pre", "hit 0-6h", "hit 6-24h", "hit 24-48h", "recovery h"},
+		Notes: []string{
+			spec.Description,
+			fmt.Sprintf("premiere at %v, 3x the hottest title; windows relative to it", ph.From),
+		},
+	}
+	for i, s := range strategies {
+		r := runs[i]
+		pre := windowHitRatio(r.cps, ph.From-6*time.Hour, ph.From)
+		row := []float64{
+			100 * pre,
+			100 * clampedWindow(r.cps, ph.From, ph.From+6*time.Hour, span),
+			100 * clampedWindow(r.cps, ph.From+6*time.Hour, ph.From+24*time.Hour, span),
+			100 * clampedWindow(r.cps, ph.From+24*time.Hour, ph.From+48*time.Hour, span),
+			recoveryHours(r.cps, ph.From, pre, span),
+		}
+		rep.RowLabels = append(rep.RowLabels, s.String())
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// clampedWindow is windowHitRatio with NaN for windows past the span.
+func clampedWindow(cps []scenario.Checkpoint, from, to, span time.Duration) float64 {
+	if from >= span {
+		return math.NaN()
+	}
+	if to > span {
+		to = span
+	}
+	return windowHitRatio(cps, from, to)
+}
+
+// recoveryHours finds the first checkpoint-sized window after the
+// premiere whose hit ratio is back within one point of the
+// pre-premiere level; NaN when it never recovers inside the run.
+func recoveryHours(cps []scenario.Checkpoint, from time.Duration, pre float64, span time.Duration) float64 {
+	if math.IsNaN(pre) {
+		return math.NaN()
+	}
+	for t := from; t+scenarioCheckpointEvery <= span; t += scenarioCheckpointEvery {
+		h := windowHitRatio(cps, t, t+scenarioCheckpointEvery)
+		if !math.IsNaN(h) && h >= pre-0.01 {
+			return (t + scenarioCheckpointEvery - from).Hours()
+		}
+	}
+	return math.NaN()
+}
+
+// ScenChurn measures cache stability under subscriber churn: final hit
+// ratio, savings, and the post-wave hit ratio as the cancel fraction
+// grows (joins fixed at 10% of the base population).
+func ScenChurn(w *Workload) (*Report, error) {
+	base := w.Scale.synthConfig()
+	fractions := []float64{0, 0.15, 0.30}
+	from := time.Duration(max(1, base.Days/3)) * units.Day
+	to := time.Duration(min(base.Days, 2*base.Days/3+1)) * units.Day
+
+	points := make([]point[scenario.Spec], 0, len(fractions))
+	for _, f := range fractions {
+		// Every row keeps the same join wave (and therefore the same
+		// provisioned population and plant) so the sweep isolates the
+		// cancel fraction.
+		spec := scenario.Spec{
+			Name:        fmt.Sprintf("churn-%.0f%%", 100*f),
+			Description: "subscriber churn wave",
+			Base:        base,
+			Phases: []scenario.Phase{
+				{Name: "churn", From: from, To: to, Modulators: []scenario.Modulator{
+					scenario.Churn{CancelFraction: f, Joins: base.Users / 10},
+				}},
+			},
+		}
+		points = append(points, pt(fmt.Sprintf("scen-churn %.0f%%", 100*f), spec))
+	}
+	runs, err := mapPoints(points, func(spec scenario.Spec) (*scenarioRun, error) {
+		return runScenario(spec, scenarioConfig(w, core.StrategyLFU))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:           "scen-churn",
+		Title:        "Churn wave: cache stability vs cancel fraction (live Driver, LFU)",
+		Unit:         "%",
+		RowLabel:     "cancelled",
+		ColumnLabels: []string{"hit final", "hit post-wave", "savings", "sessions k"},
+		Notes: []string{
+			fmt.Sprintf("wave over [%v, %v); joins fixed at 10%% of the base population", from, to),
+		},
+	}
+	for i, f := range fractions {
+		r := runs[i]
+		rep.RowLabels = append(rep.RowLabels, fmt.Sprintf("%.0f%%", 100*f))
+		rep.Cells = append(rep.Cells, []float64{
+			100 * r.res.Counters.HitRatio(),
+			100 * windowHitRatio(r.cps, to, points[i].cfg.Span()),
+			100 * r.res.SavingsVsDemand,
+			float64(r.res.Counters.Sessions) / 1000,
+		})
+	}
+	return rep, nil
+}
+
+// ScenDrift measures regional skew drift: local-only LFU against
+// globally pooled popularity (global-lfu), each with and without the
+// drift — the scenario where global pooling can actively mislead.
+func ScenDrift(w *Workload) (*Report, error) {
+	base := w.Scale.synthConfig()
+	steady := scenario.Spec{Name: "steady", Description: "unmodulated base workload", Base: base}
+	drift, err := builtScenario(w, "regional-drift")
+	if err != nil {
+		return nil, err
+	}
+	strategies := []core.Strategy{core.StrategyLFU, core.StrategyGlobalLFU}
+
+	type cell struct {
+		strategy core.Strategy
+		spec     scenario.Spec
+	}
+	var cells []point[cell]
+	for _, s := range strategies {
+		for _, sp := range []scenario.Spec{steady, drift} {
+			cells = append(cells, pt(fmt.Sprintf("scen-drift %v/%s", s, sp.Name), cell{strategy: s, spec: sp}))
+		}
+	}
+	runs, err := mapPoints(cells, func(c cell) (*scenarioRun, error) {
+		return runScenario(c.spec, scenarioConfig(w, c.strategy))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:           "scen-drift",
+		Title:        "Regional skew drift: local vs global popularity (live Driver)",
+		Unit:         "%",
+		RowLabel:     "strategy",
+		ColumnLabels: []string{"hit steady", "hit drift", "delta pts"},
+		Notes: []string{
+			drift.Description,
+		},
+	}
+	for i, s := range strategies {
+		steadyHit := 100 * runs[2*i].res.Counters.HitRatio()
+		driftHit := 100 * runs[2*i+1].res.Counters.HitRatio()
+		rep.RowLabels = append(rep.RowLabels, s.String())
+		rep.Cells = append(rep.Cells, []float64{steadyHit, driftHit, driftHit - steadyHit})
+	}
+	return rep, nil
+}

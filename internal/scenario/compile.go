@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+)
+
+// compiled is a Spec resolved against a topology: premiere IDs
+// assigned, churn instants drawn, and (when any modulator targets
+// neighborhoods) every user's home resolved — everything the synth
+// hooks need to answer per-hour queries with no further allocation of
+// state.
+type compiled struct {
+	spec    Spec
+	nbCount int
+
+	// population is the full user set (base + joiners), IDs 0..n-1.
+	population []trace.UserID
+
+	// extras are the premieres in spec order; premiereIDs[i] is the
+	// catalog ID assigned to the i-th premiere.
+	extras      []synth.ExtraProgram
+	premiereIDs []trace.ProgramID
+
+	// joinAt/cancelAt, when churn is present, hold each user's
+	// activation window [joinAt, cancelAt); base users join at 0 and
+	// uncancelled users keep cancelAt past the span.
+	joinAt, cancelAt []time.Duration
+
+	// home maps user ID to coax neighborhood; built (via hfc.Build on
+	// the same population the engine places) only when a modulator is
+	// region-targeted.
+	home []int
+
+	hasRate, hasProgram, hasUser, regional bool
+}
+
+// compile validates the spec against the topology and resolves it.
+func (s Spec) compile(topo hfc.Config) (*compiled, error) {
+	if err := s.Validate(topo.NeighborhoodSize); err != nil {
+		return nil, err
+	}
+	c := &compiled{spec: s, population: s.Population()}
+	c.nbCount = (len(c.population) + topo.NeighborhoodSize - 1) / topo.NeighborhoodSize
+
+	never := s.Span() + time.Hour
+	for _, ph := range s.Phases {
+		for _, m := range ph.Modulators {
+			switch m := m.(type) {
+			case Premiere:
+				id := trace.ProgramID(s.Base.Programs + len(c.extras))
+				c.premiereIDs = append(c.premiereIDs, id)
+				c.extras = append(c.extras, synth.ExtraProgram{
+					Length: m.length(),
+					Weight: m.Hotness,
+					Intro:  ph.From,
+				})
+			case Churn:
+				c.ensureChurn(never)
+				c.planChurn(m, ph)
+				c.hasUser = true
+			case IntensityShift:
+				c.hasRate = true
+			case FlashCrowd:
+				if m.Local {
+					c.regional = true
+					c.hasUser = true
+				} else {
+					c.hasProgram = true
+					if m.RateBoost > 0 && m.RateBoost != 1 {
+						c.hasRate = true
+					}
+				}
+			case SkewDrift:
+				c.regional = true
+			}
+		}
+	}
+
+	if c.regional {
+		plant, err := hfc.Build(topo, c.population)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: placing population: %w", s.Name, err)
+		}
+		c.home = make([]int, len(c.population))
+		for _, u := range c.population {
+			nb, ok := plant.Home(u)
+			if !ok {
+				return nil, fmt.Errorf("scenario %s: user %d unplaced", s.Name, u)
+			}
+			c.home[u] = nb.ID()
+		}
+	}
+	return c, nil
+}
+
+// ensureChurn lazily allocates the activation tables: base users active
+// from 0, everyone uncancelled.
+func (c *compiled) ensureChurn(never time.Duration) {
+	if c.joinAt != nil {
+		return
+	}
+	n := len(c.population)
+	c.joinAt = make([]time.Duration, n)
+	c.cancelAt = make([]time.Duration, n)
+	for i := range c.cancelAt {
+		c.cancelAt[i] = never
+	}
+	// Joiners idle until a churn modulator assigns their join instant;
+	// park them past the span until then.
+	for i := c.spec.Base.Users; i < n; i++ {
+		c.joinAt[i] = never
+	}
+}
+
+// nextJoinerBase returns the first joiner ID no earlier churn modulator
+// has claimed (joiners still parked past the span are unclaimed).
+func (c *compiled) nextJoinerBase() int {
+	n := c.spec.Base.Users
+	for ; n < len(c.population); n++ {
+		if c.joinAt[n] >= c.spec.Span()+time.Hour {
+			return n
+		}
+	}
+	return n
+}
+
+// planChurn draws the modulator's cancel and join instants, uniform
+// over the phase window via a per-user splitmix hash.
+func (c *compiled) planChurn(m Churn, ph Phase) {
+	window := float64(ph.To - ph.From)
+	for u := 0; u < c.spec.Base.Users; u++ {
+		h := mix(m.Seed ^ 0xC4A11ED ^ uint64(u))
+		if frac01(h) >= m.CancelFraction {
+			continue
+		}
+		at := ph.From + time.Duration(frac01(mix(h))*window)
+		if at < c.cancelAt[u] {
+			c.cancelAt[u] = at
+		}
+	}
+	base := c.nextJoinerBase()
+	for i := 0; i < m.Joins; i++ {
+		u := base + i
+		h := mix(m.Seed ^ 0x0901ED ^ uint64(u))
+		c.joinAt[u] = ph.From + time.Duration(frac01(h)*window)
+	}
+}
+
+// streamConfig returns the base generator configuration widened to the
+// full scenario population: joiners must be drawable by the generator
+// (the user-weight hook parks them at zero until their join instant,
+// and the active-share intensity scaling keeps total demand tracking
+// the active population only).
+func (c *compiled) streamConfig() synth.Config {
+	cfg := c.spec.Base
+	cfg.Users = len(c.population)
+	return cfg
+}
+
+// hooks assembles the synth modulation hooks the compiled spec implies.
+// Only hook slots some modulator actually uses are populated, so an
+// unmodulated spec generates on the fast base path.
+func (c *compiled) hooks() synth.Hooks {
+	h := synth.Hooks{Extra: c.extras}
+	if c.hasRate {
+		h.RateScale = c.rateScale
+	}
+	if c.hasProgram {
+		h.ProgramWeight = c.programWeight
+	}
+	if c.hasUser {
+		h.UserWeight = c.userWeight
+	}
+	if c.regional {
+		if c.nbCount > 1 {
+			h.Regions = c.nbCount
+			h.Region = c.region
+			h.RegionProgramWeight = c.regionProgramWeight
+		} else {
+			// A single-neighborhood plant has one region: regional
+			// modulation collapses into the systemwide program hook.
+			prev := h.ProgramWeight
+			h.ProgramWeight = func(info synth.HourInfo, p trace.ProgramID, w float64) float64 {
+				if prev != nil {
+					w = prev(info, p, w)
+				}
+				return c.regionProgramWeight(info, 0, p, w)
+			}
+		}
+	}
+	return h
+}
+
+func (c *compiled) rateScale(info synth.HourInfo) float64 {
+	f := 1.0
+	for _, ph := range c.spec.Phases {
+		if !ph.Contains(info.Start) {
+			continue
+		}
+		for _, m := range ph.Modulators {
+			switch m := m.(type) {
+			case IntensityShift:
+				f *= m.scale(info)
+			case FlashCrowd:
+				if !m.Local && m.RateBoost > 0 {
+					f *= m.RateBoost
+				}
+			}
+		}
+	}
+	return f
+}
+
+func (c *compiled) programWeight(info synth.HourInfo, p trace.ProgramID, w float64) float64 {
+	for _, ph := range c.spec.Phases {
+		if !ph.Contains(info.Start) {
+			continue
+		}
+		for _, m := range ph.Modulators {
+			if fc, ok := m.(FlashCrowd); ok && !fc.Local && fc.Program == p {
+				w *= fc.Factor
+			}
+		}
+	}
+	return w
+}
+
+func (c *compiled) userWeight(info synth.HourInfo, u trace.UserID, w float64) float64 {
+	if c.joinAt != nil {
+		if info.Start < c.joinAt[u] || info.Start >= c.cancelAt[u] {
+			return 0
+		}
+	}
+	if c.regional {
+		for _, ph := range c.spec.Phases {
+			if !ph.Contains(info.Start) {
+				continue
+			}
+			for _, m := range ph.Modulators {
+				if fc, ok := m.(FlashCrowd); ok && fc.Local && fc.RateBoost > 0 &&
+					c.home[u] == fc.Neighborhood {
+					w *= fc.RateBoost
+				}
+			}
+		}
+	}
+	return w
+}
+
+func (c *compiled) region(u trace.UserID) int { return c.home[u] }
+
+func (c *compiled) regionProgramWeight(info synth.HourInfo, region int, p trace.ProgramID, w float64) float64 {
+	for _, ph := range c.spec.Phases {
+		if !ph.Contains(info.Start) {
+			continue
+		}
+		for _, m := range ph.Modulators {
+			switch m := m.(type) {
+			case FlashCrowd:
+				if m.Local && m.Neighborhood == region && m.Program == p {
+					w *= m.Factor
+				}
+			case SkewDrift:
+				w *= m.multiplier(region, p, info.Start)
+			}
+		}
+	}
+	return w
+}

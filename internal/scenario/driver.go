@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+)
+
+// DefaultChunk is the virtual-time window one SubmitBatch covers when
+// Options.Chunk is unset.
+const DefaultChunk = 24 * time.Hour
+
+// Options configures a Driver run.
+type Options struct {
+	// Chunk is the virtual-time window of records submitted per
+	// SubmitBatch call (0 = one day; rounded up to whole hours, the
+	// stream's generation granularity). Smaller chunks give fresher
+	// snapshots; larger chunks give the engine's worker pool bigger
+	// batches. Results are bit-identical at every chunking.
+	Chunk time.Duration
+
+	// Checkpoint emits a Snapshot-based checkpoint every this much
+	// virtual time (0 = no periodic checkpoints). Checkpoints force the
+	// pending chunk out first, so each one reflects exactly the records
+	// up to its instant.
+	Checkpoint time.Duration
+
+	// OnCheckpoint, when set, observes each checkpoint as it is taken;
+	// the full series is also collected on the Driver.
+	OnCheckpoint func(Checkpoint)
+
+	// Acceleration rate-limits the virtual clock to at most this many
+	// virtual seconds per wall-clock second (0 = unthrottled). An
+	// acceleration of 86400 plays one simulated day per real second.
+	Acceleration float64
+
+	// now and sleep are test seams; nil uses the real clock.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// validate checks the options, mirroring core.Config validation style.
+func (o Options) validate() error {
+	switch {
+	case o.Chunk < 0:
+		return fmt.Errorf("scenario: negative chunk %v", o.Chunk)
+	case o.Checkpoint < 0:
+		return fmt.Errorf("scenario: negative checkpoint interval %v", o.Checkpoint)
+	case o.Acceleration < 0:
+		return fmt.Errorf("scenario: negative acceleration %v (0 = unthrottled)", o.Acceleration)
+	}
+	return nil
+}
+
+// Checkpoint is one mid-scenario measurement: the live engine
+// aggregates at a virtual instant, labelled with the phases active
+// there — the hook that lets strategies be compared during a flash
+// crowd or premiere, not just at Close.
+type Checkpoint struct {
+	// At is the virtual time the checkpoint was taken.
+	At time.Duration
+
+	// Phases is the comma-joined names of the spec phases covering the
+	// hour the checkpoint closes ("" between phases).
+	Phases string
+
+	// Metrics is the engine snapshot: cumulative counters, transfer
+	// totals, rates, cache occupancy, and the per-neighborhood
+	// breakdown as of At.
+	Metrics core.Metrics
+}
+
+// Driver streams a scenario's lazily generated records into a live
+// core.System in chunk-sized SubmitBatch windows under a virtual clock,
+// optionally rate-limited to a wall-clock acceleration factor and
+// emitting periodic checkpoints. The engine is built for the
+// scenario's full population and catalog; results are bit-identical at
+// every Config.Parallelism and every chunking.
+type Driver struct {
+	spec   Spec
+	opts   Options
+	sys    *core.System
+	stream *synth.Stream
+
+	checkpoints []Checkpoint
+	ran         bool
+}
+
+// NewDriver validates the spec against the engine configuration,
+// compiles its modulators, and builds the live System for the
+// scenario's population and catalog. Offline strategies (the oracle)
+// are rejected by the engine: a live scenario stream has no future
+// knowledge to hand them.
+func NewDriver(cfg core.Config, spec Spec, opts Options) (*Driver, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Chunk == 0 {
+		opts.Chunk = DefaultChunk
+	}
+	if rem := opts.Chunk % time.Hour; rem != 0 {
+		opts.Chunk += time.Hour - rem
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	if opts.sleep == nil {
+		opts.sleep = time.Sleep
+	}
+
+	comp, err := spec.compile(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := synth.NewStream(comp.streamConfig(), comp.hooks())
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cfg, core.Workload{
+		Users:   comp.population,
+		Lengths: stream.Lengths(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{spec: spec, opts: opts, sys: sys, stream: stream}, nil
+}
+
+// System returns the live engine, for mid-run Snapshot access.
+func (d *Driver) System() *core.System { return d.sys }
+
+// Spec returns the scenario being driven.
+func (d *Driver) Spec() Spec { return d.spec }
+
+// Checkpoints returns the checkpoint series collected so far.
+func (d *Driver) Checkpoints() []Checkpoint { return d.checkpoints }
+
+// Run streams the whole scenario and finalizes the engine. It can be
+// called once.
+func (d *Driver) Run() (*core.Result, error) {
+	if d.ran {
+		return nil, fmt.Errorf("scenario: driver already run")
+	}
+	d.ran = true
+
+	start := d.opts.now()
+	var pending []trace.Record
+	pendingFrom := time.Duration(0)
+	nextCheckpoint := d.opts.Checkpoint
+
+	for !d.stream.Done() {
+		recs, info, err := d.stream.NextHour()
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, recs...)
+		hourEnd := info.Start + time.Hour
+
+		atCheckpoint := d.opts.Checkpoint > 0 && hourEnd >= nextCheckpoint
+		if hourEnd-pendingFrom >= d.opts.Chunk || atCheckpoint || d.stream.Done() {
+			if len(pending) > 0 {
+				if err := d.sys.SubmitBatch(pending); err != nil {
+					return nil, fmt.Errorf("scenario %s: submitting hour d%02d/%02d: %w",
+						d.spec.Name, info.Day, info.Hour, err)
+				}
+				pending = pending[:0]
+			}
+			pendingFrom = hourEnd
+			d.throttle(start, hourEnd)
+		}
+		if atCheckpoint {
+			cp := Checkpoint{
+				At:      hourEnd,
+				Phases:  d.spec.ActivePhases(hourEnd - time.Second),
+				Metrics: d.sys.Snapshot(),
+			}
+			d.checkpoints = append(d.checkpoints, cp)
+			if d.opts.OnCheckpoint != nil {
+				d.opts.OnCheckpoint(cp)
+			}
+			for nextCheckpoint <= hourEnd {
+				nextCheckpoint += d.opts.Checkpoint
+			}
+		}
+	}
+	return d.sys.Close()
+}
+
+// throttle holds the virtual clock to the configured wall-clock
+// acceleration: it sleeps until wall time has caught up with
+// virtual/Acceleration.
+func (d *Driver) throttle(start time.Time, virtual time.Duration) {
+	if d.opts.Acceleration <= 0 {
+		return
+	}
+	target := time.Duration(float64(virtual) / d.opts.Acceleration)
+	if ahead := target - d.opts.now().Sub(start); ahead > 0 {
+		d.opts.sleep(ahead)
+	}
+}

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// FlashCrowd multiplies demand for one program while the phase is
+// active — a breaking-news or viral-title surge. Systemwide by default;
+// with Local set it hits a single coax neighborhood: that
+// neighborhood's subscribers tune in RateBoost times more often and
+// prefer the target program Factor times more strongly, while the rest
+// of the plant is unaffected.
+type FlashCrowd struct {
+	// Program is the title the crowd converges on. Premiere programs
+	// are addressable too (Base.Programs + premiere index).
+	Program trace.ProgramID
+
+	// Factor multiplies the program's popularity weight (N× demand
+	// concentration). Must be positive.
+	Factor float64
+
+	// RateBoost multiplies arrival intensity while active (0 = 1, a
+	// pure preference shift with no extra tune-ins).
+	RateBoost float64
+
+	// Local targets the crowd at one neighborhood instead of the whole
+	// plant; Neighborhood is the coax neighborhood index.
+	Local        bool
+	Neighborhood int
+}
+
+// Kind implements Modulator.
+func (FlashCrowd) Kind() string { return "flash-crowd" }
+
+func (m FlashCrowd) validate(ctx *specContext, _ Phase) error {
+	switch {
+	case !finitePositive(m.Factor):
+		return fmt.Errorf("factor must be positive, got %v", m.Factor)
+	case m.RateBoost < 0 || math.IsNaN(m.RateBoost) || math.IsInf(m.RateBoost, 0):
+		return fmt.Errorf("invalid rate boost %v", m.RateBoost)
+	case m.Program < 0 || int(m.Program) >= ctx.catalogSize:
+		return fmt.Errorf("unknown program %d (catalog holds %d incl. premieres)", m.Program, ctx.catalogSize)
+	case m.Local && (m.Neighborhood < 0 || m.Neighborhood >= ctx.neighborhoods):
+		return fmt.Errorf("unknown neighborhood %d (population builds %d)", m.Neighborhood, ctx.neighborhoods)
+	}
+	return nil
+}
+
+// DefaultPremiereLength is the playback length a Premiere with no
+// explicit Length gets.
+const DefaultPremiereLength = 100 * time.Minute
+
+// Premiere introduces a new hot title at the phase start: the program
+// joins the catalog with a base weight of Hotness times the hottest
+// existing title and then ages through the generator's introduction-
+// decay machinery, so demand spikes at the premiere and cools over the
+// following days. The program's ID is Base.Programs plus the premiere's
+// index in spec order (PremiereID reports it after compilation).
+type Premiere struct {
+	// Length is the program's full playback length (0 = 100 minutes).
+	Length time.Duration
+
+	// Hotness is the premiere's base popularity as a multiple of the
+	// catalog's top title. Must be positive.
+	Hotness float64
+}
+
+// Kind implements Modulator.
+func (Premiere) Kind() string { return "premiere" }
+
+func (m Premiere) validate(*specContext, Phase) error {
+	if !finitePositive(m.Hotness) {
+		return fmt.Errorf("hotness must be positive, got %v", m.Hotness)
+	}
+	if m.Length < 0 {
+		return fmt.Errorf("negative length %v", m.Length)
+	}
+	return nil
+}
+
+func (m Premiere) length() time.Duration {
+	if m.Length == 0 {
+		return DefaultPremiereLength
+	}
+	return m.Length
+}
+
+// IntensityShift reshapes arrival intensity while active: a flat Scale,
+// an extra WeekendScale on days 5 and 6 of each week, and an optional
+// per-hour-of-day profile — the diurnal/weekend re-shaping modulator.
+type IntensityShift struct {
+	// Scale multiplies every hour's arrival intensity (0 = 1).
+	Scale float64
+
+	// WeekendScale additionally multiplies weekend days (0 = 1).
+	WeekendScale float64
+
+	// HourScale, when non-nil, must hold 24 non-negative per-hour
+	// multipliers applied on top of Scale.
+	HourScale []float64
+}
+
+// Kind implements Modulator.
+func (IntensityShift) Kind() string { return "intensity-shift" }
+
+func (m IntensityShift) validate(*specContext, Phase) error {
+	if m.Scale < 0 || math.IsNaN(m.Scale) || math.IsInf(m.Scale, 0) {
+		return fmt.Errorf("invalid scale %v", m.Scale)
+	}
+	if m.WeekendScale < 0 || math.IsNaN(m.WeekendScale) || math.IsInf(m.WeekendScale, 0) {
+		return fmt.Errorf("invalid weekend scale %v", m.WeekendScale)
+	}
+	if m.HourScale != nil && len(m.HourScale) != 24 {
+		return fmt.Errorf("hour scale needs 24 entries, got %d", len(m.HourScale))
+	}
+	for h, v := range m.HourScale {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("invalid hour-%d scale %v", h, v)
+		}
+	}
+	return nil
+}
+
+// scale resolves the modulator's multiplier for one hour.
+func (m IntensityShift) scale(info synth.HourInfo) float64 {
+	f := or1(m.Scale)
+	if wd := info.Day % 7; wd == 5 || wd == 6 {
+		f *= or1(m.WeekendScale)
+	}
+	if len(m.HourScale) == 24 {
+		f *= m.HourScale[info.Hour]
+	}
+	return f
+}
+
+// Churn turns subscriber turnover on during the phase: CancelFraction
+// of the base population cancels and Joins new subscribers activate,
+// each at a deterministic per-user instant spread uniformly over the
+// phase window. Cancelled users stop generating sessions for the rest
+// of the scenario; joiners generate none before their join. Total
+// arrival intensity tracks the active population, so a churn wave
+// shrinks (or grows) system demand instead of redistributing it.
+type Churn struct {
+	// CancelFraction of base subscribers cancel during the phase, in
+	// [0, 1).
+	CancelFraction float64
+
+	// Joins is the number of new subscribers activating during the
+	// phase. They are provisioned in the engine's population (and
+	// contribute cache storage) from day zero.
+	Joins int
+
+	// Seed decorrelates the churn draws from other churn modulators.
+	Seed uint64
+}
+
+// Kind implements Modulator.
+func (Churn) Kind() string { return "churn" }
+
+func (m Churn) validate(*specContext, Phase) error {
+	if m.CancelFraction < 0 || m.CancelFraction >= 1 || math.IsNaN(m.CancelFraction) {
+		return fmt.Errorf("cancel fraction %v outside [0, 1)", m.CancelFraction)
+	}
+	if m.Joins < 0 {
+		return fmt.Errorf("negative joins %d", m.Joins)
+	}
+	return nil
+}
+
+// DefaultDriftPeriod is one full rotation of SkewDrift's regional
+// popularity cycle when Period is unset.
+const DefaultDriftPeriod = 2 * units.Day
+
+// SkewDrift makes program popularity drift differently per coax
+// neighborhood while active: each (neighborhood, program) pair follows
+// its own sinusoidal preference cycle exp(Strength*sin(2π·t/Period+φ)),
+// with φ hashed from the pair — so neighborhoods disagree about what is
+// hot and the disagreement rotates over time. It stresses strategies
+// that pool popularity globally (global-lfu) against purely local ones.
+type SkewDrift struct {
+	// Strength is the log-amplitude of the regional multiplier; 0.7
+	// swings preferences by about ±2×. Must be positive.
+	Strength float64
+
+	// Period is one full preference rotation (0 = 2 days).
+	Period time.Duration
+
+	// Seed decorrelates the drift pattern from other drift modulators.
+	Seed uint64
+}
+
+// Kind implements Modulator.
+func (SkewDrift) Kind() string { return "skew-drift" }
+
+func (m SkewDrift) validate(*specContext, Phase) error {
+	if !finitePositive(m.Strength) {
+		return fmt.Errorf("strength must be positive, got %v", m.Strength)
+	}
+	if m.Period < 0 {
+		return fmt.Errorf("negative period %v", m.Period)
+	}
+	return nil
+}
+
+func (m SkewDrift) period() time.Duration {
+	if m.Period == 0 {
+		return DefaultDriftPeriod
+	}
+	return m.Period
+}
+
+// multiplier is the drift factor for (region, program) at time t.
+func (m SkewDrift) multiplier(region int, p trace.ProgramID, t time.Duration) float64 {
+	phi := 2 * math.Pi * frac01(mix(m.Seed^(uint64(region)<<32)^uint64(uint32(p))))
+	return math.Exp(m.Strength * math.Sin(2*math.Pi*float64(t)/float64(m.period())+phi))
+}

@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cablevod/internal/synth"
+	"cablevod/internal/units"
+)
+
+// Builder is a registered scenario template: given a base workload
+// configuration (population, catalog, days, seed), it produces a
+// concrete Spec with its phases placed relative to the base's length.
+type Builder struct {
+	// Name is the registry key ("flash-crowd", ...).
+	Name string
+
+	// Description says what the scenario stresses.
+	Description string
+
+	// Build instantiates the spec for a base workload.
+	Build func(base synth.Config) Spec
+}
+
+var registry struct {
+	sync.Mutex
+	byName map[string]Builder
+}
+
+// Register adds a named scenario builder. It fails on an empty name, a
+// nil build function, or a name already registered.
+func Register(b Builder) error {
+	if b.Name == "" {
+		return fmt.Errorf("scenario: builder needs a name")
+	}
+	if b.Build == nil {
+		return fmt.Errorf("scenario: builder %q needs a build function", b.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.byName == nil {
+		registry.byName = make(map[string]Builder)
+	}
+	if _, dup := registry.byName[b.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", b.Name)
+	}
+	registry.byName[b.Name] = b
+	return nil
+}
+
+// Lookup finds a registered scenario builder by name.
+func Lookup(name string) (Builder, error) {
+	registry.Lock()
+	defer registry.Unlock()
+	b, ok := registry.byName[name]
+	if !ok {
+		var names []string
+		for n := range registry.byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Builder{}, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, names)
+	}
+	return b, nil
+}
+
+// Builders returns every registered builder, sorted by name.
+func Builders() []Builder {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Builder, 0, len(registry.byName))
+	for _, b := range registry.byName {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// mustRegister is Register for the built-ins below.
+func mustRegister(b Builder) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// midDay places an event day at roughly the given fraction of the base
+// window, at least day 1 so caches have warmed.
+func midDay(base synth.Config, frac float64) int {
+	d := int(float64(base.Days) * frac)
+	if d < 1 {
+		d = 1
+	}
+	if d >= base.Days {
+		d = base.Days - 1
+	}
+	return d
+}
+
+func init() {
+	mustRegister(Builder{
+		Name:        "flash-crowd",
+		Description: "A viral title draws a sudden systemwide surge for one day mid-run: demand for one program jumps ~40x and overall tune-ins rise 30%. Measures hit-ratio resilience and recovery per strategy.",
+		Build: func(base synth.Config) Spec {
+			day := midDay(base, 0.5)
+			from := time.Duration(day) * units.Day
+			return Spec{
+				Name:        "flash-crowd",
+				Description: "systemwide one-day flash crowd on a single title",
+				Base:        base,
+				Phases: []Phase{
+					{Name: "flash", From: from, To: from + units.Day, Modulators: []Modulator{
+						FlashCrowd{Program: 0, Factor: 40, RateBoost: 1.3},
+					}},
+				},
+			}
+		},
+	})
+	mustRegister(Builder{
+		Name:        "premiere",
+		Description: "A hot catalog premiere lands a third of the way into the run, three times as popular as the previous top title, then ages through the normal decay. Measures how fast each strategy warms the new title up.",
+		Build: func(base synth.Config) Spec {
+			day := midDay(base, 1.0/3)
+			from := time.Duration(day) * units.Day
+			return Spec{
+				Name:        "premiere",
+				Description: "hot mid-run catalog premiere",
+				Base:        base,
+				Phases: []Phase{
+					{Name: "premiere", From: from, To: time.Duration(base.Days) * units.Day, Modulators: []Modulator{
+						Premiere{Hotness: 3},
+					}},
+				},
+			}
+		},
+	})
+	mustRegister(Builder{
+		Name:        "churn-wave",
+		Description: "A subscriber churn wave over the middle third of the run: 20% of the base population cancels and 10% new subscribers join, each at their own instant. Measures cache stability as demand reshapes under it.",
+		Build: func(base synth.Config) Spec {
+			from := time.Duration(midDay(base, 1.0/3)) * units.Day
+			to := time.Duration(midDay(base, 2.0/3)+1) * units.Day
+			return Spec{
+				Name:        "churn-wave",
+				Description: "cancellation/join wave over the middle third",
+				Base:        base,
+				Phases: []Phase{
+					{Name: "churn", From: from, To: to, Modulators: []Modulator{
+						Churn{CancelFraction: 0.20, Joins: base.Users / 10},
+					}},
+				},
+			}
+		},
+	})
+	mustRegister(Builder{
+		Name:        "weekend-surge",
+		Description: "Reshaped intensity for the whole run: weekends surge 60% above the base boost and the evening peak sharpens. Stresses peak-hour provisioning.",
+		Build: func(base synth.Config) Spec {
+			hours := make([]float64, 24)
+			for h := range hours {
+				hours[h] = 1
+			}
+			for h := 18; h <= 22; h++ {
+				hours[h] = 1.25
+			}
+			return Spec{
+				Name:        "weekend-surge",
+				Description: "weekend and evening-peak intensity reshape",
+				Base:        base,
+				Phases: []Phase{
+					{Name: "surge", From: 0, To: time.Duration(base.Days) * units.Day, Modulators: []Modulator{
+						IntensityShift{WeekendScale: 1.6, HourScale: hours},
+					}},
+				},
+			}
+		},
+	})
+	mustRegister(Builder{
+		Name:        "regional-drift",
+		Description: "Program popularity drifts differently per coax neighborhood on a two-day cycle for the whole run. Stresses strategies that pool popularity globally against purely local ones.",
+		Build: func(base synth.Config) Spec {
+			return Spec{
+				Name:        "regional-drift",
+				Description: "rotating per-neighborhood popularity skew",
+				Base:        base,
+				Phases: []Phase{
+					{Name: "drift", From: 0, To: time.Duration(base.Days) * units.Day, Modulators: []Modulator{
+						SkewDrift{Strength: 0.8},
+					}},
+				},
+			}
+		},
+	})
+}

@@ -1,0 +1,425 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// testBase is a CI-scale base workload.
+func testBase() synth.Config {
+	cfg := synth.TestConfig()
+	cfg.Users = 300
+	cfg.Programs = 80
+	cfg.Days = 3
+	return cfg
+}
+
+func testTopo() hfc.Config {
+	return hfc.Config{NeighborhoodSize: 100, PerPeerStorage: 1 * units.GB}
+}
+
+// flashSpec is a flash-crowd scenario over the test base.
+func flashSpec() Spec {
+	return Spec{
+		Name: "test-flash",
+		Base: testBase(),
+		Phases: []Phase{
+			{Name: "flash", From: 1 * units.Day, To: 2 * units.Day, Modulators: []Modulator{
+				FlashCrowd{Program: 0, Factor: 40, RateBoost: 1.3},
+			}},
+		},
+	}
+}
+
+// TestMaterializeDeterministic: same seed and spec produce a
+// byte-identical record stream.
+func TestMaterializeDeterministic(t *testing.T) {
+	specs := map[string]Spec{"flash": flashSpec()}
+	for _, b := range Builders() {
+		specs[b.Name] = b.Build(testBase())
+	}
+	for name, spec := range specs {
+		a, err := Materialize(spec, testTopo())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Materialize(spec, testTopo())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ: %d vs %d", name, a.Len(), b.Len())
+		}
+		for i := range a.Records {
+			if a.Records[i] != b.Records[i] {
+				t.Fatalf("%s: record %d differs: %+v vs %+v", name, i, a.Records[i], b.Records[i])
+			}
+		}
+		if a.Len() == 0 {
+			t.Fatalf("%s: empty scenario stream", name)
+		}
+	}
+}
+
+// TestSeedChangesStream: a different base seed produces a different
+// stream for the same scenario.
+func TestSeedChangesStream(t *testing.T) {
+	spec := flashSpec()
+	a, err := Materialize(spec, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Base.Seed = 99
+	b, err := Materialize(spec, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != b.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical scenario streams")
+		}
+	}
+}
+
+// TestFlashCrowdConcentratesDemand: during the flash window the target
+// program's share of sessions must dwarf its share outside it.
+func TestFlashCrowdConcentratesDemand(t *testing.T) {
+	tr, err := Materialize(flashSpec(), testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inTarget, inAll, outTarget, outAll float64
+	for _, r := range tr.Records {
+		flash := r.Start >= 1*units.Day && r.Start < 2*units.Day
+		if flash {
+			inAll++
+			if r.Program == 0 {
+				inTarget++
+			}
+		} else {
+			outAll++
+			if r.Program == 0 {
+				outTarget++
+			}
+		}
+	}
+	inShare := inTarget / inAll
+	outShare := outTarget / outAll
+	if inShare < 5*outShare || inShare < 0.05 {
+		t.Errorf("flash share %.3f not dominant over baseline %.3f", inShare, outShare)
+	}
+	// The 1.3x rate boost must lift the flash day's volume.
+	if inAll < 1.1*outAll/2 {
+		t.Errorf("flash-day volume %v not boosted over per-day baseline %v", inAll, outAll/2)
+	}
+}
+
+// TestPremiereAppearsOnSchedule: the premiere program exists in the
+// catalog, draws no sessions before its intro, and is hot after.
+func TestPremiereAppearsOnSchedule(t *testing.T) {
+	base := testBase()
+	b, err := Lookup("premiere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := b.Build(base)
+	ph, ok := spec.Phase("premiere")
+	if !ok {
+		t.Fatal("premiere spec has no premiere phase")
+	}
+	tr, err := Materialize(spec, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.ProgramID(base.Programs) // first premiere ID
+	if _, ok := tr.ProgramLengths[id]; !ok {
+		t.Fatalf("premiere program %d missing from the catalog table", id)
+	}
+	count := 0
+	for _, r := range tr.Records {
+		if r.Program != id {
+			continue
+		}
+		if r.Start < ph.From {
+			t.Fatalf("premiere program watched at %v, before its %v intro", r.Start, ph.From)
+		}
+		count++
+	}
+	if count == 0 {
+		t.Error("premiere program never watched after its intro")
+	}
+}
+
+// TestChurnShrinksDemand: cancelled subscribers stop generating
+// sessions and total post-wave demand drops accordingly.
+func TestChurnShrinksDemand(t *testing.T) {
+	base := testBase()
+	base.Days = 4
+	plain := Spec{Name: "plain", Base: base}
+	churned := Spec{
+		Name: "churned",
+		Base: base,
+		Phases: []Phase{
+			{Name: "churn", From: 1 * units.Day, To: 2 * units.Day, Modulators: []Modulator{
+				Churn{CancelFraction: 0.5},
+			}},
+		},
+	}
+	trPlain, err := Materialize(plain, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trChurn, err := Materialize(churned, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastDay := func(tr *trace.Trace) (n int) {
+		for _, r := range tr.Records {
+			if r.Start >= 3*units.Day {
+				n++
+			}
+		}
+		return n
+	}
+	p, c := lastDay(trPlain), lastDay(trChurn)
+	if ratio := float64(c) / float64(p); ratio < 0.35 || ratio > 0.70 {
+		t.Errorf("post-churn demand ratio %.2f, want ~0.5 (plain %d, churned %d)", ratio, p, c)
+	}
+	// Cancelled users must not reappear after the wave.
+	cancelled := map[trace.UserID]bool{}
+	for _, r := range trPlain.Records {
+		cancelled[r.User] = true
+	}
+	for _, r := range trChurn.Records {
+		if r.Start >= 2*units.Day {
+			delete(cancelled, r.User)
+		}
+	}
+	// cancelled now holds users absent after the wave; about half the
+	// population should be gone.
+	if len(cancelled) < base.Users/4 {
+		t.Errorf("only %d users disappeared after a 50%% churn wave over %d", len(cancelled), base.Users)
+	}
+}
+
+// TestChurnJoinersActivate: joiners generate sessions only after their
+// join instants inside the wave.
+func TestChurnJoinersActivate(t *testing.T) {
+	base := testBase()
+	spec := Spec{
+		Name: "joins",
+		Base: base,
+		Phases: []Phase{
+			{Name: "churn", From: 1 * units.Day, To: 2 * units.Day, Modulators: []Modulator{
+				Churn{Joins: 100},
+			}},
+		},
+	}
+	if got, want := len(spec.Population()), base.Users+100; got != want {
+		t.Fatalf("population %d, want %d", got, want)
+	}
+	tr, err := Materialize(spec, testTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := map[trace.UserID]bool{}
+	for _, r := range tr.Records {
+		if int(r.User) >= base.Users {
+			if r.Start < 1*units.Day {
+				t.Fatalf("joiner %d active at %v, before the wave", r.User, r.Start)
+			}
+			joined[r.User] = true
+		}
+	}
+	if len(joined) < 50 {
+		t.Errorf("only %d of 100 joiners ever active", len(joined))
+	}
+}
+
+// TestSkewDriftVariesByRegion: under drift, neighborhoods must disagree
+// about the top program more than they do without it.
+func TestSkewDriftVariesByRegion(t *testing.T) {
+	base := testBase()
+	base.Users = 400
+	spec := Spec{
+		Name: "drift",
+		Base: base,
+		Phases: []Phase{
+			{Name: "drift", From: 0, To: 3 * units.Day, Modulators: []Modulator{
+				SkewDrift{Strength: 1.5, Period: units.Day},
+			}},
+		},
+	}
+	topo := testTopo()
+	tr, err := Materialize(spec, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the same homing the stream used and check that per-region
+	// top programs differ across regions on at least one day.
+	plant, err := hfc.Build(topo, spec.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := map[int]trace.ProgramID{}
+	counts := map[int]map[trace.ProgramID]int{}
+	for _, r := range tr.Records {
+		nb, ok := plant.Home(r.User)
+		if !ok {
+			t.Fatalf("user %d unplaced", r.User)
+		}
+		if counts[nb.ID()] == nil {
+			counts[nb.ID()] = map[trace.ProgramID]int{}
+		}
+		counts[nb.ID()][r.Program]++
+	}
+	for region, c := range counts {
+		best, bestN := trace.ProgramID(-1), 0
+		for p, n := range c {
+			if n > bestN {
+				best, bestN = p, n
+			}
+		}
+		top[region] = best
+	}
+	if len(top) < 2 {
+		t.Skip("need at least two regions")
+	}
+	distinct := map[trace.ProgramID]bool{}
+	for _, p := range top {
+		distinct[p] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d regions share the same top program %v under strong drift", len(top), top)
+	}
+}
+
+// TestValidation is the table-driven spec/option validation suite,
+// mirroring core.Config's style: every broken knob must be rejected up
+// front with the driver untouched.
+func TestValidation(t *testing.T) {
+	ok := flashSpec()
+	if err := ok.Validate(100); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	day := units.Day
+	cases := []struct {
+		name string
+		mod  func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"bad base", func(s *Spec) { s.Base.Users = 0 }},
+		{"unnamed phase", func(s *Spec) { s.Phases[0].Name = "" }},
+		{"negative from", func(s *Spec) { s.Phases[0].From = -time.Hour }},
+		{"empty window", func(s *Spec) { s.Phases[0].To = s.Phases[0].From }},
+		{"past timeline", func(s *Spec) { s.Phases[0].To = 99 * day }},
+		{"phases out of order", func(s *Spec) {
+			s.Phases = append(s.Phases, Phase{Name: "early", From: 0, To: day,
+				Modulators: []Modulator{IntensityShift{Scale: 2}}})
+		}},
+		{"flash factor zero", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{FlashCrowd{Program: 0, Factor: 0}}
+		}},
+		{"flash negative boost", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{FlashCrowd{Program: 0, Factor: 2, RateBoost: -1}}
+		}},
+		{"flash unknown program", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{FlashCrowd{Program: 9999, Factor: 2}}
+		}},
+		{"flash unknown neighborhood", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{FlashCrowd{Program: 0, Factor: 2, Local: true, Neighborhood: 50}}
+		}},
+		{"premiere hotness zero", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{Premiere{Hotness: 0}}
+		}},
+		{"premiere negative length", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{Premiere{Hotness: 1, Length: -time.Minute}}
+		}},
+		{"intensity negative scale", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{IntensityShift{Scale: -1}}
+		}},
+		{"intensity short hour table", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{IntensityShift{HourScale: []float64{1, 2}}}
+		}},
+		{"churn fraction over 1", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{Churn{CancelFraction: 1.5}}
+		}},
+		{"churn negative joins", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{Churn{Joins: -1}}
+		}},
+		{"drift strength zero", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{SkewDrift{}}
+		}},
+		{"drift negative period", func(s *Spec) {
+			s.Phases[0].Modulators = []Modulator{SkewDrift{Strength: 1, Period: -time.Hour}}
+		}},
+	}
+	for _, tc := range cases {
+		spec := flashSpec()
+		tc.mod(&spec)
+		if err := spec.Validate(100); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	if err := ok.Validate(0); err == nil {
+		t.Error("neighborhood size 0: expected validation error")
+	}
+
+	// A flash crowd may target a premiere title: the catalog check
+	// counts premieres in.
+	cross := Spec{
+		Name: "cross",
+		Base: testBase(),
+		Phases: []Phase{
+			{Name: "premiere", From: 0, To: day, Modulators: []Modulator{Premiere{Hotness: 2}}},
+			{Name: "flash", From: day, To: 2 * day, Modulators: []Modulator{
+				FlashCrowd{Program: trace.ProgramID(testBase().Programs), Factor: 10},
+			}},
+		},
+	}
+	if err := cross.Validate(100); err != nil {
+		t.Errorf("flash on premiere title rejected: %v", err)
+	}
+}
+
+// TestRegistryBuildersValidate: every built-in scenario validates and
+// has an identity for the catalog.
+func TestRegistryBuildersValidate(t *testing.T) {
+	bs := Builders()
+	if len(bs) < 5 {
+		t.Fatalf("only %d built-in scenarios registered", len(bs))
+	}
+	for _, b := range bs {
+		if b.Description == "" {
+			t.Errorf("%s: no description", b.Name)
+		}
+		spec := b.Build(testBase())
+		if err := spec.Validate(100); err != nil {
+			t.Errorf("%s: built spec invalid: %v", b.Name, err)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("expected error for unknown scenario")
+	}
+	if err := Register(Builder{}); err == nil {
+		t.Error("expected error for unnamed builder")
+	}
+	if err := Register(Builder{Name: "x"}); err == nil {
+		t.Error("expected error for nil build function")
+	}
+	if err := Register(Builder{Name: "flash-crowd", Build: func(synth.Config) Spec { return Spec{} }}); err == nil {
+		t.Error("expected error re-registering flash-crowd")
+	}
+}

@@ -2,7 +2,6 @@ package synth
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"cablevod/internal/randdist"
@@ -20,74 +19,24 @@ type catalog struct {
 
 // Generate produces a synthetic trace. The result is sorted and validated;
 // ProgramLengths contains every program in the catalog (accessed or not).
+// It is the eager form of the Stream: records are drawn hour by hour
+// through the same machinery, appended in generation order, and sorted
+// once at the end.
 func Generate(cfg Config) (*trace.Trace, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	root := randdist.NewRNG(cfg.Seed, 0x5eed)
-	cat, err := buildCatalog(cfg, root.Derive("catalog"))
+	s, err := NewStream(cfg, Hooks{})
 	if err != nil {
 		return nil, err
 	}
-	userPicker, err := buildUserPicker(cfg, root.Derive("users"))
-	if err != nil {
-		return nil, err
-	}
-
 	tr := trace.New()
-	for p, l := range cat.lengths {
-		tr.ProgramLengths[trace.ProgramID(p)] = l
+	for p, l := range s.Lengths() {
+		tr.ProgramLengths[p] = l
 	}
-
-	arrivals := root.Derive("arrivals")
-	choose := root.Derive("choose")
-	durs := root.Derive("durations")
-	days := root.Derive("days")
-
-	hourSum := 0.0
-	for _, w := range cfg.HourWeights {
-		hourSum += w
-	}
-
-	var picker *randdist.Alias
-	var pickable []trace.ProgramID
-	nextRebuild := time.Duration(-1)
-
-	for day := 0; day < cfg.Days; day++ {
-		dayFactor := 1.0
-		if wd := day % 7; wd == 5 || wd == 6 {
-			dayFactor *= cfg.WeekendBoost
+	for !s.Done() {
+		recs, _, err := s.nextHourRaw()
+		if err != nil {
+			return nil, err
 		}
-		if cfg.DailyJitterSigma > 0 {
-			dayFactor *= math.Exp(cfg.DailyJitterSigma*days.NormFloat64() - cfg.DailyJitterSigma*cfg.DailyJitterSigma/2)
-		}
-		for hour := 0; hour < 24; hour++ {
-			hourStart := units.At(day, hour)
-			if hourStart >= nextRebuild {
-				picker, pickable, err = rebuildPopularity(cat, hourStart, cfg)
-				if err != nil {
-					return nil, err
-				}
-				nextRebuild = hourStart + cfg.RebuildInterval
-			}
-			mean := float64(cfg.Users) * cfg.SessionsPerUserDay *
-				cfg.HourWeights[hour] / hourSum * dayFactor
-			n := arrivals.Poisson(mean)
-			for i := 0; i < n; i++ {
-				at := hourStart + time.Duration(arrivals.Float64()*float64(time.Hour))
-				user := trace.UserID(userPicker.Draw(choose))
-				prog := pickable[picker.Draw(choose)]
-				length := cat.lengths[prog]
-				offset := seekOffset(cfg, length, durs)
-				tr.Append(trace.Record{
-					User:     user,
-					Program:  prog,
-					Start:    at.Truncate(time.Second),
-					Duration: sessionLength(cfg, length-offset, durs),
-					Offset:   offset,
-				})
-			}
-		}
+		tr.Records = append(tr.Records, recs...)
 	}
 	tr.Sort()
 	if err := tr.Validate(); err != nil {
@@ -98,8 +47,9 @@ func Generate(cfg Config) (*trace.Trace, error) {
 
 // buildCatalog draws lengths, base Zipf weights (assigned to random
 // programs, not introduction order) and introduction times spread over
-// [-BacklogDays, Days).
-func buildCatalog(cfg Config, rng *randdist.RNG) (*catalog, error) {
+// [-BacklogDays, Days). Extra programs (premieres) are appended after
+// the seeded base build so they never perturb the base random sequence.
+func buildCatalog(cfg Config, rng *randdist.RNG, extra []ExtraProgram) (*catalog, error) {
 	lengthWeights, err := randdist.NewAlias(cfg.LengthWeights)
 	if err != nil {
 		return nil, fmt.Errorf("synth: length mixture: %w", err)
@@ -118,47 +68,22 @@ func buildCatalog(cfg Config, rng *randdist.RNG) (*catalog, error) {
 		intro:   make([]time.Duration, cfg.Programs),
 	}
 	span := time.Duration(cfg.BacklogDays+cfg.Days) * units.Day
+	maxBase := 0.0
 	for p := 0; p < cfg.Programs; p++ {
 		cat.lengths[p] = time.Duration(cfg.LengthsMinutes[lengthWeights.Draw(rng)]) * time.Minute
 		cat.base[p] = zipf[perm[p]]
 		cat.intro[p] = -time.Duration(cfg.BacklogDays)*units.Day +
 			time.Duration(rng.Float64()*float64(span))
+		if cat.base[p] > maxBase {
+			maxBase = cat.base[p]
+		}
+	}
+	for _, e := range extra {
+		cat.lengths = append(cat.lengths, e.Length)
+		cat.base = append(cat.base, e.Weight*maxBase)
+		cat.intro = append(cat.intro, e.Intro)
 	}
 	return cat, nil
-}
-
-// buildUserPicker weights users by a lognormal activity multiplier.
-func buildUserPicker(cfg Config, rng *randdist.RNG) (*randdist.Alias, error) {
-	weights := make([]float64, cfg.Users)
-	act := &randdist.Lognormal{Mu: 0, Sigma: cfg.UserActivitySigma}
-	for i := range weights {
-		weights[i] = act.Sample(rng)
-	}
-	return randdist.NewAlias(weights)
-}
-
-// rebuildPopularity recomputes the program-choice distribution at time t:
-// weight = base * ageDecay, for introduced programs only.
-func rebuildPopularity(cat *catalog, t time.Duration, cfg Config) (*randdist.Alias, []trace.ProgramID, error) {
-	weights := make([]float64, 0, len(cat.base))
-	ids := make([]trace.ProgramID, 0, len(cat.base))
-	for p := range cat.base {
-		if cat.intro[p] > t {
-			continue
-		}
-		ageDays := (t - cat.intro[p]).Hours() / 24
-		decay := cfg.DecayFloor + (1-cfg.DecayFloor)*math.Exp(-ageDays/cfg.DecayTauDays)
-		weights = append(weights, cat.base[p]*decay)
-		ids = append(ids, trace.ProgramID(p))
-	}
-	if len(weights) == 0 {
-		return nil, nil, fmt.Errorf("synth: no programs introduced by %v; increase BacklogDays", t)
-	}
-	picker, err := randdist.NewAlias(weights)
-	if err != nil {
-		return nil, nil, err
-	}
-	return picker, ids, nil
 }
 
 // seekOffset draws the starting position of a session: usually the

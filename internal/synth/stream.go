@@ -1,0 +1,360 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cablevod/internal/randdist"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// HourInfo identifies one generation hour on the workload timeline.
+type HourInfo struct {
+	// Day and Hour are the hour-of-trace coordinates.
+	Day, Hour int
+	// Start is the hour's opening instant, units.At(Day, Hour).
+	Start time.Duration
+}
+
+// ExtraProgram appends one program to the generated catalog — the
+// mechanism behind catalog premieres. The program is assigned the next
+// free ID (Config.Programs plus its index in Hooks.Extra) and runs
+// through the same introduction-decay popularity machinery as the base
+// catalog: hottest right after Intro, decaying with age.
+type ExtraProgram struct {
+	// Length is the full playback length.
+	Length time.Duration
+
+	// Weight is the base popularity weight as a multiple of the
+	// catalog's hottest base title (1 = as hot as the top Zipf rank).
+	Weight float64
+
+	// Intro is the premiere instant; the program is not pickable before.
+	Intro time.Duration
+}
+
+// Hooks modulates stream generation hour by hour. Every field is
+// optional; the zero value generates exactly Generate's trace for the
+// same Config. Hook functions must be deterministic and non-negative —
+// the stream is replayed bit-for-bit across runs and engines, so a hook
+// that consulted wall clocks or shared mutable state would break the
+// determinism contract.
+//
+// When any hook or extra program is present, the popularity and user
+// pickers are rebuilt every hour instead of every RebuildInterval, so
+// hook outputs take effect on hour boundaries. Rebuilding consumes no
+// randomness: the base stream's draws stay aligned with the unmodulated
+// generator, and two runs with the same seed and hooks are identical.
+type Hooks struct {
+	// Extra appends premiere programs to the catalog. They are added
+	// after the seeded base-catalog build, so extras never perturb the
+	// base stream's random sequence.
+	Extra []ExtraProgram
+
+	// RateScale multiplies the hour's arrival intensity (1 = unchanged).
+	RateScale func(HourInfo) float64
+
+	// ProgramWeight rescales program p's popularity weight; w is the
+	// base weight after introduction decay.
+	ProgramWeight func(info HourInfo, p trace.ProgramID, w float64) float64
+
+	// UserWeight rescales user u's activity weight; w is the user's
+	// seeded lognormal base weight. Total arrival intensity scales with
+	// the active share sum(w)/sum(base), so zeroing users (churn)
+	// removes their demand from the system instead of redistributing it
+	// to the remaining population.
+	UserWeight func(info HourInfo, u trace.UserID, w float64) float64
+
+	// Regions partitions users into popularity regions: when Regions is
+	// above one, program choice for a user draws from a per-region
+	// picker whose weights pass through RegionProgramWeight (applied on
+	// top of ProgramWeight). Region must map every user into
+	// [0, Regions). All three fields are required together.
+	Regions             int
+	Region              func(u trace.UserID) int
+	RegionProgramWeight func(info HourInfo, region int, p trace.ProgramID, w float64) float64
+}
+
+// active reports whether any modulation is present, which switches the
+// stream to hourly picker rebuilds.
+func (h Hooks) active() bool {
+	return len(h.Extra) > 0 || h.RateScale != nil || h.ProgramWeight != nil ||
+		h.UserWeight != nil || h.Regions > 1
+}
+
+// validate checks hook shape.
+func (h Hooks) validate() error {
+	for i, e := range h.Extra {
+		switch {
+		case e.Length <= 0:
+			return fmt.Errorf("synth: extra program %d: non-positive length %v", i, e.Length)
+		case e.Weight <= 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0):
+			return fmt.Errorf("synth: extra program %d: invalid weight %v", i, e.Weight)
+		case e.Intro < 0:
+			return fmt.Errorf("synth: extra program %d: negative intro %v", i, e.Intro)
+		}
+	}
+	if h.Regions > 1 && (h.Region == nil || h.RegionProgramWeight == nil) {
+		return fmt.Errorf("synth: %d regions need both Region and RegionProgramWeight hooks", h.Regions)
+	}
+	if h.Regions <= 1 && h.RegionProgramWeight != nil {
+		return fmt.Errorf("synth: RegionProgramWeight hook needs Regions > 1")
+	}
+	return nil
+}
+
+// Stream generates a synthetic workload lazily, one hour of session
+// records per NextHour call, optionally reshaped by Hooks. It shares
+// the catalog, popularity-decay, diurnal, and session-length machinery
+// with Generate: a Stream with zero Hooks emits exactly the records
+// Generate would put in its trace.
+type Stream struct {
+	cfg   Config
+	hooks Hooks
+
+	cat      *catalog
+	userBase []float64
+	userSum  float64
+	users    *randdist.Alias
+
+	arrivals, choose, durs, days *randdist.RNG
+
+	hourSum     float64
+	dynamic     bool
+	pickers     []*randdist.Alias
+	pickable    []trace.ProgramID
+	nextRebuild time.Duration
+	activeShare float64
+
+	day, hour int
+	dayFactor float64
+}
+
+// NewStream builds a lazy generator for the configured workload. The
+// catalog and per-user activity weights are drawn up front (seeded, so
+// two streams with equal Config and Hooks emit identical records);
+// session records are drawn hour by hour in NextHour.
+func NewStream(cfg Config, hooks Hooks) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hooks.validate(); err != nil {
+		return nil, err
+	}
+	root := randdist.NewRNG(cfg.Seed, 0x5eed)
+	cat, err := buildCatalog(cfg, root.Derive("catalog"), hooks.Extra)
+	if err != nil {
+		return nil, err
+	}
+
+	userRNG := root.Derive("users")
+	userBase := make([]float64, cfg.Users)
+	act := &randdist.Lognormal{Mu: 0, Sigma: cfg.UserActivitySigma}
+	userSum := 0.0
+	for i := range userBase {
+		userBase[i] = act.Sample(userRNG)
+		userSum += userBase[i]
+	}
+	users, err := randdist.NewAlias(userBase)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Stream{
+		cfg:         cfg,
+		hooks:       hooks,
+		cat:         cat,
+		userBase:    userBase,
+		userSum:     userSum,
+		users:       users,
+		arrivals:    root.Derive("arrivals"),
+		choose:      root.Derive("choose"),
+		durs:        root.Derive("durations"),
+		days:        root.Derive("days"),
+		dynamic:     hooks.active(),
+		nextRebuild: -1,
+		activeShare: 1,
+	}
+	for _, w := range cfg.HourWeights {
+		s.hourSum += w
+	}
+	return s, nil
+}
+
+// Done reports whether the configured days are exhausted.
+func (s *Stream) Done() bool { return s.day >= s.cfg.Days }
+
+// Programs returns the catalog size including extra programs.
+func (s *Stream) Programs() int { return len(s.cat.lengths) }
+
+// Lengths returns the full catalog length table (base programs plus
+// extras) — the map an online System needs as Config.Catalog.
+func (s *Stream) Lengths() map[trace.ProgramID]time.Duration {
+	out := make(map[trace.ProgramID]time.Duration, len(s.cat.lengths))
+	for p, l := range s.cat.lengths {
+		out[trace.ProgramID(p)] = l
+	}
+	return out
+}
+
+// NextHour generates the next hour of session records, sorted in trace
+// order ((Start, User, Program)); concatenating every hour yields a
+// sorted trace. After Done it returns no records.
+func (s *Stream) NextHour() ([]trace.Record, HourInfo, error) {
+	recs, info, err := s.nextHourRaw()
+	if err != nil || len(recs) == 0 {
+		return nil, info, err
+	}
+	(&trace.Trace{Records: recs}).Sort()
+	return recs, info, nil
+}
+
+// nextHourRaw draws one hour of records in generation order — the order
+// Generate appends before its single global sort.
+func (s *Stream) nextHourRaw() ([]trace.Record, HourInfo, error) {
+	if s.Done() {
+		return nil, HourInfo{}, nil
+	}
+	day, hour := s.day, s.hour
+	if hour == 0 {
+		f := 1.0
+		if wd := day % 7; wd == 5 || wd == 6 {
+			f *= s.cfg.WeekendBoost
+		}
+		if s.cfg.DailyJitterSigma > 0 {
+			f *= math.Exp(s.cfg.DailyJitterSigma*s.days.NormFloat64() - s.cfg.DailyJitterSigma*s.cfg.DailyJitterSigma/2)
+		}
+		s.dayFactor = f
+	}
+	info := HourInfo{Day: day, Hour: hour, Start: units.At(day, hour)}
+	if info.Start >= s.nextRebuild || s.dynamic {
+		if err := s.rebuild(info); err != nil {
+			return nil, info, err
+		}
+		s.nextRebuild = info.Start + s.cfg.RebuildInterval
+	}
+
+	mean := float64(s.cfg.Users) * s.cfg.SessionsPerUserDay *
+		s.cfg.HourWeights[hour] / s.hourSum * s.dayFactor * s.activeShare
+	if s.hooks.RateScale != nil {
+		r := s.hooks.RateScale(info)
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, info, fmt.Errorf("synth: rate scale hook returned %v at %v", r, info.Start)
+		}
+		mean *= r
+	}
+
+	n := s.arrivals.Poisson(mean)
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		at := info.Start + time.Duration(s.arrivals.Float64()*float64(time.Hour))
+		user := trace.UserID(s.users.Draw(s.choose))
+		picker := s.pickers[0]
+		if len(s.pickers) > 1 {
+			r := s.hooks.Region(user)
+			if r < 0 || r >= len(s.pickers) {
+				return nil, info, fmt.Errorf("synth: region hook mapped user %d to %d, want [0, %d)", user, r, len(s.pickers))
+			}
+			picker = s.pickers[r]
+		}
+		prog := s.pickable[picker.Draw(s.choose)]
+		length := s.cat.lengths[prog]
+		offset := seekOffset(s.cfg, length, s.durs)
+		recs = append(recs, trace.Record{
+			User:     user,
+			Program:  prog,
+			Start:    at.Truncate(time.Second),
+			Duration: sessionLength(s.cfg, length-offset, s.durs),
+			Offset:   offset,
+		})
+	}
+	s.hour++
+	if s.hour == 24 {
+		s.hour = 0
+		s.day++
+	}
+	return recs, info, nil
+}
+
+// rebuild recomputes the popularity picker(s) and, with a user hook,
+// the user picker for the hour. It consumes no randomness.
+func (s *Stream) rebuild(info HourInfo) error {
+	t := info.Start
+	weights := make([]float64, 0, len(s.cat.base))
+	ids := make([]trace.ProgramID, 0, len(s.cat.base))
+	for p := range s.cat.base {
+		if s.cat.intro[p] > t {
+			continue
+		}
+		ageDays := (t - s.cat.intro[p]).Hours() / 24
+		decay := s.cfg.DecayFloor + (1-s.cfg.DecayFloor)*math.Exp(-ageDays/s.cfg.DecayTauDays)
+		w := s.cat.base[p] * decay
+		if s.hooks.ProgramWeight != nil {
+			w = s.hooks.ProgramWeight(info, trace.ProgramID(p), w)
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("synth: program weight hook returned %v for program %d at %v", w, p, t)
+			}
+		}
+		weights = append(weights, w)
+		ids = append(ids, trace.ProgramID(p))
+	}
+	if len(weights) == 0 {
+		return fmt.Errorf("synth: no programs introduced by %v; increase BacklogDays", t)
+	}
+
+	regions := 1
+	if s.hooks.Regions > 1 {
+		regions = s.hooks.Regions
+	}
+	pickers := make([]*randdist.Alias, regions)
+	if regions == 1 {
+		picker, err := randdist.NewAlias(weights)
+		if err != nil {
+			return fmt.Errorf("synth: popularity at %v: %w", t, err)
+		}
+		pickers[0] = picker
+	} else {
+		rw := make([]float64, len(weights))
+		for r := range pickers {
+			for i, w := range weights {
+				v := s.hooks.RegionProgramWeight(info, r, ids[i], w)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("synth: region weight hook returned %v for region %d program %d at %v", v, r, ids[i], t)
+				}
+				rw[i] = v
+			}
+			picker, err := randdist.NewAlias(rw)
+			if err != nil {
+				return fmt.Errorf("synth: popularity for region %d at %v: %w", r, t, err)
+			}
+			pickers[r] = picker
+		}
+	}
+	s.pickers = pickers
+	s.pickable = ids
+
+	if s.hooks.UserWeight != nil {
+		uw := make([]float64, len(s.userBase))
+		sum := 0.0
+		for i, w := range s.userBase {
+			v := s.hooks.UserWeight(info, trace.UserID(i), w)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("synth: user weight hook returned %v for user %d at %v", v, i, t)
+			}
+			uw[i] = v
+			sum += v
+		}
+		if sum <= 0 {
+			return fmt.Errorf("synth: user weight hook left no active subscribers at %v", t)
+		}
+		users, err := randdist.NewAlias(uw)
+		if err != nil {
+			return fmt.Errorf("synth: user activity at %v: %w", t, err)
+		}
+		s.users = users
+		s.activeShare = sum / s.userSum
+	}
+	return nil
+}

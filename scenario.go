@@ -1,0 +1,115 @@
+package cablevod
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/scenario"
+)
+
+// ScenarioInfo describes one registered workload scenario.
+type ScenarioInfo struct {
+	// Name is the registry key, accepted by RunScenario and
+	// `vodsim -scenario`.
+	Name string
+	// Description says what the scenario stresses.
+	Description string
+}
+
+// ListScenarios enumerates every registered workload scenario, sorted
+// by name. The built-ins cover a flash crowd, a catalog premiere, a
+// subscriber churn wave, a weekend/evening intensity surge, and
+// rotating regional popularity drift; see SCENARIOS.md for each one's
+// knobs and the question it answers.
+func ListScenarios() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, b := range scenario.Builders() {
+		out = append(out, ScenarioInfo{Name: b.Name, Description: b.Description})
+	}
+	return out
+}
+
+// ScenarioCheckpoint is one mid-scenario measurement emitted by the
+// driver: live engine Metrics at a virtual instant, labelled with the
+// scenario phases active there.
+type ScenarioCheckpoint = scenario.Checkpoint
+
+// ScenarioOptions configures a RunScenario call.
+type ScenarioOptions struct {
+	// Workload sizes the scenario's base synthetic workload
+	// (population, catalog, days, seed). The zero value uses
+	// DefaultTraceOptions, the paper-calibrated PowerInfo shape;
+	// anything else must be a complete configuration (start from
+	// DefaultTraceOptions and override fields) — a partially filled
+	// one is rejected rather than silently completed.
+	Workload TraceOptions
+
+	// Chunk is the virtual-time window of records ingested per
+	// SubmitBatch (0 = one day). Results are bit-identical at every
+	// chunking; smaller chunks only give fresher checkpoints.
+	Chunk time.Duration
+
+	// Checkpoint emits a ScenarioCheckpoint every this much virtual
+	// time (0 = none).
+	Checkpoint time.Duration
+
+	// OnCheckpoint observes checkpoints as they are taken; the full
+	// series is also returned by RunScenario.
+	OnCheckpoint func(ScenarioCheckpoint)
+
+	// Acceleration rate-limits the virtual clock to at most this many
+	// virtual seconds per wall-clock second (0 = as fast as the
+	// hardware allows). 86400 plays one simulated day per real second.
+	Acceleration float64
+}
+
+// RunScenario streams a registered scenario's lazily generated live
+// workload through the online System engine: the scenario's population
+// and catalog provision the plant, records are generated hour by hour
+// (never pre-materialized), ingested through SubmitBatch in chunks, and
+// periodic Snapshot-based checkpoints let strategies be compared
+// mid-scenario — during the flash crowd, not just after it.
+//
+// cfg configures the engine exactly as for New; its Subscribers,
+// Catalog, and Future fields are ignored (the scenario supplies the
+// population and catalog, and a live scenario has no future, so offline
+// strategies like Oracle are rejected). Results are deterministic for a
+// given scenario, workload, and engine configuration, bit-identical at
+// every Config.Parallelism.
+func RunScenario(name string, cfg Config, opts ScenarioOptions) (*Result, []ScenarioCheckpoint, error) {
+	b, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := opts.Workload
+	if zeroWorkload(base) {
+		base = DefaultTraceOptions()
+	}
+	if cfg.Subscribers != nil || cfg.Catalog != nil || cfg.Future != nil {
+		return nil, nil, fmt.Errorf("cablevod: RunScenario derives Subscribers/Catalog from the scenario; leave them unset")
+	}
+	d, err := scenario.NewDriver(cfg.internal(), b.Build(base), scenario.Options{
+		Chunk:        opts.Chunk,
+		Checkpoint:   opts.Checkpoint,
+		OnCheckpoint: opts.OnCheckpoint,
+		Acceleration: opts.Acceleration,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, d.Checkpoints(), nil
+}
+
+// zeroWorkload reports whether a TraceOptions is the zero value, so
+// RunScenario substitutes the defaults only for a wholly unset
+// workload — never for a partially filled one (whose missing fields the
+// spec validation then rejects explicitly).
+func zeroWorkload(o TraceOptions) bool {
+	return o.Users == 0 && o.Programs == 0 && o.Days == 0 && o.Seed == 0 &&
+		o.SessionsPerUserDay == 0 && o.LengthsMinutes == nil && o.LengthWeights == nil &&
+		o.HourWeights == [24]float64{} && o.RebuildInterval == 0
+}

@@ -1,0 +1,148 @@
+package cablevod
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func scenarioTestOptions() ScenarioOptions {
+	opts := DefaultTraceOptions()
+	opts.Users, opts.Programs, opts.Days = 300, 60, 3
+	return ScenarioOptions{Workload: opts, Checkpoint: 12 * time.Hour}
+}
+
+// TestRunScenarioSmoke: a registered scenario runs end to end through
+// the public API with checkpoints observed and a coherent final result.
+func TestRunScenarioSmoke(t *testing.T) {
+	var seen []ScenarioCheckpoint
+	opts := scenarioTestOptions()
+	opts.OnCheckpoint = func(cp ScenarioCheckpoint) { seen = append(seen, cp) }
+	res, cps, err := RunScenario("flash-crowd", Config{
+		NeighborhoodSize: 150,
+		PerPeerStorage:   1 * GB,
+		Strategy:         LFU,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Sessions == 0 {
+		t.Error("scenario produced no sessions")
+	}
+	if len(cps) != 6 { // 3 days / 12 h
+		t.Errorf("got %d checkpoints, want 6", len(cps))
+	}
+	if !reflect.DeepEqual(seen, cps) {
+		t.Error("observer checkpoints differ from returned series")
+	}
+	flagged := false
+	for _, cp := range cps {
+		if cp.Phases == "flash" {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("no checkpoint labelled with the flash phase")
+	}
+}
+
+// TestRunScenarioDeterministic: two runs of the same scenario at
+// different parallelism produce identical results.
+func TestRunScenarioDeterministic(t *testing.T) {
+	cfgFor := func(par int) Config {
+		return Config{
+			NeighborhoodSize: 150,
+			PerPeerStorage:   1 * GB,
+			Parallelism:      par,
+		}
+	}
+	a, _, err := RunScenario("churn-wave", cfgFor(1), scenarioTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunScenario("churn-wave", cfgFor(4), scenarioTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Config.Parallelism, b.Config.Parallelism = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Error("scenario result differs across parallelism")
+	}
+}
+
+// TestRunScenarioErrors: unknown names, pre-set workload fields, and
+// invalid options are rejected.
+func TestRunScenarioErrors(t *testing.T) {
+	if _, _, err := RunScenario("no-such", Config{NeighborhoodSize: 150}, scenarioTestOptions()); err == nil {
+		t.Error("expected error for unknown scenario")
+	}
+	cfg := Config{NeighborhoodSize: 150, Subscribers: []UserID{1}}
+	if _, _, err := RunScenario("flash-crowd", cfg, scenarioTestOptions()); err == nil {
+		t.Error("expected error for pre-set Subscribers")
+	}
+	opts := scenarioTestOptions()
+	opts.Acceleration = -1
+	if _, _, err := RunScenario("flash-crowd", Config{NeighborhoodSize: 150}, opts); err == nil {
+		t.Error("expected error for negative acceleration")
+	}
+	// A partially filled workload is rejected, never silently replaced
+	// by the defaults (which would drop the caller's seed/days).
+	partial := ScenarioOptions{Workload: TraceOptions{Seed: 7, Days: 14}}
+	if _, _, err := RunScenario("flash-crowd", Config{NeighborhoodSize: 150}, partial); err == nil {
+		t.Error("expected error for partially specified workload")
+	}
+	if _, _, err := RunScenario("flash-crowd", Config{NeighborhoodSize: 150, Strategy: Oracle}, scenarioTestOptions()); err == nil {
+		t.Error("expected error for oracle on a live scenario")
+	}
+}
+
+// TestListScenarios: the registry surfaces the built-ins.
+func TestListScenarios(t *testing.T) {
+	infos := ListScenarios()
+	if len(infos) < 5 {
+		t.Fatalf("only %d scenarios listed", len(infos))
+	}
+	names := map[string]bool{}
+	for _, in := range infos {
+		names[in.Name] = true
+		if in.Description == "" {
+			t.Errorf("%s: empty description", in.Name)
+		}
+	}
+	for _, want := range []string{"flash-crowd", "premiere", "churn-wave", "weekend-surge", "regional-drift"} {
+		if !names[want] {
+			t.Errorf("built-in scenario %q missing from ListScenarios", want)
+		}
+	}
+}
+
+// TestMetricsJSONPublic: the public Metrics alias marshals to the
+// machine-readable form, per-neighborhood breakdown included.
+func TestMetricsJSONPublic(t *testing.T) {
+	_, cps, err := RunScenario("premiere", Config{
+		NeighborhoodSize: 150,
+		PerPeerStorage:   1 * GB,
+	}, scenarioTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	raw, err := json.Marshal(cps[len(cps)-1].Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["hit_ratio"]; !ok {
+		t.Errorf("marshalled metrics missing hit_ratio: %s", raw)
+	}
+	nbs, ok := got["per_neighborhood"].([]any)
+	if !ok || len(nbs) == 0 {
+		t.Errorf("marshalled metrics missing per_neighborhood: %s", raw)
+	}
+}
