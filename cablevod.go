@@ -36,10 +36,18 @@
 // finalizes the same Result on Close. The engine is sharded per coax
 // neighborhood and executes shards concurrently on a worker pool bounded
 // by Config.Parallelism; results are bit-identical at every level.
-// Caching strategies are pluggable — implement Policy, add it with
-// RegisterStrategy (or RegisterIndependentStrategy to unlock concurrent
-// shards), and select it by name through Config.StrategyName; the
-// built-in strategies resolve through the same registry.
+//
+// Caching strategies are composable pipelines (Policy API v2): a
+// Scorer ranks programs for retention, an optional Admission filter
+// gates misses, a Tiebreak orders equal scores, and an optional Plan
+// stage chooses which segments of each program to keep (prefix depth,
+// replica count). Assemble stages with RegisterPipeline and select the
+// strategy through Config.StrategyName; every built-in — the paper's
+// lru, lfu, oracle, global-lfu and the zoo's gdsf, lru-2, prefix-lfu —
+// resolves through the same registry (ListStrategies enumerates it,
+// STRATEGIES.md is the catalog). The v1 route stays supported:
+// implement Policy and add it with RegisterStrategy (or
+// RegisterIndependentStrategy to unlock concurrent shards).
 //
 // Beyond the paper's single static trace, the scenario engine generates
 // live workloads: RunScenario streams a named, composable scenario — a

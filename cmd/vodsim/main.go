@@ -6,6 +6,8 @@
 // Usage:
 //
 //	vodsim -synth -neighborhood 1000 -storage 10GB -strategy lfu
+//	vodsim -strategy-list                        # registered caching strategies
+//	vodsim -synth -strategy gdsf                 # pick one from the zoo
 //	vodsim -trace trace.gob -strategy oracle -warmup 7
 //	vodsim -synth -replicas 2 -prefix-segments 4 -max-streams 4
 //	vodsim -synth -live 1        # drive the online engine, daily snapshots
@@ -47,7 +49,8 @@ func run(args []string) error {
 
 		neighborhood = fs.Int("neighborhood", 1000, "subscribers per headend")
 		storage      = fs.String("storage", "10GB", "per-peer cache contribution")
-		strategyName = fs.String("strategy", "lfu", "caching strategy: lru, lfu, oracle, global-lfu")
+		strategyName = fs.String("strategy", "lfu", "caching strategy (see -strategy-list)")
+		strategyList = fs.Bool("strategy-list", false, "list registered caching strategies and exit")
 		history      = fs.Duration("history", 72*time.Hour, "LFU history window")
 		lag          = fs.Duration("lag", 0, "global popularity publication lag")
 		warmup       = fs.Int("warmup", 7, "days excluded from statistics")
@@ -71,6 +74,12 @@ func run(args []string) error {
 	if *scenarioList {
 		for _, info := range cablevod.ListScenarios() {
 			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return nil
+	}
+	if *strategyList {
+		for _, info := range cablevod.ListStrategies() {
+			fmt.Printf("%-12s %s\n", info.Name, info.Description)
 		}
 		return nil
 	}
@@ -105,7 +114,7 @@ func run(args []string) error {
 	} else if registered(*strategyName) {
 		customName = *strategyName
 	} else {
-		return fmt.Errorf("unknown strategy %q (registered: %s)",
+		return fmt.Errorf("unknown strategy %q (see -strategy-list; registered: %s)",
 			*strategyName, strings.Join(cablevod.Strategies(), ", "))
 	}
 	perPeer, err := units.ParseByteSize(*storage)

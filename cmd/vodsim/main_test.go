@@ -340,3 +340,31 @@ func (nopPolicy) CandidateValue(cablevod.ProgramID, time.Duration) int { return 
 func (nopPolicy) OnAdmit(cablevod.ProgramID, time.Duration)            {}
 func (nopPolicy) OnEvict(cablevod.ProgramID)                           {}
 func (nopPolicy) EvictionOrder(func(cablevod.ProgramID, int) bool)     {}
+
+// TestRunStrategyList: -strategy-list prints every registered strategy
+// with its registry description.
+func TestRunStrategyList(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-strategy-list"})
+	})
+	for _, name := range []string{"lru", "lfu", "oracle", "global-lfu", "gdsf", "lru-2", "prefix-lfu"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("strategy list missing %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "size-aware frequency") {
+		t.Errorf("strategy list missing registry descriptions:\n%s", out)
+	}
+}
+
+// TestRunZooStrategy: a zoo strategy is selectable by -strategy.
+func TestRunZooStrategy(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-synth", "-synth-users", "600", "-synth-programs", "120",
+			"-synth-days", "2", "-neighborhood", "300", "-storage", "1GB",
+			"-warmup", "0", "-strategy", "gdsf"})
+	})
+	if !strings.Contains(out, "strategy            gdsf") {
+		t.Errorf("output does not report the gdsf strategy:\n%s", out)
+	}
+}

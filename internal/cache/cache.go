@@ -1,12 +1,18 @@
-// Package cache implements the caching strategies of Section IV-B.2 — LRU,
-// LFU with a sliding history window, the idealized Oracle, and the
-// global-popularity LFU variants of Figure 13 — together with a
-// capacity-enforcing Cache container that applies a strategy at program
-// granularity.
+// Package cache implements the caching strategies of Section IV-B.2 as
+// a composable policy pipeline: a Scorer values programs for retention
+// (windowed frequency, future knowledge, global popularity, recency
+// variants), an optional Admission stage filters which misses may enter
+// the cache, a Tiebreak orders equal scores, and an optional Planner
+// chooses how many segments and replicas of each program to keep. A
+// Pipeline assembles stages into the Policy contract driven by the
+// capacity-enforcing Cache container; the paper's fused LRU, LFU,
+// Oracle, and global-LFU implementations remain as the bit-identical
+// equivalence reference.
 //
-// The index server admits and evicts whole programs (the paper's model);
-// segment placement across peers is handled by the core package on top of
-// the admission decisions made here.
+// The index server admits and evicts at program granularity (the
+// paper's model); segment placement across peers is handled by the core
+// package on top of the admission decisions and placement plans made
+// here.
 package cache
 
 import (
@@ -68,6 +74,7 @@ type AccessResult struct {
 // sum of the space every peer contributes (Section IV-B.3).
 type Cache struct {
 	policy   Policy
+	admitter Admitter // policy's optional admission filter, nil if none
 	capacity units.ByteSize
 	used     units.ByteSize
 	sizes    map[trace.ProgramID]units.ByteSize
@@ -84,8 +91,13 @@ func New(capacity units.ByteSize, policy Policy) (*Cache, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("cache: nil policy")
 	}
+	admitter, _ := policy.(Admitter)
+	if pl, ok := policy.(*Pipeline); ok && pl.admission == nil {
+		admitter = nil // stage absent: skip the per-miss filter call
+	}
 	return &Cache{
 		policy:   policy,
+		admitter: admitter,
 		capacity: capacity,
 		sizes:    make(map[trace.ProgramID]units.ByteSize),
 	}, nil
@@ -141,6 +153,12 @@ func (c *Cache) Access(p trace.ProgramID, size units.ByteSize, now time.Duration
 		return AccessResult{}
 	}
 
+	// Policies implementing the optional Admitter extension can refuse
+	// admission outright (bypass-on-first-touch, size caps).
+	if c.admitter != nil && !c.admitter.ShouldAdmit(p, size, now) {
+		return AccessResult{}
+	}
+
 	// Fast path: fits without eviction.
 	if c.used+size <= c.capacity {
 		c.admit(p, size, now)
@@ -184,6 +202,28 @@ func (c *Cache) Evict(p trace.ProgramID) bool {
 	}
 	c.evict(p)
 	return true
+}
+
+// ChargedSize returns the admission size p was charged, if cached.
+func (c *Cache) ChargedSize(p trace.ProgramID) (units.ByteSize, bool) {
+	size, ok := c.sizes[p]
+	return size, ok
+}
+
+// Restore re-admits a program at the given charged size without
+// recording a new access — the rollback half of a failed placement-plan
+// upgrade (see the index server): the program was evicted to attempt a
+// deeper plan, the attempt lost the victim comparison, and the old
+// footprint goes back exactly as it was. The size must fit in the free
+// capacity (it just vacated it) and p must not be cached.
+func (c *Cache) Restore(p trace.ProgramID, size units.ByteSize, now time.Duration) {
+	if c.Contains(p) {
+		panic(fmt.Sprintf("cache: restore of cached program %d", p))
+	}
+	if size < 0 || c.used+size > c.capacity {
+		panic(fmt.Sprintf("cache: restore of %d bytes does not fit (%v of %v used)", size, c.used, c.capacity))
+	}
+	c.admit(p, size, now)
 }
 
 // Contents returns the cached programs in eviction order (least valuable

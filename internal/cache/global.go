@@ -34,9 +34,9 @@ type Global struct {
 	version     uint64
 	nextPublish time.Duration
 
-	// subscribers maps a program to the policies currently caching it,
-	// for live (lag == 0) bucket updates.
-	subscribers map[trace.ProgramID]map[*GlobalLFU]struct{}
+	// subscribers maps a program to the policy views currently caching
+	// it, for live (lag == 0) count-change pushes.
+	subscribers map[trace.ProgramID]map[globalView]struct{}
 
 	// coordinated switches the aggregator into barrier-synchronized mode
 	// for concurrent neighborhood shards (see Coordinate): policies
@@ -45,9 +45,24 @@ type Global struct {
 	// engine calls between processing windows when no policy is running.
 	coordinated bool
 
-	// policies lists every view handed out by NewPolicy, in creation
+	// views lists every per-neighborhood view handed out (fused
+	// GlobalLFU policies or pipeline GlobalScorer stages), in creation
 	// order, so Sync can drain their buffers deterministically.
-	policies []*GlobalLFU
+	views []globalView
+}
+
+// globalView is one neighborhood's view of the aggregator — either the
+// fused GlobalLFU policy or the pipeline GlobalScorer stage. A run uses
+// one kind throughout; the interface lets the aggregator push live
+// count changes and drain coordinated-mode buffers without knowing
+// which.
+type globalView interface {
+	// pushCount delivers a live (lag == 0) count change for a program
+	// this view is caching.
+	pushCount(p trace.ProgramID, count int)
+	// drainPending hands over and clears the view's coordinated-mode
+	// access buffer.
+	drainPending() []expiryEvent
 }
 
 // NewGlobal returns a shared aggregator with the given history window and
@@ -65,15 +80,24 @@ func NewGlobal(history, lag time.Duration) (*Global, error) {
 		counts:      make(map[trace.ProgramID]int),
 		published:   make(map[trace.ProgramID]int),
 		nextPublish: lag,
-		subscribers: make(map[trace.ProgramID]map[*GlobalLFU]struct{}),
+		subscribers: make(map[trace.ProgramID]map[globalView]struct{}),
 	}, nil
 }
 
-// NewPolicy returns a policy view of the aggregator for one neighborhood.
+// NewPolicy returns a fused policy view of the aggregator for one
+// neighborhood.
 func (g *Global) NewPolicy() *GlobalLFU {
 	pol := &GlobalLFU{global: g, set: newBucketSet()}
-	g.policies = append(g.policies, pol)
+	g.views = append(g.views, pol)
 	return pol
+}
+
+// NewScorer returns a pipeline scorer view of the aggregator for one
+// neighborhood: the valuation stage of the pipeline-built global-lfu.
+func (g *Global) NewScorer() *GlobalScorer {
+	sc := &GlobalScorer{global: g}
+	g.views = append(g.views, sc)
+	return sc
 }
 
 // Coordinate switches the aggregator into barrier-synchronized mode for
@@ -113,9 +137,8 @@ func (g *Global) Sync(now time.Duration) {
 		return
 	}
 	var batch []expiryEvent
-	for _, pol := range g.policies {
-		batch = append(batch, pol.pending...)
-		pol.pending = pol.pending[:0]
+	for _, v := range g.views {
+		batch = append(batch, v.drainPending()...)
 	}
 	// Record times are globally non-decreasing across windows, so the
 	// sorted batch keeps g.expiry monotone; tie order within a batch is
@@ -197,28 +220,30 @@ func (g *Global) publish() {
 	g.version++
 }
 
-// notify pushes a live count change to every policy caching p.
+// notify pushes a live count change to every view caching p. Views'
+// cached sets are disjoint structures, so map-iteration order does not
+// affect the outcome.
 func (g *Global) notify(p trace.ProgramID) {
 	if g.lag != 0 {
 		return
 	}
-	for pol := range g.subscribers[p] {
-		pol.set.setCount(p, g.counts[p])
+	for v := range g.subscribers[p] {
+		v.pushCount(p, g.counts[p])
 	}
 }
 
-func (g *Global) subscribe(p trace.ProgramID, pol *GlobalLFU) {
+func (g *Global) subscribe(p trace.ProgramID, v globalView) {
 	subs, ok := g.subscribers[p]
 	if !ok {
-		subs = make(map[*GlobalLFU]struct{})
+		subs = make(map[globalView]struct{})
 		g.subscribers[p] = subs
 	}
-	subs[pol] = struct{}{}
+	subs[v] = struct{}{}
 }
 
-func (g *Global) unsubscribe(p trace.ProgramID, pol *GlobalLFU) {
+func (g *Global) unsubscribe(p trace.ProgramID, v globalView) {
 	subs := g.subscribers[p]
-	delete(subs, pol)
+	delete(subs, v)
 	if len(subs) == 0 {
 		delete(g.subscribers, p)
 	}
@@ -236,7 +261,23 @@ type GlobalLFU struct {
 	pending []expiryEvent
 }
 
-var _ Policy = (*GlobalLFU)(nil)
+var (
+	_ Policy     = (*GlobalLFU)(nil)
+	_ globalView = (*GlobalLFU)(nil)
+)
+
+// pushCount implements globalView: live count changes land directly in
+// the victim-order structure.
+func (l *GlobalLFU) pushCount(p trace.ProgramID, count int) {
+	l.set.setCount(p, count)
+}
+
+// drainPending implements globalView.
+func (l *GlobalLFU) drainPending() []expiryEvent {
+	out := l.pending
+	l.pending = l.pending[:0]
+	return out
+}
 
 // Name returns "global-lfu".
 func (l *GlobalLFU) Name() string { return "global-lfu" }
@@ -314,3 +355,89 @@ func (l *GlobalLFU) OnEvict(p trace.ProgramID) {
 func (l *GlobalLFU) EvictionOrder(yield func(p trace.ProgramID, value int) bool) {
 	l.set.ascend(yield)
 }
+
+// GlobalScorer is the pipeline valuation stage backed by the shared
+// Global aggregator: the scorer half of the fused GlobalLFU, with the
+// victim-order bookkeeping left to the Pipeline. All neighborhoods'
+// requests must be recorded through their GlobalScorer stages for the
+// shared counts to be meaningful.
+type GlobalScorer struct {
+	global  *Global
+	sink    ScoreSink
+	version uint64
+
+	// pending buffers this neighborhood's access records between
+	// barriers in coordinated mode; only Sync drains it.
+	pending []expiryEvent
+}
+
+var (
+	_ Scorer     = (*GlobalScorer)(nil)
+	_ globalView = (*GlobalScorer)(nil)
+)
+
+// pushCount implements globalView: live count changes flow through the
+// pipeline's sink.
+func (sc *GlobalScorer) pushCount(p trace.ProgramID, count int) {
+	sc.sink.Update(p, count)
+}
+
+// drainPending implements globalView.
+func (sc *GlobalScorer) drainPending() []expiryEvent {
+	out := sc.pending
+	sc.pending = sc.pending[:0]
+	return out
+}
+
+// Name returns "global-freq".
+func (sc *GlobalScorer) Name() string { return "global-freq" }
+
+// Bind attaches the pipeline's score sink.
+func (sc *GlobalScorer) Bind(sink ScoreSink) { sc.sink = sink }
+
+// Advance slides the shared window and, when a new popularity snapshot
+// has been published, re-scores this neighborhood's cached set from it.
+func (sc *GlobalScorer) Advance(now time.Duration) {
+	sc.global.advance(now)
+	if sc.global.lag > 0 && sc.version != sc.global.version {
+		sc.sink.Rescore(func(p trace.ProgramID) int { return sc.global.count(p) })
+		sc.version = sc.global.version
+	}
+}
+
+// OnRequest records the access into the shared aggregator (or, in
+// coordinated mode, the local barrier buffer).
+func (sc *GlobalScorer) OnRequest(p trace.ProgramID, now time.Duration) {
+	sc.Advance(now)
+	if sc.global.coordinated {
+		if sc.global.history > 0 {
+			sc.pending = append(sc.pending, expiryEvent{program: p, at: now + sc.global.history})
+		}
+	} else {
+		sc.global.record(p, now)
+	}
+}
+
+// Score returns the globally aggregated count visible now.
+func (sc *GlobalScorer) Score(p trace.ProgramID, now time.Duration) int {
+	sc.Advance(now)
+	return sc.global.count(p)
+}
+
+// OnAdmit subscribes the pipeline to live count changes for p.
+func (sc *GlobalScorer) OnAdmit(p trace.ProgramID, _ time.Duration) {
+	if sc.global.lag == 0 {
+		sc.global.subscribe(p, sc)
+	}
+}
+
+// OnEvict unsubscribes p.
+func (sc *GlobalScorer) OnEvict(p trace.ProgramID) {
+	if sc.global.lag == 0 {
+		sc.global.unsubscribe(p, sc)
+	}
+}
+
+// scoreNow is the GlobalScorer's advanced-state fast path (see
+// scoredNow in pipeline.go).
+func (sc *GlobalScorer) scoreNow(p trace.ProgramID) int { return sc.global.count(p) }

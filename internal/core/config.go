@@ -236,10 +236,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid fill mode %d", c.Fill)
 	}
 	if c.Replicas < 1 {
-		return fmt.Errorf("core: replicas must be >= 1, got %d", c.Replicas)
+		return fmt.Errorf("core: replicas must be >= 1, got %d (0 = default of 1 copy)", c.Replicas)
 	}
 	if c.PrefixSegments < 0 {
-		return fmt.Errorf("core: negative prefix segments %d", c.PrefixSegments)
+		return fmt.Errorf("core: prefix segments must be >= 0, got %d (0 = cache whole programs)", c.PrefixSegments)
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism %d (0 = GOMAXPROCS, 1 = serial)", c.Parallelism)

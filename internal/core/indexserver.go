@@ -66,19 +66,50 @@ type IndexServer struct {
 	nb    *hfc.Neighborhood
 	cache *cache.Cache
 
-	// placement maps a cached program to the peers holding each segment
-	// (one entry per replica); empty slots are not yet filled.
-	placement map[trace.ProgramID][][]*hfc.SetTopBox
+	// placement maps a cached program to its resolved placement plan
+	// and the peers holding each cached segment (one entry per
+	// replica); empty slots are not yet filled.
+	placement map[trace.ProgramID]*programPlacement
 
 	// lengths resolves program playback lengths.
 	lengths func(trace.ProgramID) time.Duration
 
 	opts ServerOptions
 
+	// planner is the policy's optional segment-placement stage (nil:
+	// every program gets defaultPlan), defaultPlan the run-configured
+	// prefix depth and replica count.
+	planner     cache.PlacementPlanner
+	defaultPlan cache.Plan
+
+	// generation counts cache-content changes (admissions; evictions
+	// only happen with one). Rejected plan upgrades memoize it so an
+	// unchanged upgrade is not retried while the victim landscape is
+	// also unchanged.
+	generation uint64
+
 	// fillCursor rotates placement across peers: with equal
 	// contributions, round-robin keeps storage balanced without
 	// scanning the whole neighborhood per fill.
 	fillCursor int
+}
+
+// programPlacement is the per-program placement state: the plan the
+// program was admitted under and the peers holding each cached segment.
+type programPlacement struct {
+	// slots holds the peers storing each cached segment, one entry per
+	// placed replica; empty slots are not yet filled.
+	slots [][]*hfc.SetTopBox
+	// replicas is the plan's copy count per segment.
+	replicas int
+	// rejectedSegs/rejectedReps/rejectedGen memoize the last rejected
+	// plan upgrade: the footprint that lost the victim comparison and
+	// the cache generation it lost at. The upgrade is retried only when
+	// the wanted footprint or the cache contents have changed since, so
+	// a standing rejection costs a plain hit, not an evict-and-restore
+	// cycle per request.
+	rejectedSegs, rejectedReps int
+	rejectedGen                uint64
 }
 
 // NewIndexServer builds the index server for one neighborhood. The cache
@@ -104,12 +135,18 @@ func NewIndexServer(
 	if err != nil {
 		return nil, err
 	}
+	planner, _ := pol.(cache.PlacementPlanner)
 	return &IndexServer{
 		nb:        nb,
 		cache:     c,
-		placement: make(map[trace.ProgramID][][]*hfc.SetTopBox),
+		placement: make(map[trace.ProgramID]*programPlacement),
 		lengths:   lengths,
 		opts:      opts,
+		planner:   planner,
+		defaultPlan: cache.Plan{
+			PrefixSegments: opts.PrefixSegments,
+			Replicas:       opts.Replicas,
+		},
 	}, nil
 }
 
@@ -119,40 +156,103 @@ func (is *IndexServer) Neighborhood() *hfc.Neighborhood { return is.nb }
 // Cache returns the program-granularity cache.
 func (is *IndexServer) Cache() *cache.Cache { return is.cache }
 
-// cachedSegments returns how many leading segments of p the cache keeps.
-func (is *IndexServer) cachedSegments(p trace.ProgramID) int {
+// planFor resolves the placement plan for p: the policy's planner stage
+// when it has one, the run default otherwise. Planner output is clamped
+// so a misbehaving stage cannot produce invalid footprints — a negative
+// depth becomes the minimal one-segment prefix (the containing choice;
+// 0 would mean the maximal whole-program footprint) and a copy count
+// below one becomes one.
+func (is *IndexServer) planFor(p trace.ProgramID, now time.Duration) cache.Plan {
+	if is.planner == nil {
+		return is.defaultPlan
+	}
+	plan := is.planner.PlacementPlan(p, now, is.defaultPlan)
+	if plan.PrefixSegments < 0 {
+		plan.PrefixSegments = 1
+	}
+	if plan.Replicas < 1 {
+		plan.Replicas = 1
+	}
+	return plan
+}
+
+// cachedSegments returns how many leading segments of p the given plan
+// keeps.
+func (is *IndexServer) cachedSegments(p trace.ProgramID, plan cache.Plan) int {
 	n := segment.Count(is.lengths(p))
-	if is.opts.PrefixSegments > 0 && n > is.opts.PrefixSegments {
-		return is.opts.PrefixSegments
+	if plan.PrefixSegments > 0 && n > plan.PrefixSegments {
+		return plan.PrefixSegments
 	}
 	return n
 }
 
-// admissionSize returns the storage the cache charges for admitting p:
-// the cached prefix, once per replica.
-func (is *IndexServer) admissionSize(p trace.ProgramID) units.ByteSize {
+// admissionSize returns the storage the cache charges for admitting p
+// under the given plan: the cached prefix, once per replica.
+func (is *IndexServer) admissionSize(p trace.ProgramID, plan cache.Plan) units.ByteSize {
 	length := is.lengths(p)
 	var size units.ByteSize
-	for idx := 0; idx < is.cachedSegments(p); idx++ {
+	for idx := 0; idx < is.cachedSegments(p, plan); idx++ {
 		size += segment.SizeOf(length, idx)
 	}
-	return size * units.ByteSize(is.opts.Replicas)
+	return size * units.ByteSize(plan.Replicas)
 }
 
 // OnSessionStart records a session request with the caching strategy and
 // applies any admission/eviction it triggers. It returns the cache access
 // result.
+//
+// When the policy's planner deepens a cached program's plan (more
+// segments or more replicas than it was admitted under — a cold program
+// warming up), the program is re-admitted under the new plan: the old
+// placement is released and the access below charges and places the
+// deeper footprint, with the session streaming from the central server
+// like any first fetch while peers are re-seeded. If the deeper
+// footprint loses the victim comparison, the old footprint is restored
+// untouched — a failed upgrade never costs a hot program its cached
+// prefix.
 func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cache.AccessResult {
-	res := is.cache.Access(p, is.admissionSize(p), now)
+	plan := is.planFor(p, now)
+	planSegs := 0
+	upgrade := false
+	var rollbackSize units.ByteSize
+	if pp, ok := is.placement[p]; ok && is.planner != nil {
+		planSegs = is.cachedSegments(p, plan)
+		deeper := planSegs > len(pp.slots) || plan.Replicas > pp.replicas
+		retried := planSegs == pp.rejectedSegs && plan.Replicas == pp.rejectedReps &&
+			pp.rejectedGen == is.generation
+		if deeper && !retried {
+			rollbackSize, _ = is.cache.ChargedSize(p)
+			is.cache.Evict(p)
+			upgrade = true
+		}
+	}
+	res := is.cache.Access(p, is.admissionSize(p, plan), now)
 	for _, victim := range res.Evicted {
 		is.releasePlacement(victim)
 	}
-	if res.Admitted {
-		slots := make([][]*hfc.SetTopBox, is.cachedSegments(p))
-		is.placement[p] = slots
-		if is.opts.Fill == FillImmediate {
-			is.placeAll(p, slots)
+	switch {
+	case res.Admitted:
+		is.generation++
+		if upgrade {
+			is.releasePlacement(p) // the deeper plan supersedes the old copies
 		}
+		pp := &programPlacement{
+			slots:    make([][]*hfc.SetTopBox, is.cachedSegments(p, plan)),
+			replicas: plan.Replicas,
+		}
+		is.placement[p] = pp
+		if is.opts.Fill == FillImmediate {
+			is.placeAll(p, pp)
+		}
+	case upgrade:
+		// Upgrade rejected: the bytes it would have displaced are more
+		// valuable. Re-charge the old footprint (it still fits — it just
+		// vacated the space), keep serving from the old placement, and
+		// memoize the loss so the same footprint is not retried until
+		// the cache contents change.
+		is.cache.Restore(p, rollbackSize, now)
+		pp := is.placement[p]
+		pp.rejectedSegs, pp.rejectedReps, pp.rejectedGen = planSegs, plan.Replicas, is.generation
 	}
 	return res
 }
@@ -160,19 +260,19 @@ func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cach
 // placeAll reserves storage for every cached segment of a newly admitted
 // program, one copy per replica (the FillImmediate model). Segments that
 // find no peer with space stay unplaced and miss until churn frees room.
-func (is *IndexServer) placeAll(p trace.ProgramID, slots [][]*hfc.SetTopBox) {
+func (is *IndexServer) placeAll(p trace.ProgramID, pp *programPlacement) {
 	length := is.lengths(p)
-	for idx := range slots {
+	for idx := range pp.slots {
 		size := segment.SizeOf(length, idx)
-		for r := 0; r < is.opts.Replicas; r++ {
-			peer := is.pickFillPeer(size, false, slots[idx])
+		for r := 0; r < pp.replicas; r++ {
+			peer := is.pickFillPeer(size, false, pp.slots[idx])
 			if peer == nil {
 				break
 			}
 			if !peer.Reserve(size) {
 				break
 			}
-			slots[idx] = append(slots[idx], peer)
+			pp.slots[idx] = append(pp.slots[idx], peer)
 		}
 	}
 }
@@ -220,14 +320,14 @@ func (o ServeOutcome) IsMiss() bool { return o != ServedByPeer }
 // release when the broadcast ends. With replication, copies are tried in
 // placement order and the first available peer serves.
 func (is *IndexServer) ServeSegment(p trace.ProgramID, idx int) (ServeOutcome, *hfc.SetTopBox) {
-	slots, ok := is.placement[p]
+	pp, ok := is.placement[p]
 	if !ok {
 		return MissNotCached, nil
 	}
-	if idx < 0 || idx >= len(slots) || len(slots[idx]) == 0 {
+	if idx < 0 || idx >= len(pp.slots) || len(pp.slots[idx]) == 0 {
 		return MissUnplaced, nil
 	}
-	for _, peer := range slots[idx] {
+	for _, peer := range pp.slots[idx] {
 		if !is.opts.EnforceStreamLimit {
 			peer.ForceOpenStream()
 			return ServedByPeer, peer
@@ -247,12 +347,12 @@ func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
 	if is.opts.Fill != FillOnBroadcast || !is.opts.BroadcastFill {
 		return nil
 	}
-	slots, ok := is.placement[p]
-	if !ok || idx < 0 || idx >= len(slots) || len(slots[idx]) >= is.opts.Replicas {
+	pp, ok := is.placement[p]
+	if !ok || idx < 0 || idx >= len(pp.slots) || len(pp.slots[idx]) >= pp.replicas {
 		return nil
 	}
 	size := segment.SizeOf(is.lengths(p), idx)
-	peer := is.pickFillPeer(size, true, slots[idx])
+	peer := is.pickFillPeer(size, true, pp.slots[idx])
 	if peer == nil {
 		return nil
 	}
@@ -267,7 +367,7 @@ func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
 	} else {
 		peer.ForceOpenStream()
 	}
-	slots[idx] = append(slots[idx], peer)
+	pp.slots[idx] = append(pp.slots[idx], peer)
 	return peer
 }
 
@@ -309,12 +409,12 @@ func contains(peers []*hfc.SetTopBox, p *hfc.SetTopBox) bool {
 
 // releasePlacement frees every placed copy of an evicted program.
 func (is *IndexServer) releasePlacement(p trace.ProgramID) {
-	slots, ok := is.placement[p]
+	pp, ok := is.placement[p]
 	if !ok {
 		return
 	}
 	length := is.lengths(p)
-	for idx, copies := range slots {
+	for idx, copies := range pp.slots {
 		size := segment.SizeOf(length, idx)
 		for _, peer := range copies {
 			peer.Release(size)
@@ -325,8 +425,12 @@ func (is *IndexServer) releasePlacement(p trace.ProgramID) {
 
 // PlacedSegments returns how many segments of p have at least one copy.
 func (is *IndexServer) PlacedSegments(p trace.ProgramID) int {
+	pp, ok := is.placement[p]
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, copies := range is.placement[p] {
+	for _, copies := range pp.slots {
 		if len(copies) > 0 {
 			n++
 		}

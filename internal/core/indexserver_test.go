@@ -91,7 +91,7 @@ func TestImmediatePlacementRoundRobin(t *testing.T) {
 	is := newIS(t, nb, FillImmediate)
 	is.OnSessionStart(1, 0)
 	// Two segments land on two distinct peers (striping).
-	slots := is.placement[1]
+	slots := is.placement[1].slots
 	if len(slots[0]) != 1 || len(slots[1]) != 1 {
 		t.Fatalf("copies per segment = %d/%d, want 1/1", len(slots[0]), len(slots[1]))
 	}
@@ -190,7 +190,7 @@ func TestEvictionReleasesAllPlacedStorage(t *testing.T) {
 	// programs of their placed segment sizes.
 	var want units.ByteSize
 	for _, p := range []trace.ProgramID{2, 3} {
-		for idx, copies := range is.placement[p] {
+		for idx, copies := range is.placement[p].slots {
 			want += segment.SizeOf(10*time.Minute, idx) * units.ByteSize(len(copies))
 		}
 	}
@@ -226,5 +226,128 @@ func TestFillModeString(t *testing.T) {
 	}
 	if FillMode(9).String() != "fillmode(9)" {
 		t.Error("unknown fill mode name wrong")
+	}
+}
+
+// upgradeTestPipeline builds a frequency-scored pipeline whose planner
+// caches a 1-segment prefix for programs below two windowed accesses
+// and the whole program from there on — the smallest planner that
+// triggers the plan-upgrade path.
+func upgradeTestPipeline(t *testing.T) cache.Policy {
+	t.Helper()
+	freq, err := cache.NewFrequencyScorer(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := cache.NewPipeline(cache.PipelineConfig{
+		Name:   "upgrade-test",
+		Scorer: freq,
+		Planner: plannerFunc(func(p trace.ProgramID, now time.Duration, def cache.Plan) cache.Plan {
+			if freq.Score(p, now) < 2 {
+				return cache.Plan{PrefixSegments: 1, Replicas: 1}
+			}
+			return cache.Plan{Replicas: 1} // whole program
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// plannerFunc adapts a function to the Planner stage interface.
+type plannerFunc func(p trace.ProgramID, now time.Duration, def cache.Plan) cache.Plan
+
+func (f plannerFunc) PlacementPlan(p trace.ProgramID, now time.Duration, def cache.Plan) cache.Plan {
+	return f(p, now, def)
+}
+
+// TestPlanUpgradeDeepensPlacement: a program admitted under a shallow
+// prefix is re-admitted whole once its popularity crosses the planner's
+// threshold, when the cache has room.
+func TestPlanUpgradeDeepensPlacement(t *testing.T) {
+	nb := buildNeighborhood(t, 4, units.GB)
+	is, err := NewIndexServer(nb, upgradeTestPipeline(t), fixedLengths(10*time.Minute), ServerOptions{
+		EnforceStreamLimit: true,
+		Fill:               FillImmediate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := is.OnSessionStart(1, 0)
+	if !res.Admitted || len(is.placement[1].slots) != 1 {
+		t.Fatalf("first touch: admitted=%v slots=%d, want shallow 1-segment admission",
+			res.Admitted, len(is.placement[1].slots))
+	}
+	is.OnSessionStart(1, time.Hour)
+	res = is.OnSessionStart(1, 2*time.Hour) // score 2 before this access: upgrade
+	if !res.Admitted || len(is.placement[1].slots) != 2 {
+		t.Fatalf("upgrade touch: admitted=%v slots=%d, want whole-program re-admission",
+			res.Admitted, len(is.placement[1].slots))
+	}
+	if got := is.PlacedSegments(1); got != 2 {
+		t.Errorf("placed segments after upgrade = %d, want 2", got)
+	}
+}
+
+// TestPlanUpgradeRollback: when the deeper plan loses the victim
+// comparison, the old footprint is restored untouched — the program
+// stays cached, placed, and servable under its shallow plan.
+func TestPlanUpgradeRollback(t *testing.T) {
+	// 650 MB pooled: program 1 shallow (1 seg ~302 MB) + program 2
+	// (5 min, ~302 MB) fit; program 1 whole (2 segs ~604 MB) does not
+	// without evicting the more valuable program 2.
+	nb := buildNeighborhood(t, 2, 325*units.MB)
+	lengths := func(p trace.ProgramID) time.Duration {
+		if p == 1 {
+			return 10 * time.Minute
+		}
+		return 5 * time.Minute
+	}
+	is, err := NewIndexServer(nb, upgradeTestPipeline(t), lengths, ServerOptions{
+		EnforceStreamLimit: true,
+		Fill:               FillImmediate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is.OnSessionStart(1, 0)  // program 1 admitted shallow
+	for i := 0; i < 5; i++ { // program 2 admitted, score 5
+		is.OnSessionStart(2, time.Duration(i+1)*time.Minute)
+	}
+	is.OnSessionStart(1, 30*time.Minute) // score 1: still shallow, plain hit
+	usedBefore := is.Cache().Used()
+
+	// Program 1's third access crosses the planner threshold (score 2
+	// before the access): the whole-program footprint needs program 2's
+	// bytes, but 2 outscores 1, so the upgrade is rejected.
+	res := is.OnSessionStart(1, time.Hour)
+	if res.Hit || res.Admitted || len(res.Evicted) != 0 {
+		t.Fatalf("rejected upgrade reported hit=%v admitted=%v evicted=%v",
+			res.Hit, res.Admitted, res.Evicted)
+	}
+
+	// The standing rejection is memoized: with the wanted footprint and
+	// the cache contents unchanged, the next access is a plain hit, not
+	// another evict-and-restore cycle.
+	hitsBefore := is.Cache().Hits()
+	if res := is.OnSessionStart(1, 2*time.Hour); !res.Hit {
+		t.Errorf("memoized rejection access = %+v, want a plain hit", res)
+	}
+	if got := is.Cache().Hits(); got != hitsBefore+1 {
+		t.Errorf("hits across memoized rejection = %d, want %d", got, hitsBefore+1)
+	}
+	if !is.Cache().Contains(1) || !is.Cache().Contains(2) {
+		t.Fatalf("rollback lost a program: contains(1)=%v contains(2)=%v",
+			is.Cache().Contains(1), is.Cache().Contains(2))
+	}
+	if got := is.Cache().Used(); got != usedBefore {
+		t.Errorf("cache used changed across rejected upgrade: %v -> %v", usedBefore, got)
+	}
+	if got := is.PlacedSegments(1); got != 1 {
+		t.Errorf("placed segments after rollback = %d, want the old shallow 1", got)
+	}
+	if out, _ := is.ServeSegment(1, 0); out != ServedByPeer {
+		t.Errorf("segment 0 of rolled-back program not servable: %v", out)
 	}
 }

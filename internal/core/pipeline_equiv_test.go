@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cablevod/internal/cache"
+	"cablevod/internal/trace"
+)
+
+// The Policy API v2 acceptance suite: the four paper strategies are now
+// pipeline compositions (registry.go), and this file proves them
+// bit-identical to the fused v1 implementations, which stay in
+// internal/cache as the reference. Each fused policy is registered
+// under a "-v1" name with exactly the pre-pipeline factory wiring, and
+// every (strategy, parallelism, ingest path) combination must produce
+// a deeply equal Result.
+
+// registerFusedV1 registers the fused v1 policies under "-v1" names,
+// once per test binary.
+var registerFusedV1 = sync.OnceFunc(func() {
+	mustRegisterStrategy("lru-v1", "fused v1 LRU (equivalence reference)",
+		perNeighborhood(func(Config) (cache.Policy, error) { return cache.NewLRU(), nil }), independent)
+
+	mustRegisterStrategy("lfu-v1", "fused v1 LFU (equivalence reference)",
+		perNeighborhood(func(cfg Config) (cache.Policy, error) { return cache.NewLFU(cfg.LFUHistory) }), independent)
+
+	mustRegisterStrategy("oracle-v1", "fused v1 oracle (equivalence reference)",
+		func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+			if env.Future == nil {
+				return nil, fmt.Errorf("core: oracle-v1 needs future knowledge")
+			}
+			futures := make([][]trace.Record, env.Topology.NeighborhoodCount())
+			for _, r := range env.Future {
+				nb, ok := env.Topology.Home(r.User)
+				if !ok {
+					return nil, fmt.Errorf("core: user %d not homed", r.User)
+				}
+				futures[nb.ID()] = append(futures[nb.ID()], r)
+			}
+			lookahead := env.Config.OracleLookahead
+			return func(nb int) (cache.Policy, error) {
+				return cache.NewOracle(cache.BuildFutureIndex(futures[nb]), lookahead)
+			}, nil
+		}, independent)
+
+	mustRegisterStrategy("global-lfu-v1", "fused v1 global-LFU (equivalence reference)",
+		func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+			global, err := cache.NewGlobal(env.Config.LFUHistory, env.Config.GlobalLag)
+			if err != nil {
+				return nil, err
+			}
+			if env.Parallelism > 1 && env.Config.GlobalLag > 0 {
+				if err := global.Coordinate(); err != nil {
+					return nil, err
+				}
+				env.Couple(global)
+			}
+			return func(int) (cache.Policy, error) { return global.NewPolicy(), nil }, nil
+		}, StrategyTraits{})
+})
+
+// normalizeABResult clears the fields that legitimately differ between
+// the two registrations (the selected name and the parallelism knob);
+// everything else must match bit for bit.
+func normalizeABResult(res *Result) *Result {
+	res.Config.Strategy = 0
+	res.Config.StrategyName = ""
+	res.Config.Parallelism = 0
+	return res
+}
+
+// TestPipelineMatchesFusedPolicies is the Policy API v2 equivalence
+// contract: for every rebuilt strategy, the pipeline composition and
+// the fused v1 policy produce bit-identical Results at parallelism 1,
+// 4, and GOMAXPROCS, through both the batch Run ingest (SubmitBatch
+// under the hood) and chunked SubmitBatch with mid-flight Snapshots.
+func TestPipelineMatchesFusedPolicies(t *testing.T) {
+	registerFusedV1()
+
+	pairs := []struct {
+		pipeline, fused string
+		lag             bool // also run the lagged global feed
+	}{
+		{pipeline: "lru", fused: "lru-v1"},
+		{pipeline: "lfu", fused: "lfu-v1"},
+		{pipeline: "oracle", fused: "oracle-v1"},
+		{pipeline: "global-lfu", fused: "global-lfu-v1"},
+		{pipeline: "global-lfu", fused: "global-lfu-v1", lag: true},
+	}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for seed := uint64(1); seed <= 2; seed++ {
+		tr := shardTestTrace(t, seed)
+		for _, pair := range pairs {
+			label := pair.pipeline
+			if pair.lag {
+				label += "+lag"
+			}
+			for _, fill := range []FillMode{FillImmediate, FillOnBroadcast} {
+				for _, par := range levels {
+					cfg := shardTestConfig(0, fill, par)
+					cfg.StrategyName = pair.pipeline
+					if pair.lag {
+						cfg.GlobalLag = 30 * 60 * 1e9 // 30 min
+					}
+					fusedCfg := cfg
+					fusedCfg.StrategyName = pair.fused
+
+					want, err := Run(fusedCfg, tr)
+					if err != nil {
+						t.Fatalf("seed %d %s/%v par %d fused: %v", seed, label, fill, par, err)
+					}
+					normalizeABResult(want)
+
+					got, err := Run(cfg, tr)
+					if err != nil {
+						t.Fatalf("seed %d %s/%v par %d pipeline: %v", seed, label, fill, par, err)
+					}
+					if !reflect.DeepEqual(normalizeABResult(got), want) {
+						t.Errorf("seed %d %s/%v par %d: pipeline Run differs from fused v1",
+							seed, label, fill, par)
+					}
+
+					batched := normalizeABResult(runBatched(t, cfg, tr, 500))
+					if !reflect.DeepEqual(batched, want) {
+						t.Errorf("seed %d %s/%v par %d: pipeline SubmitBatch ingest differs from fused v1",
+							seed, label, fill, par)
+					}
+				}
+			}
+		}
+	}
+}

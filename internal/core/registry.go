@@ -8,6 +8,7 @@ import (
 
 	"cablevod/internal/cache"
 	"cablevod/internal/hfc"
+	"cablevod/internal/segment"
 	"cablevod/internal/trace"
 )
 
@@ -26,6 +27,12 @@ type PolicyEnv struct {
 	// Future is the full upcoming request sequence in timestamp order,
 	// or nil when the engine is driven online without future knowledge.
 	Future []trace.Record
+
+	// Lengths resolves catalog program lengths (never nil when the
+	// engine builds the environment; programs absent from the catalog
+	// resolve to 0). Size-aware strategies use it to score by stored
+	// size.
+	Lengths func(p trace.ProgramID) time.Duration
 
 	// Parallelism is the resolved worker-pool width the engine will run
 	// neighborhood shards on (>= 1; 1 means fully serial execution).
@@ -81,11 +88,13 @@ type StrategyTraits struct {
 // data (the oracle's future index).
 type StrategyFactory func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error)
 
-// strategyEntry is one registered strategy: its factory plus the
-// concurrency traits it declared.
+// strategyEntry is one registered strategy: its factory, the
+// concurrency traits it declared, and a one-line description for
+// catalogs and CLI help.
 type strategyEntry struct {
-	factory StrategyFactory
-	traits  StrategyTraits
+	factory     StrategyFactory
+	traits      StrategyTraits
+	description string
 }
 
 var (
@@ -108,6 +117,13 @@ func RegisterStrategy(name string, f StrategyFactory) error {
 // RegisterStrategyTraits registers a strategy together with explicit
 // concurrency traits.
 func RegisterStrategyTraits(name string, f StrategyFactory, traits StrategyTraits) error {
+	return RegisterStrategyInfo(name, "", f, traits)
+}
+
+// RegisterStrategyInfo registers a strategy together with explicit
+// concurrency traits and a one-line description surfaced by
+// StrategyInfos (vodsim -strategy-list, experiment catalogs).
+func RegisterStrategyInfo(name, description string, f StrategyFactory, traits StrategyTraits) error {
 	if name == "" {
 		return fmt.Errorf("core: empty strategy name")
 	}
@@ -119,13 +135,13 @@ func RegisterStrategyTraits(name string, f StrategyFactory, traits StrategyTrait
 	if _, dup := registry[name]; dup {
 		return fmt.Errorf("core: strategy %q already registered", name)
 	}
-	registry[name] = strategyEntry{factory: f, traits: traits}
+	registry[name] = strategyEntry{factory: f, traits: traits, description: description}
 	return nil
 }
 
 // mustRegisterStrategy registers a built-in and panics on conflict.
-func mustRegisterStrategy(name string, f StrategyFactory, traits StrategyTraits) {
-	if err := RegisterStrategyTraits(name, f, traits); err != nil {
+func mustRegisterStrategy(name, description string, f StrategyFactory, traits StrategyTraits) {
+	if err := RegisterStrategyInfo(name, description, f, traits); err != nil {
 		panic(err)
 	}
 }
@@ -167,6 +183,31 @@ func RegisteredStrategies() []string {
 	return out
 }
 
+// StrategyInfo describes one registered strategy for catalogs and CLI
+// help.
+type StrategyInfo struct {
+	// Name selects the strategy via Config.StrategyName.
+	Name string
+	// Description is the registrant's one-line summary ("" for
+	// strategies registered without one).
+	Description string
+	// Traits are the declared concurrency traits.
+	Traits StrategyTraits
+}
+
+// StrategyInfos returns every registered strategy with its description,
+// sorted by name.
+func StrategyInfos() []StrategyInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]StrategyInfo, 0, len(registry))
+	for name, e := range registry {
+		out = append(out, StrategyInfo{Name: name, Description: e.description, Traits: e.traits})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // perNeighborhood lifts a context-free policy constructor into a factory.
 func perNeighborhood(build func(cfg Config) (cache.Policy, error)) StrategyFactory {
 	return func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
@@ -175,47 +216,138 @@ func perNeighborhood(build func(cfg Config) (cache.Policy, error)) StrategyFacto
 	}
 }
 
+// pipeline assembles a pipeline policy, for registry factories.
+func pipeline(name string, scorer cache.Scorer) (cache.Policy, error) {
+	return cache.NewPipeline(cache.PipelineConfig{Name: name, Scorer: scorer})
+}
+
+// storedSegments lifts the environment's length resolver into a stored
+// segment counter for size-aware scorers: the segments a program
+// actually occupies under the run's configured prefix cap (replicas
+// multiply every program's footprint uniformly, so they cancel out of
+// relative rankings).
+func storedSegments(env *PolicyEnv) func(trace.ProgramID) int {
+	lengths := env.Lengths
+	if lengths == nil {
+		lengths = func(trace.ProgramID) time.Duration { return 0 }
+	}
+	prefix := env.Config.PrefixSegments
+	return func(p trace.ProgramID) int {
+		n := segment.Count(lengths(p))
+		if prefix > 0 && n > prefix {
+			n = prefix
+		}
+		return n
+	}
+}
+
+// The built-in strategy zoo. The paper's four strategies are pipeline
+// compositions of the stages in internal/cache (bit-identical to the
+// fused v1 implementations, proven by the equivalence suites); the
+// rest are new compositions the stage split enables.
 func init() {
-	mustRegisterStrategy(StrategyLRU.String(), perNeighborhood(
-		func(Config) (cache.Policy, error) { return cache.NewLRU(), nil }), independent)
+	mustRegisterStrategy(StrategyLRU.String(),
+		"least-recently-used queue; every miss admits (paper §IV-B.2)",
+		perNeighborhood(func(Config) (cache.Policy, error) {
+			return pipeline("lru", cache.NewConstantScorer("recency-only", 0))
+		}), independent)
 
-	mustRegisterStrategy(StrategyLFU.String(), perNeighborhood(
-		func(cfg Config) (cache.Policy, error) { return cache.NewLFU(cfg.LFUHistory) }), independent)
-
-	mustRegisterStrategy(StrategyOracle.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
-		if env.Future == nil {
-			return nil, fmt.Errorf("core: strategy %q needs future knowledge (supply the upcoming trace)", StrategyOracle)
-		}
-		futures := make([][]trace.Record, env.Topology.NeighborhoodCount())
-		for _, r := range env.Future {
-			nb, ok := env.Topology.Home(r.User)
-			if !ok {
-				return nil, fmt.Errorf("core: user %d not homed", r.User)
+	mustRegisterStrategy(StrategyLFU.String(),
+		"most-frequently-used in a sliding history window, LRU tie-break (paper §IV-B.2)",
+		perNeighborhood(func(cfg Config) (cache.Policy, error) {
+			sc, err := cache.NewFrequencyScorer(cfg.LFUHistory)
+			if err != nil {
+				return nil, err
 			}
-			futures[nb.ID()] = append(futures[nb.ID()], r)
-		}
-		lookahead := env.Config.OracleLookahead
-		return func(nb int) (cache.Policy, error) {
-			return cache.NewOracle(cache.BuildFutureIndex(futures[nb]), lookahead)
-		}, nil
-	}, independent)
+			return pipeline("lfu", sc)
+		}), independent)
+
+	mustRegisterStrategy(StrategyOracle.String(),
+		"impossible ideal: keeps the programs most used in the next three days (paper §VI-A)",
+		func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+			if env.Future == nil {
+				return nil, fmt.Errorf("core: strategy %q needs future knowledge (supply the upcoming trace)", StrategyOracle)
+			}
+			futures := make([][]trace.Record, env.Topology.NeighborhoodCount())
+			for _, r := range env.Future {
+				nb, ok := env.Topology.Home(r.User)
+				if !ok {
+					return nil, fmt.Errorf("core: user %d not homed", r.User)
+				}
+				futures[nb.ID()] = append(futures[nb.ID()], r)
+			}
+			lookahead := env.Config.OracleLookahead
+			return func(nb int) (cache.Policy, error) {
+				sc, err := cache.NewOracleScorer(cache.BuildFutureIndex(futures[nb]), lookahead)
+				if err != nil {
+					return nil, err
+				}
+				return pipeline("oracle", sc)
+			}, nil
+		}, independent)
 
 	// Global-LFU policies share the popularity aggregator. With a
 	// publication lag, the shared state is observable only at
 	// publication instants, so the factory couples it for epoch-barrier
 	// execution; a live feed (lag 0) couples neighborhoods per request
 	// and leaves the zero traits, which makes the engine serialize.
-	mustRegisterStrategy(StrategyGlobalLFU.String(), func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
-		global, err := cache.NewGlobal(env.Config.LFUHistory, env.Config.GlobalLag)
-		if err != nil {
-			return nil, err
-		}
-		if env.Parallelism > 1 && env.Config.GlobalLag > 0 {
-			if err := global.Coordinate(); err != nil {
+	mustRegisterStrategy(StrategyGlobalLFU.String(),
+		"LFU fed by usage aggregated across all neighborhoods, optionally on a publication lag (paper Fig. 13)",
+		func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+			global, err := cache.NewGlobal(env.Config.LFUHistory, env.Config.GlobalLag)
+			if err != nil {
 				return nil, err
 			}
-			env.Couple(global)
-		}
-		return func(int) (cache.Policy, error) { return global.NewPolicy(), nil }, nil
-	}, StrategyTraits{})
+			if env.Parallelism > 1 && env.Config.GlobalLag > 0 {
+				if err := global.Coordinate(); err != nil {
+					return nil, err
+				}
+				env.Couple(global)
+			}
+			return func(int) (cache.Policy, error) {
+				return pipeline("global-lfu", global.NewScorer())
+			}, nil
+		}, StrategyTraits{})
+
+	mustRegisterStrategy("gdsf",
+		"size-aware frequency: windowed count scaled down by stored size, so many short popular programs beat few long ones",
+		func(env *PolicyEnv) (func(nb int) (cache.Policy, error), error) {
+			segments := storedSegments(env)
+			history := env.Config.LFUHistory
+			return func(int) (cache.Policy, error) {
+				sc, err := cache.NewSizeFrequencyScorer(history, segments)
+				if err != nil {
+					return nil, err
+				}
+				return pipeline("gdsf", sc)
+			}, nil
+		}, independent)
+
+	mustRegisterStrategy("lru-2",
+		"last-two-reference recency: once-requested programs evict before any requested twice (hour-quantized LRU-2)",
+		perNeighborhood(func(Config) (cache.Policy, error) {
+			sc, err := cache.NewRecency2Scorer(time.Hour)
+			if err != nil {
+				return nil, err
+			}
+			return pipeline("lru-2", sc)
+		}), independent)
+
+	mustRegisterStrategy("prefix-lfu",
+		"windowed frequency with popularity-scaled prefix depths: cold programs keep short prefixes, hot programs whole",
+		perNeighborhood(func(cfg Config) (cache.Policy, error) {
+			sc, err := cache.NewFrequencyScorer(cfg.LFUHistory)
+			if err != nil {
+				return nil, err
+			}
+			planner, err := cache.NewPopularityPrefixPlanner(sc, 0)
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewPipeline(cache.PipelineConfig{
+				Name:    "prefix-lfu",
+				Scorer:  sc,
+				Planner: planner,
+			})
+		}), independent)
 }

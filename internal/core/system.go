@@ -161,7 +161,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		// Unreachable after Validate; kept as a defensive check.
 		return nil, fmt.Errorf("core: unknown strategy %q", cfg.strategyName())
 	}
-	env := &PolicyEnv{Config: cfg, Topology: topo, Future: w.Future, Parallelism: s.workers}
+	env := &PolicyEnv{Config: cfg, Topology: topo, Future: w.Future, Lengths: s.lengths, Parallelism: s.workers}
 	newPolicy, err := entry.factory(env)
 	if err != nil {
 		return nil, err

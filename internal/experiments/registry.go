@@ -51,6 +51,7 @@ func All() []Experiment {
 		{ID: "scen-premiere", Title: "Scenario: catalog-premiere warm-up latency", Run: ScenPremiere},
 		{ID: "scen-churn", Title: "Scenario: churn-wave cache stability", Run: ScenChurn},
 		{ID: "scen-drift", Title: "Scenario: regional skew drift, local vs global popularity", Run: ScenDrift},
+		{ID: "strat-shootout", Title: "Strategy zoo shootout: every registered strategy x built-in scenarios", Run: StrategyShootout},
 	}
 }
 

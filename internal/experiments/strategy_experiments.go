@@ -1,0 +1,121 @@
+package experiments
+
+// The strategy-zoo shootout: every registered caching strategy crossed
+// with every built-in scenario, head to head on the live Driver. The
+// pipeline registry (Policy API v2) makes the strategy axis open-ended
+// — anything registered, built-in or composed, rides along — so the
+// sweep enumerates the registry at run time instead of hard-coding the
+// paper's four strategies.
+
+import (
+	"fmt"
+	"strings"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/scenario"
+	"cablevod/internal/units"
+)
+
+// shootoutConfig is the engine configuration of one shootout run: a
+// deliberately tight cache (2 GB per peer against the full catalog) so
+// retention decisions, not raw capacity, separate the strategies.
+func shootoutConfig(w *Workload, strategyName string) core.Config {
+	return core.Config{
+		Topology:     hfc.Config{NeighborhoodSize: 1000, PerPeerStorage: 2 * units.GB},
+		StrategyName: strategyName,
+		WarmupDays:   w.Scale.WarmupDays,
+		Parallelism:  1, // the sweep already saturates the pool
+	}
+}
+
+// shootoutLabel shortens a scenario name for column headers
+// ("flash-crowd" -> "flash").
+func shootoutLabel(scenarioName string) string {
+	if i := strings.IndexByte(scenarioName, '-'); i > 0 {
+		return scenarioName[:i]
+	}
+	return scenarioName
+}
+
+// StrategyShootout runs every registered strategy against every
+// built-in scenario and tabulates the final-checkpoint hit ratio and
+// the peak server load, two columns per scenario. Strategies that
+// cannot run on a live scenario stream (the oracle needs future
+// knowledge a lazy stream cannot supply) are skipped and listed in the
+// notes.
+func StrategyShootout(w *Workload) (*Report, error) {
+	builders := scenario.Builders()
+	specs := make([]scenario.Spec, len(builders))
+	for i, b := range builders {
+		specs[i] = b.Build(w.Scale.synthConfig())
+	}
+
+	// Pre-flight each strategy against the first scenario: building the
+	// Driver exercises spec compilation and strategy construction, so
+	// offline-only strategies are culled before the sweep.
+	var names, skipped, described []string
+	for _, info := range core.StrategyInfos() {
+		if len(specs) > 0 {
+			cfg := shootoutConfig(w, info.Name)
+			if _, err := scenario.NewDriver(cfg, specs[0], scenario.Options{}); err != nil {
+				skipped = append(skipped, fmt.Sprintf("%s (%v)", info.Name, err))
+				continue
+			}
+		}
+		names = append(names, info.Name)
+		if info.Description != "" {
+			described = append(described, fmt.Sprintf("%s: %s", info.Name, info.Description))
+		}
+	}
+
+	type cell struct {
+		strategy string
+		spec     scenario.Spec
+	}
+	points := make([]point[cell], 0, len(names)*len(specs))
+	for _, name := range names {
+		for _, spec := range specs {
+			points = append(points, pt(fmt.Sprintf("strat-shootout %s/%s", name, spec.Name),
+				cell{strategy: name, spec: spec}))
+		}
+	}
+	runs, err := mapPoints(points, func(c cell) (*scenarioRun, error) {
+		return runScenario(c.spec, shootoutConfig(w, c.strategy))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:       "strat-shootout",
+		Title:    "Strategy zoo shootout: registered strategies x built-in scenarios (1,000 peers, 2 GB per peer)",
+		Unit:     "hit % / peak Gb/s",
+		RowLabel: "strategy",
+		Notes: []string{
+			"hit %: cumulative segment hit ratio at the final checkpoint; Gb/s: peak-window server load",
+		},
+	}
+	for _, spec := range specs {
+		label := shootoutLabel(spec.Name)
+		rep.ColumnLabels = append(rep.ColumnLabels, label+" hit%", label+" Gb/s")
+	}
+	if len(skipped) > 0 {
+		rep.Notes = append(rep.Notes, "skipped: "+strings.Join(skipped, "; "))
+	}
+	rep.Notes = append(rep.Notes, described...)
+	for i, name := range names {
+		rep.RowLabels = append(rep.RowLabels, name)
+		row := make([]float64, 0, 2*len(specs))
+		for j := range specs {
+			run := runs[i*len(specs)+j]
+			hit := run.res.Counters.HitRatio()
+			if cps := run.cps; len(cps) > 0 {
+				hit = cps[len(cps)-1].Metrics.HitRatio()
+			}
+			row = append(row, 100*hit, run.res.Server.Mean.Gbps())
+		}
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,192 @@
+package cablevod
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPublicConfigRoundTrip pins the Config bridge both ways: the
+// public -> internal -> public round trip hands strategy factories
+// exactly the configuration the caller wrote (minus the workload
+// fields, which never cross into the internal Config).
+func TestPublicConfigRoundTrip(t *testing.T) {
+	cfg := Config{
+		NeighborhoodSize:  700,
+		PerPeerStorage:    3 * GB,
+		MaxStreamsPerPeer: 4,
+		CoaxCapacity:      2 * Gbps,
+		Strategy:          LFU,
+		StrategyName:      "gdsf",
+		LFUHistory:        36 * time.Hour,
+		OracleLookahead:   2 * 24 * time.Hour,
+		GlobalLag:         30 * time.Minute,
+		Fill:              FillOnBroadcast,
+		Replicas:          2,
+		PrefixSegments:    4,
+		WarmupDays:        3,
+		Parallelism:       2,
+		Subscribers:       []UserID{1, 2, 3},
+		Catalog:           map[ProgramID]time.Duration{1: time.Hour},
+	}
+	got := publicConfig(cfg.internal())
+	want := cfg
+	want.Subscribers = nil
+	want.Catalog = nil
+	want.Future = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestConfigRejectsNegativePlanKnobs pins the validation errors for the
+// placement-plan knobs through both public entry points.
+func TestConfigRejectsNegativePlanKnobs(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"replicas", func(c *Config) { c.Replicas = -1 }, "replicas"},
+		{"prefix-segments", func(c *Config) { c.PrefixSegments = -3 }, "prefix segments"},
+	}
+	for _, tt := range tests {
+		cfg := Config{NeighborhoodSize: 400, PerPeerStorage: 1 * GB}
+		tt.mut(&cfg)
+		if _, err := Run(cfg, tr); err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("Run with negative %s: err = %v, want mention of %q", tt.name, err, tt.want)
+		}
+		cfg.Subscribers = tr.Users()
+		cfg.Catalog = TraceCatalog(tr)
+		if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("New with negative %s: err = %v, want mention of %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+// TestRegisterPipelinePublic registers a composed strategy through the
+// public Policy API v2 and proves it equivalent to the built-in it
+// recreates: a constant scorer with LRU tiebreak is exactly lru, bit
+// for bit, across serial and parallel engines.
+func TestRegisterPipelinePublic(t *testing.T) {
+	err := RegisterPipeline(PolicySpec{
+		Name:        "lru-composed-test",
+		Description: "public-API recreation of lru for the equivalence test",
+		Scorer: ScorerStage{
+			New:    func(Config) Scorer { return NewConstantScorer(0) },
+			Traits: StageTraits{ShardIndependent: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		cfg := Config{
+			NeighborhoodSize: 400,
+			PerPeerStorage:   1 * GB,
+			WarmupDays:       1,
+			Parallelism:      parallel,
+			StrategyName:     "lru-composed-test",
+		}
+		got, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lruCfg := cfg
+		lruCfg.StrategyName = "lru"
+		want, err := Run(lruCfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Config.StrategyName = ""
+		want.Config.StrategyName = ""
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d: composed lru differs from built-in lru", parallel)
+		}
+	}
+}
+
+// TestRegisterPipelineValidation pins the registration errors.
+func TestRegisterPipelineValidation(t *testing.T) {
+	scorer := ScorerStage{New: func(Config) Scorer { return NewConstantScorer(0) }}
+	if err := RegisterPipeline(PolicySpec{Scorer: scorer}); err == nil {
+		t.Error("nameless spec accepted")
+	}
+	if err := RegisterPipeline(PolicySpec{Name: "no-scorer-test"}); err == nil {
+		t.Error("scorerless spec accepted")
+	}
+	if err := RegisterPipeline(PolicySpec{Name: "lru", Scorer: scorer}); err == nil {
+		t.Error("duplicate of built-in lru accepted")
+	}
+}
+
+// TestListStrategiesCatalog checks that every built-in — the paper's
+// four and the zoo — is listed with a description.
+func TestListStrategiesCatalog(t *testing.T) {
+	infos := ListStrategies()
+	byName := make(map[string]StrategyInfo, len(infos))
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	for _, name := range []string{"lru", "lfu", "oracle", "global-lfu", "gdsf", "lru-2", "prefix-lfu"} {
+		info, ok := byName[name]
+		if !ok {
+			t.Errorf("built-in %q not listed", name)
+			continue
+		}
+		if info.Description == "" {
+			t.Errorf("built-in %q has no description", name)
+		}
+	}
+}
+
+// TestZooStrategiesEndToEnd runs every new built-in over a small trace
+// through both the batch and the online engine, checking the strategies
+// actually cache (nonzero hits) and the two ingest paths agree.
+func TestZooStrategiesEndToEnd(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"gdsf", "lru-2", "prefix-lfu"} {
+		cfg := Config{
+			NeighborhoodSize: 400,
+			PerPeerStorage:   512 * MB,
+			WarmupDays:       1,
+			StrategyName:     name,
+		}
+		batch, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if batch.Counters.Hits == 0 {
+			t.Errorf("%s: no cache hits over the test trace", name)
+		}
+		online := streamConfig(cfg, tr)
+		sys, err := New(online)
+		if err != nil {
+			t.Fatalf("%s online: %v", name, err)
+		}
+		if err := sys.SubmitBatch(tr.Records); err != nil {
+			t.Fatalf("%s online: %v", name, err)
+		}
+		res, err := sys.Close()
+		if err != nil {
+			t.Fatalf("%s online: %v", name, err)
+		}
+		batch.Config = Config{}.internal()
+		res.Config = Config{}.internal()
+		if !reflect.DeepEqual(batch, res) {
+			t.Errorf("%s: online engine result differs from batch Run", name)
+		}
+	}
+}

@@ -145,12 +145,14 @@ type Policy interface {
 	EvictionOrder(yield func(p ProgramID, value int) bool)
 }
 
-// RegisterStrategy adds a named caching strategy to the engine's
+// RegisterStrategy adds a named v1 caching strategy to the engine's
 // registry, making it selectable by Config.StrategyName in New and Run
-// alongside the built-in lru, lfu, oracle, and global-lfu strategies.
-// The factory is invoked once per neighborhood per run with the run's
-// resolved configuration. Registration fails on an empty name, a nil
-// factory, or a name already registered.
+// alongside the built-ins. The factory is invoked once per neighborhood
+// per run with the run's resolved configuration. Registration fails on
+// an empty name, a nil factory, or a name already registered. New
+// strategies are usually better expressed as stage compositions through
+// RegisterPipeline; this interface remains for policies whose stages
+// cannot be separated.
 //
 // Because the engine cannot know whether the factory's policies share
 // mutable state (a factory may close over a common structure), runs
