@@ -15,6 +15,7 @@
 //	vodsim -scenario-list        # registered live-workload scenarios
 //	vodsim -scenario flash-crowd -checkpoint 6   # drive one, 6h checkpoints
 //	vodsim -scenario premiere -snapshot-json     # machine-readable checkpoints
+//	vodsim -scenario-file testdata/scenarios/flash-crowd.yaml  # declarative spec + assertions
 package main
 
 import (
@@ -62,8 +63,9 @@ func run(args []string) error {
 		parallel     = fs.Int("parallel", 0, "worker pool for concurrent neighborhood shards (0 = GOMAXPROCS, 1 = serial)")
 
 		scenarioName = fs.String("scenario", "", "drive a registered live-workload scenario (see -scenario-list); sized by the -synth-* flags")
+		scenarioFile = fs.String("scenario-file", "", "run a declarative scenario spec (YAML/JSON, see SCENARIOS.md) and gate on its assertions")
 		scenarioList = fs.Bool("scenario-list", false, "list registered scenarios and exit")
-		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none)")
+		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none; a -scenario-file spec with assertions must then set its own cadence — assertions never pass over zero checkpoints)")
 		accel        = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
 		snapJSON     = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
 	)
@@ -87,7 +89,9 @@ func run(args []string) error {
 	var tr *cablevod.Trace
 	var err error
 	switch {
-	case *scenarioName != "":
+	case *scenarioName != "" && *scenarioFile != "":
+		return fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	case *scenarioName != "", *scenarioFile != "":
 		// The scenario generates its own workload lazily; no trace.
 	case *synth:
 		opts := cablevod.DefaultTraceOptions()
@@ -148,6 +152,9 @@ func run(args []string) error {
 	start := time.Now()
 	var res *cablevod.Result
 	switch {
+	case *scenarioFile != "":
+		res, err = runSpecFile(cfg, *scenarioFile,
+			time.Duration(*checkpoint)*time.Hour, *accel, *snapJSON)
 	case *scenarioName != "":
 		res, err = runScenario(cfg, *scenarioName, scenarioRunOptions{
 			users: *users, programs: *programs, days: *days, seed: *seed,
@@ -189,6 +196,29 @@ func runScenario(cfg cablevod.Config, name string, o scenarioRunOptions) (*cable
 		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
 	})
 	return res, err
+}
+
+// runSpecFile runs a declarative scenario spec through the assertion
+// harness: checkpoints print as they are taken, then the pass/fail
+// report. A violated assertion is a command failure (non-zero exit) —
+// the CI gate contract.
+func runSpecFile(cfg cablevod.Config, path string, fallback time.Duration, accel float64, asJSON bool) (*cablevod.Result, error) {
+	report, err := cablevod.RunSpecFile(path, cfg, cablevod.SpecRunOptions{
+		Checkpoint:   fallback,
+		Acceleration: accel,
+		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, asJSON) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println()
+	report.Render(os.Stdout)
+	fmt.Println()
+	if !report.Pass() {
+		f := report.FirstFailure()
+		return nil, fmt.Errorf("scenario spec %s: assertion %s violated: %s", path, f.Label, f.Detail)
+	}
+	return report.Result, nil
 }
 
 // printCheckpoint renders one scenario checkpoint, as a JSON line or a

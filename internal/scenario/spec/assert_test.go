@@ -1,0 +1,321 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/scenario"
+	"cablevod/internal/units"
+)
+
+// cp builds one synthetic checkpoint with a cumulative hit/request
+// tally, so hit_ratio and window_hit_ratio are exactly controllable.
+func cp(at time.Duration, hits, reqs uint64) scenario.Checkpoint {
+	return scenario.Checkpoint{
+		At: at,
+		Metrics: core.Metrics{
+			Counters: core.Counters{Hits: hits, SegmentRequests: reqs},
+		},
+	}
+}
+
+// series6 is four days of 12h checkpoints whose running hit ratio
+// climbs from 0.40 to 0.60 in even steps: cumulative requests grow by
+// 100 per checkpoint and hits are placed to land exact ratios.
+func series6() []scenario.Checkpoint {
+	ratios := []float64{0.40, 0.45, 0.50, 0.55, 0.58, 0.60}
+	cps := make([]scenario.Checkpoint, len(ratios))
+	for i, r := range ratios {
+		reqs := uint64(100 * (i + 1))
+		cps[i] = cp(time.Duration(i+1)*12*time.Hour, uint64(r*float64(reqs)), reqs)
+	}
+	return cps
+}
+
+func evalOne(t *testing.T, f *File, cps []scenario.Checkpoint, p Predicate) PredicateResult {
+	t.Helper()
+	f.Assert = []Predicate{p}
+	results, _ := Evaluate(f, cps, units.BitRate(0))
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	return results[0]
+}
+
+func TestThresholdWindowBoundaries(t *testing.T) {
+	f := &File{Name: "t"}
+	cps := series6()
+
+	// The closed window [24h, 48h] includes the checkpoints at exactly
+	// both boundary hours: ratios 0.45, 0.50, 0.55.
+	res := evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0.45,
+		Window: &Window{From: 24 * time.Hour, To: 48 * time.Hour},
+	})
+	if !res.Pass {
+		t.Fatalf("boundary checkpoints should pass: %s", res.Detail)
+	}
+	if !strings.Contains(res.Detail, "3 checkpoints") {
+		t.Fatalf("window [24h,48h] should cover exactly 3 checkpoints, got: %s", res.Detail)
+	}
+
+	// Tightening past the boundary value makes the 24h checkpoint the
+	// first violation.
+	res = evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "hit_ratio", Op: ">", Value: 0.45,
+		Window: &Window{From: 24 * time.Hour, To: 48 * time.Hour},
+	})
+	if res.Pass {
+		t.Fatal("strict > at the boundary value should fail")
+	}
+	if res.At != 1 || !strings.Contains(res.Detail, "violated at 24h") {
+		t.Fatalf("first violation should be the 24h checkpoint: At=%d %s", res.At, res.Detail)
+	}
+}
+
+func TestThresholdPhaseScopeExcludesStart(t *testing.T) {
+	// Phase (24h, 48h]: the checkpoint at exactly the phase start
+	// reflects only pre-phase records and is excluded; 36h and 48h are
+	// in scope.
+	f := &File{Name: "t", Phases: []PhaseSpec{{Name: "incident", From: 24 * time.Hour, To: 48 * time.Hour}}}
+	res := evalOne(t, f, series6(), Predicate{
+		Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0.50, Phase: "incident",
+	})
+	if !res.Pass {
+		t.Fatalf("phase scope should exclude the 0.45 checkpoint at the phase start: %s", res.Detail)
+	}
+	if !strings.Contains(res.Detail, "2 checkpoints") {
+		t.Fatalf("phase (24h,48h] should cover exactly 2 checkpoints, got: %s", res.Detail)
+	}
+}
+
+func TestThresholdEmptyWindowFailsLoudly(t *testing.T) {
+	f := &File{Name: "t"}
+	res := evalOne(t, f, series6(), Predicate{
+		Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0,
+		Window: &Window{From: 3 * time.Hour, To: 9 * time.Hour},
+	})
+	if res.Pass {
+		t.Fatal("a window with no checkpoints must fail, not pass vacuously")
+	}
+	if !strings.Contains(res.Detail, "no checkpoints") {
+		t.Fatalf("detail should explain the empty window: %s", res.Detail)
+	}
+}
+
+func TestThresholdUndefinedMetricFails(t *testing.T) {
+	// min_neighborhood_hit_ratio is undefined without a per-neighborhood
+	// breakdown; an always-undefined metric must fail, not pass.
+	f := &File{Name: "t"}
+	res := evalOne(t, f, series6(), Predicate{
+		Type: TypeThreshold, Metric: "min_neighborhood_hit_ratio", Op: ">=", Value: 0,
+		Window: &Window{From: 12 * time.Hour, To: 72 * time.Hour},
+	})
+	if res.Pass {
+		t.Fatal("an undefined metric must fail, not pass vacuously")
+	}
+	if !strings.Contains(res.Detail, "undefined") {
+		t.Fatalf("detail should say the metric is undefined: %s", res.Detail)
+	}
+}
+
+func TestWindowHitRatioIsDelta(t *testing.T) {
+	// Between 12h (40/100) and 24h (90/200): 50 hits over 100 requests.
+	f := &File{Name: "t"}
+	cps := []scenario.Checkpoint{cp(12*time.Hour, 40, 100), cp(24*time.Hour, 90, 200)}
+	res := evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "window_hit_ratio", Op: ">=", Value: 0.5,
+		Window: &Window{From: 24 * time.Hour, To: 24 * time.Hour},
+	})
+	if !res.Pass {
+		t.Fatalf("window delta should be exactly 0.5: %s", res.Detail)
+	}
+
+	// A window with no new requests leaves the delta metric undefined.
+	cps = []scenario.Checkpoint{cp(12*time.Hour, 40, 100), cp(24*time.Hour, 40, 100)}
+	res = evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "window_hit_ratio", Op: ">=", Value: 0,
+		Window: &Window{From: 24 * time.Hour, To: 24 * time.Hour},
+	})
+	if res.Pass {
+		t.Fatal("a zero-request window has no hit ratio and must not pass")
+	}
+}
+
+func TestServerBpsWindowedRate(t *testing.T) {
+	f := &File{Name: "t"}
+	cps := []scenario.Checkpoint{
+		{At: time.Hour, Metrics: core.Metrics{ServerBits: 3_600}},
+		{At: 2 * time.Hour, Metrics: core.Metrics{ServerBits: 10_800}},
+	}
+	// First window: 3600 bits over 3600s = 1 b/s; second: 7200 over
+	// 3600s = 2 b/s.
+	res := evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "server_bps", Op: "<=", Value: 1,
+		Window: &Window{From: 0, To: time.Hour},
+	})
+	if !res.Pass {
+		t.Fatalf("first-window rate should be 1 b/s: %s", res.Detail)
+	}
+	res = evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "server_bps", Op: ">=", Value: 2,
+		Window: &Window{From: 2 * time.Hour, To: 2 * time.Hour},
+	})
+	if !res.Pass {
+		t.Fatalf("second-window rate should be 2 b/s: %s", res.Detail)
+	}
+}
+
+func TestCoaxP95AcrossNeighborhoods(t *testing.T) {
+	// 20 neighborhoods at 1..20 b/s: nearest-rank p95 is the 19th
+	// sorted value.
+	nbs := make([]core.NeighborhoodMetrics, 20)
+	for i := range nbs {
+		nbs[i] = core.NeighborhoodMetrics{ID: i, CoaxRate: units.BitRate(i + 1)}
+	}
+	cps := []scenario.Checkpoint{{At: 12 * time.Hour, Metrics: core.Metrics{PerNeighborhood: nbs}}}
+	f := &File{Name: "t"}
+	res := evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "coax_p95_bps", Op: "<=", Value: 19,
+		Window: &Window{From: 0, To: units.Day},
+	})
+	if !res.Pass {
+		t.Fatalf("p95 of 1..20 should be 19: %s", res.Detail)
+	}
+	res = evalOne(t, f, cps, Predicate{
+		Type: TypeThreshold, Metric: "coax_p95_bps", Op: "<", Value: 19,
+		Window: &Window{From: 0, To: units.Day},
+	})
+	if res.Pass {
+		t.Fatal("p95 of 1..20 should be exactly 19, not less")
+	}
+
+	// Utilization divides by the supplied coax capacity.
+	f.Assert = []Predicate{{
+		Type: TypeThreshold, Metric: "coax_p95_utilization", Op: "<=", Value: 0.5,
+		Window: &Window{From: 0, To: units.Day},
+	}}
+	results, _ := Evaluate(f, cps, units.BitRate(38))
+	if !results[0].Pass {
+		t.Fatalf("19/38 = 0.5 should pass <= 0.5: %s", results[0].Detail)
+	}
+}
+
+func recoverySeries(post []float64) []scenario.Checkpoint {
+	// Running hit ratio: 0.50 before the phase, then the given
+	// post-phase values. Phase is (24h, 48h]; checkpoints every 12h.
+	vals := append([]float64{0.50, 0.50, 0.20, 0.20}, post...)
+	cps := make([]scenario.Checkpoint, len(vals))
+	for i, r := range vals {
+		reqs := uint64(1000)
+		cps[i] = cp(time.Duration(i+1)*12*time.Hour, uint64(r*float64(reqs)), reqs)
+	}
+	return cps
+}
+
+func recoveryFile() *File {
+	return &File{Name: "t", Phases: []PhaseSpec{{Name: "incident", From: 24 * time.Hour, To: 48 * time.Hour}}}
+}
+
+func recoveryPred(within time.Duration, tol float64) Predicate {
+	return Predicate{Type: TypeRecovery, Metric: "hit_ratio", Phase: "incident", Within: within, Tolerance: tol}
+}
+
+func TestRecoveryWithinDeadline(t *testing.T) {
+	// Baseline at 24h is 0.50; at 60h the value 0.49 is 2% off.
+	res := evalOne(t, recoveryFile(), recoverySeries([]float64{0.49}), recoveryPred(24*time.Hour, 0.05))
+	if !res.Pass {
+		t.Fatalf("0.49 is within 5%% of 0.50: %s", res.Detail)
+	}
+	if !strings.Contains(res.Detail, "recovered at 60h") {
+		t.Fatalf("detail should name the recovery instant: %s", res.Detail)
+	}
+}
+
+func TestRecoveryNeverRecovers(t *testing.T) {
+	res := evalOne(t, recoveryFile(), recoverySeries([]float64{0.30, 0.35}), recoveryPred(24*time.Hour, 0.05))
+	if res.Pass {
+		t.Fatal("0.35 is 30% off the 0.50 baseline; must fail")
+	}
+	if !strings.Contains(res.Detail, "never recovered") || !strings.Contains(res.Detail, "closest") {
+		t.Fatalf("detail should report the closest approach: %s", res.Detail)
+	}
+}
+
+func TestRecoveryNoBaselineFails(t *testing.T) {
+	// First checkpoint lands after the phase start: no baseline.
+	f := &File{Name: "t", Phases: []PhaseSpec{{Name: "early", From: 6 * time.Hour, To: 24 * time.Hour}}}
+	p := Predicate{Type: TypeRecovery, Metric: "hit_ratio", Phase: "early", Within: 48 * time.Hour, Tolerance: 0.05}
+	res := evalOne(t, f, series6(), p)
+	if res.Pass {
+		t.Fatal("a recovery with no pre-phase checkpoint must fail")
+	}
+	if !strings.Contains(res.Detail, "baseline") {
+		t.Fatalf("detail should explain the missing baseline: %s", res.Detail)
+	}
+}
+
+func TestRecoveryNoPostPhaseCheckpointsFails(t *testing.T) {
+	// The series ends mid-phase: no checkpoint lands in the
+	// [phase end, deadline] window at all.
+	cps := []scenario.Checkpoint{
+		cp(12*time.Hour, 500, 1000),
+		cp(24*time.Hour, 500, 1000),
+		cp(36*time.Hour, 200, 1000),
+	}
+	res := evalOne(t, recoveryFile(), cps, recoveryPred(time.Hour, 0.05))
+	if res.Pass {
+		t.Fatal("no checkpoints before the deadline must fail, not pass vacuously")
+	}
+	if !strings.Contains(res.Detail, "no checkpoints") {
+		t.Fatalf("detail should explain the empty deadline window: %s", res.Detail)
+	}
+}
+
+func TestRecoveryAtPhaseEndCheckpoint(t *testing.T) {
+	// The checkpoint exactly at the phase end counts: with the incident
+	// fully recovered by 48h, tolerance 0 distance passes immediately.
+	cps := []scenario.Checkpoint{
+		cp(12*time.Hour, 500, 1000),
+		cp(24*time.Hour, 500, 1000),
+		cp(36*time.Hour, 200, 1000),
+		cp(48*time.Hour, 500, 1000),
+	}
+	res := evalOne(t, recoveryFile(), cps, recoveryPred(12*time.Hour, 0.01))
+	if !res.Pass {
+		t.Fatalf("the phase-end checkpoint itself can satisfy recovery: %s", res.Detail)
+	}
+}
+
+func TestReportRenderShowsFirstViolation(t *testing.T) {
+	f := &File{Name: "render-test"}
+	f.Assert = []Predicate{
+		{Name: "ok", Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0.1,
+			Window: &Window{From: 12 * time.Hour, To: 72 * time.Hour}},
+		{Name: "too-strict", Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0.55,
+			Window: &Window{From: 12 * time.Hour, To: 72 * time.Hour}},
+	}
+	cps := series6()
+	preds, trace := Evaluate(f, cps, 0)
+	r := &Report{File: f, Parallelism: 1, Checkpoint: 12 * time.Hour,
+		Checkpoints: cps, Trace: trace, Predicates: preds}
+	if r.Pass() {
+		t.Fatal("report should fail")
+	}
+	if ff := r.FirstFailure(); ff == nil || ff.Label != "too-strict" {
+		t.Fatalf("first failure should be too-strict, got %+v", ff)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"PASS ok", "FAIL too-strict", "violated at 12h",
+		"checkpoints around the first violation", "result: FAIL (1 of 2 assertions violated)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"cablevod/internal/scenario"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// Load reads and parses a scenario spec file (YAML or JSON).
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Parse decodes a scenario spec document. Unknown keys, wrong types,
+// and malformed values are errors with their location; Parse checks
+// structure only — run Validate (or the Harness, which does) for the
+// full semantic check.
+func Parse(data []byte) (*File, error) {
+	tree, err := parseTree(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{}
+	root := d.mapping(tree, "spec")
+	f := &File{}
+	d.allowed(root, "spec", "name", "description", "checkpoint", "chunk", "base", "engine", "phases", "assert")
+	f.Name = d.str(root, "name", "spec")
+	f.Description = d.str(root, "description", "spec")
+	f.Checkpoint = d.dur(root, "checkpoint", "spec")
+	f.Chunk = d.dur(root, "chunk", "spec")
+	if v, ok := root["base"]; ok {
+		f.Base = d.base(v)
+	}
+	if v, ok := root["engine"]; ok {
+		f.Engine = d.engine(v)
+	}
+	if v, ok := root["phases"]; ok {
+		for i, item := range d.sequence(v, "phases") {
+			f.Phases = append(f.Phases, d.phase(item, fmt.Sprintf("phases[%d]", i)))
+		}
+	}
+	if v, ok := root["assert"]; ok {
+		for i, item := range d.sequence(v, "assert") {
+			f.Assert = append(f.Assert, d.predicate(item, fmt.Sprintf("assert[%d]", i)))
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if f.Name == "" {
+		return nil, fmt.Errorf("spec: missing name")
+	}
+	return f, nil
+}
+
+// decoder walks the generic tree, accumulating the first error with its
+// path; every accessor is a no-op after an error, so call sites stay
+// linear.
+type decoder struct {
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("spec: "+format, args...)
+	}
+}
+
+func (d *decoder) mapping(v any, path string) map[string]any {
+	if d.err != nil {
+		return nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		d.fail("%s: expected a mapping, got %s", path, describeNode(v))
+		return nil
+	}
+	return m
+}
+
+func (d *decoder) sequence(v any, path string) []any {
+	if d.err != nil {
+		return nil
+	}
+	s, ok := v.([]any)
+	if !ok {
+		d.fail("%s: expected a sequence, got %s", path, describeNode(v))
+		return nil
+	}
+	return s
+}
+
+// allowed rejects unknown keys with the full set of accepted ones.
+func (d *decoder) allowed(m map[string]any, path string, keys ...string) {
+	if d.err != nil {
+		return
+	}
+	ok := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		ok[k] = true
+	}
+	for k := range m {
+		if !ok[k] {
+			d.fail("%s: unknown key %q (accepted: %s)", path, k, strings.Join(keys, ", "))
+			return
+		}
+	}
+}
+
+func (d *decoder) str(m map[string]any, key, path string) string {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return ""
+	}
+	s, isStr := v.(string)
+	if !isStr {
+		d.fail("%s.%s: expected a string, got %s", path, key, describeNode(v))
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) boolean(m map[string]any, key, path string) bool {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return false
+	}
+	b, isBool := v.(bool)
+	if !isBool {
+		d.fail("%s.%s: expected true or false, got %s", path, key, describeNode(v))
+		return false
+	}
+	return b
+}
+
+func (d *decoder) number(m map[string]any, key, path string) (json.Number, bool) {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return "", false
+	}
+	n, isNum := v.(json.Number)
+	if !isNum {
+		d.fail("%s.%s: expected a number, got %s", path, key, describeNode(v))
+		return "", false
+	}
+	return n, true
+}
+
+func (d *decoder) integer(m map[string]any, key, path string) int {
+	n, ok := d.number(m, key, path)
+	if !ok {
+		return 0
+	}
+	i, err := n.Int64()
+	if err != nil {
+		d.fail("%s.%s: expected an integer, got %s", path, key, n)
+		return 0
+	}
+	return int(i)
+}
+
+func (d *decoder) uint(m map[string]any, key, path string) uint64 {
+	i := d.integer(m, key, path)
+	if i < 0 {
+		d.fail("%s.%s: expected a non-negative integer, got %d", path, key, i)
+		return 0
+	}
+	return uint64(i)
+}
+
+func (d *decoder) float(m map[string]any, key, path string) float64 {
+	n, ok := d.number(m, key, path)
+	if !ok {
+		return 0
+	}
+	f, err := n.Float64()
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		d.fail("%s.%s: %s is not a finite number", path, key, n)
+		return 0
+	}
+	return f
+}
+
+func (d *decoder) floats(m map[string]any, key, path string) []float64 {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return nil
+	}
+	var out []float64
+	for i, item := range d.sequence(v, path+"."+key) {
+		n, isNum := item.(json.Number)
+		if !isNum {
+			d.fail("%s.%s[%d]: expected a number, got %s", path, key, i, describeNode(item))
+			return nil
+		}
+		f, err := n.Float64()
+		if err != nil {
+			d.fail("%s.%s[%d]: %s is not a finite number", path, key, i, n)
+			return nil
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// dur parses a duration string; on top of Go's syntax it accepts a
+// whole-day prefix: "2d", "1d12h".
+func (d *decoder) dur(m map[string]any, key, path string) time.Duration {
+	s := d.str(m, key, path)
+	if d.err != nil || s == "" {
+		return 0
+	}
+	v, err := ParseDuration(s)
+	if err != nil {
+		d.fail("%s.%s: %v", path, key, err)
+		return 0
+	}
+	return v
+}
+
+// ParseDuration parses a spec duration: Go duration syntax ("36h",
+// "90m") optionally prefixed by whole days ("2d", "1d12h").
+func ParseDuration(s string) (time.Duration, error) {
+	rest := s
+	var days int64
+	if i := strings.IndexByte(s, 'd'); i > 0 {
+		allDigits := true
+		for _, r := range s[:i] {
+			if r < '0' || r > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			fmt.Sscanf(s[:i], "%d", &days)
+			rest = s[i+1:]
+		}
+	}
+	var v time.Duration
+	if rest != "" {
+		parsed, err := time.ParseDuration(rest)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q (want e.g. \"36h\", \"2d\", \"1d12h\")", s)
+		}
+		v = parsed
+	} else if days == 0 {
+		return 0, fmt.Errorf("bad duration %q (want e.g. \"36h\", \"2d\", \"1d12h\")", s)
+	}
+	return time.Duration(days)*units.Day + v, nil
+}
+
+func (d *decoder) bytesize(m map[string]any, key, path string) units.ByteSize {
+	s := d.str(m, key, path)
+	if d.err != nil || s == "" {
+		return 0
+	}
+	v, err := units.ParseByteSize(s)
+	if err != nil {
+		d.fail("%s.%s: %v", path, key, err)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) bitrate(m map[string]any, key, path string) units.BitRate {
+	s := d.str(m, key, path)
+	if d.err != nil || s == "" {
+		return 0
+	}
+	v, err := units.ParseBitRate(s)
+	if err != nil {
+		d.fail("%s.%s: %v", path, key, err)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) base(v any) Base {
+	m := d.mapping(v, "base")
+	d.allowed(m, "base", "subscribers", "catalog", "days", "seed",
+		"sessions_per_user_day", "backlog_days", "zipf_exponent", "weekend_boost", "seek_prob")
+	return Base{
+		Subscribers:        d.integer(m, "subscribers", "base"),
+		Catalog:            d.integer(m, "catalog", "base"),
+		Days:               d.integer(m, "days", "base"),
+		Seed:               d.uint(m, "seed", "base"),
+		SessionsPerUserDay: d.float(m, "sessions_per_user_day", "base"),
+		BacklogDays:        d.integer(m, "backlog_days", "base"),
+		ZipfExponent:       d.float(m, "zipf_exponent", "base"),
+		WeekendBoost:       d.float(m, "weekend_boost", "base"),
+		SeekProb:           d.float(m, "seek_prob", "base"),
+	}
+}
+
+func (d *decoder) engine(v any) Engine {
+	m := d.mapping(v, "engine")
+	d.allowed(m, "engine", "strategy", "neighborhood", "per_peer_storage", "coax_capacity",
+		"max_streams", "replicas", "prefix_segments", "fill", "lfu_history", "global_lag", "warmup_days")
+	e := Engine{
+		Strategy:       d.str(m, "strategy", "engine"),
+		Neighborhood:   d.integer(m, "neighborhood", "engine"),
+		PerPeerStorage: d.bytesize(m, "per_peer_storage", "engine"),
+		CoaxCapacity:   d.bitrate(m, "coax_capacity", "engine"),
+		MaxStreams:     d.integer(m, "max_streams", "engine"),
+		Replicas:       d.integer(m, "replicas", "engine"),
+		PrefixSegments: d.integer(m, "prefix_segments", "engine"),
+		Fill:           d.str(m, "fill", "engine"),
+		LFUHistory:     d.dur(m, "lfu_history", "engine"),
+		GlobalLag:      d.dur(m, "global_lag", "engine"),
+	}
+	if _, ok := m["warmup_days"]; ok && d.err == nil {
+		w := d.integer(m, "warmup_days", "engine")
+		e.WarmupDays = &w
+	}
+	return e
+}
+
+func (d *decoder) phase(v any, path string) PhaseSpec {
+	m := d.mapping(v, path)
+	d.allowed(m, path, "name", "from", "to", "modulators")
+	ph := PhaseSpec{
+		Name: d.str(m, "name", path),
+		From: d.dur(m, "from", path),
+		To:   d.dur(m, "to", path),
+	}
+	if mods, ok := m["modulators"]; ok {
+		for i, item := range d.sequence(mods, path+".modulators") {
+			mod := d.modulator(item, fmt.Sprintf("%s.modulators[%d]", path, i))
+			if mod != nil {
+				ph.Modulators = append(ph.Modulators, mod)
+			}
+		}
+	}
+	return ph
+}
+
+// modulator decodes one modulator by its kind discriminator.
+func (d *decoder) modulator(v any, path string) scenario.Modulator {
+	m := d.mapping(v, path)
+	kind := d.str(m, "kind", path)
+	if d.err != nil {
+		return nil
+	}
+	switch kind {
+	case "flash-crowd":
+		d.allowed(m, path+" (flash-crowd)", "kind", "program", "factor", "rate_boost", "local", "neighborhood")
+		return scenario.FlashCrowd{
+			Program:      trace.ProgramID(d.integer(m, "program", path)),
+			Factor:       d.float(m, "factor", path),
+			RateBoost:    d.float(m, "rate_boost", path),
+			Local:        d.boolean(m, "local", path),
+			Neighborhood: d.integer(m, "neighborhood", path),
+		}
+	case "premiere":
+		d.allowed(m, path+" (premiere)", "kind", "hotness", "length")
+		return scenario.Premiere{
+			Hotness: d.float(m, "hotness", path),
+			Length:  d.dur(m, "length", path),
+		}
+	case "intensity-shift":
+		d.allowed(m, path+" (intensity-shift)", "kind", "scale", "weekend_scale", "hour_scale")
+		return scenario.IntensityShift{
+			Scale:        d.float(m, "scale", path),
+			WeekendScale: d.float(m, "weekend_scale", path),
+			HourScale:    d.floats(m, "hour_scale", path),
+		}
+	case "churn":
+		d.allowed(m, path+" (churn)", "kind", "cancel_fraction", "joins", "seed")
+		return scenario.Churn{
+			CancelFraction: d.float(m, "cancel_fraction", path),
+			Joins:          d.integer(m, "joins", path),
+			Seed:           d.uint(m, "seed", path),
+		}
+	case "skew-drift":
+		d.allowed(m, path+" (skew-drift)", "kind", "strength", "period", "seed")
+		return scenario.SkewDrift{
+			Strength: d.float(m, "strength", path),
+			Period:   d.dur(m, "period", path),
+			Seed:     d.uint(m, "seed", path),
+		}
+	case "":
+		d.fail("%s: missing modulator kind", path)
+	default:
+		d.fail("%s: unknown modulator kind %q (known: flash-crowd, premiere, intensity-shift, churn, skew-drift)", path, kind)
+	}
+	return nil
+}
+
+func (d *decoder) predicate(v any, path string) Predicate {
+	m := d.mapping(v, path)
+	d.allowed(m, path, "name", "type", "metric", "op", "value", "window", "phase", "within", "tolerance")
+	p := Predicate{
+		Name:      d.str(m, "name", path),
+		Type:      d.str(m, "type", path),
+		Metric:    d.str(m, "metric", path),
+		Op:        d.str(m, "op", path),
+		Phase:     d.str(m, "phase", path),
+		Within:    d.dur(m, "within", path),
+		Tolerance: d.float(m, "tolerance", path),
+	}
+	if _, ok := m["value"]; ok {
+		p.Value = d.float(m, "value", path)
+	}
+	if wv, ok := m["window"]; ok && d.err == nil {
+		wm := d.mapping(wv, path+".window")
+		d.allowed(wm, path+".window", "from", "to")
+		p.Window = &Window{
+			From: d.dur(wm, "from", path+".window"),
+			To:   d.dur(wm, "to", path+".window"),
+		}
+	}
+	return p
+}
+
+func describeNode(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "a bool"
+	case string:
+		return "a string"
+	case json.Number:
+		return "a number"
+	case []any:
+		return "a sequence"
+	case map[string]any:
+		return "a mapping"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

@@ -1,0 +1,320 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cablevod/internal/scenario"
+	"cablevod/internal/units"
+)
+
+// MarshalYAML renders the spec as canonical YAML: stable field order,
+// zero-valued fields omitted, durations in day/hour form where exact.
+// The output parses back to an identical File (the round-trip property
+// test pins this), so specs can be generated programmatically and
+// checked in.
+func (f *File) MarshalYAML() []byte {
+	var b strings.Builder
+	w := &yamlWriter{b: &b}
+	w.scalar(0, "name", yString(f.Name))
+	if f.Description != "" {
+		w.scalar(0, "description", yString(f.Description))
+	}
+	if f.Checkpoint != 0 {
+		w.scalar(0, "checkpoint", yDuration(f.Checkpoint))
+	}
+	if f.Chunk != 0 {
+		w.scalar(0, "chunk", yDuration(f.Chunk))
+	}
+	f.encodeBase(w)
+	f.encodeEngine(w)
+	if len(f.Phases) > 0 {
+		w.key(0, "phases")
+		for _, ph := range f.Phases {
+			w.item(1, "name", yString(ph.Name))
+			w.scalar(2, "from", yDuration(ph.From))
+			w.scalar(2, "to", yDuration(ph.To))
+			if len(ph.Modulators) > 0 {
+				w.key(2, "modulators")
+				for _, m := range ph.Modulators {
+					encodeModulator(w, m)
+				}
+			}
+		}
+	}
+	if len(f.Assert) > 0 {
+		w.key(0, "assert")
+		for _, p := range f.Assert {
+			encodePredicate(w, p)
+		}
+	}
+	return []byte(b.String())
+}
+
+func (f *File) encodeBase(w *yamlWriter) {
+	b := f.Base
+	if b == (Base{}) {
+		return
+	}
+	w.key(0, "base")
+	if b.Subscribers != 0 {
+		w.scalar(1, "subscribers", yInt(b.Subscribers))
+	}
+	if b.Catalog != 0 {
+		w.scalar(1, "catalog", yInt(b.Catalog))
+	}
+	if b.Days != 0 {
+		w.scalar(1, "days", yInt(b.Days))
+	}
+	if b.Seed != 0 {
+		w.scalar(1, "seed", strconv.FormatUint(b.Seed, 10))
+	}
+	if b.SessionsPerUserDay != 0 {
+		w.scalar(1, "sessions_per_user_day", yFloat(b.SessionsPerUserDay))
+	}
+	if b.BacklogDays != 0 {
+		w.scalar(1, "backlog_days", yInt(b.BacklogDays))
+	}
+	if b.ZipfExponent != 0 {
+		w.scalar(1, "zipf_exponent", yFloat(b.ZipfExponent))
+	}
+	if b.WeekendBoost != 0 {
+		w.scalar(1, "weekend_boost", yFloat(b.WeekendBoost))
+	}
+	if b.SeekProb != 0 {
+		w.scalar(1, "seek_prob", yFloat(b.SeekProb))
+	}
+}
+
+func (f *File) encodeEngine(w *yamlWriter) {
+	e := f.Engine
+	if e == (Engine{}) {
+		return
+	}
+	w.key(0, "engine")
+	if e.Strategy != "" {
+		w.scalar(1, "strategy", yString(e.Strategy))
+	}
+	if e.Neighborhood != 0 {
+		w.scalar(1, "neighborhood", yInt(e.Neighborhood))
+	}
+	if e.PerPeerStorage != 0 {
+		w.scalar(1, "per_peer_storage", yString(e.PerPeerStorage.String()))
+	}
+	if e.CoaxCapacity != 0 {
+		w.scalar(1, "coax_capacity", yString(e.CoaxCapacity.String()))
+	}
+	if e.MaxStreams != 0 {
+		w.scalar(1, "max_streams", yInt(e.MaxStreams))
+	}
+	if e.Replicas != 0 {
+		w.scalar(1, "replicas", yInt(e.Replicas))
+	}
+	if e.PrefixSegments != 0 {
+		w.scalar(1, "prefix_segments", yInt(e.PrefixSegments))
+	}
+	if e.Fill != "" {
+		w.scalar(1, "fill", yString(e.Fill))
+	}
+	if e.LFUHistory != 0 {
+		w.scalar(1, "lfu_history", yDuration(e.LFUHistory))
+	}
+	if e.GlobalLag != 0 {
+		w.scalar(1, "global_lag", yDuration(e.GlobalLag))
+	}
+	if e.WarmupDays != nil {
+		w.scalar(1, "warmup_days", yInt(*e.WarmupDays))
+	}
+}
+
+func encodeModulator(w *yamlWriter, mod scenario.Modulator) {
+	switch m := mod.(type) {
+	case scenario.FlashCrowd:
+		w.item(3, "kind", yString("flash-crowd"))
+		w.scalar(4, "program", yInt(int(m.Program)))
+		if m.Factor != 0 {
+			w.scalar(4, "factor", yFloat(m.Factor))
+		}
+		if m.RateBoost != 0 {
+			w.scalar(4, "rate_boost", yFloat(m.RateBoost))
+		}
+		if m.Local {
+			w.scalar(4, "local", "true")
+			w.scalar(4, "neighborhood", yInt(m.Neighborhood))
+		}
+	case scenario.Premiere:
+		w.item(3, "kind", yString("premiere"))
+		if m.Hotness != 0 {
+			w.scalar(4, "hotness", yFloat(m.Hotness))
+		}
+		if m.Length != 0 {
+			w.scalar(4, "length", yDuration(m.Length))
+		}
+	case scenario.IntensityShift:
+		w.item(3, "kind", yString("intensity-shift"))
+		if m.Scale != 0 {
+			w.scalar(4, "scale", yFloat(m.Scale))
+		}
+		if m.WeekendScale != 0 {
+			w.scalar(4, "weekend_scale", yFloat(m.WeekendScale))
+		}
+		if m.HourScale != nil {
+			vals := make([]string, len(m.HourScale))
+			for i, v := range m.HourScale {
+				vals[i] = yFloat(v)
+			}
+			w.scalar(4, "hour_scale", "["+strings.Join(vals, ", ")+"]")
+		}
+	case scenario.Churn:
+		w.item(3, "kind", yString("churn"))
+		if m.CancelFraction != 0 {
+			w.scalar(4, "cancel_fraction", yFloat(m.CancelFraction))
+		}
+		if m.Joins != 0 {
+			w.scalar(4, "joins", yInt(m.Joins))
+		}
+		if m.Seed != 0 {
+			w.scalar(4, "seed", strconv.FormatUint(m.Seed, 10))
+		}
+	case scenario.SkewDrift:
+		w.item(3, "kind", yString("skew-drift"))
+		if m.Strength != 0 {
+			w.scalar(4, "strength", yFloat(m.Strength))
+		}
+		if m.Period != 0 {
+			w.scalar(4, "period", yDuration(m.Period))
+		}
+		if m.Seed != 0 {
+			w.scalar(4, "seed", strconv.FormatUint(m.Seed, 10))
+		}
+	default:
+		// A modulator outside the closed set cannot be expressed in the
+		// spec grammar; emit a marker that fails to re-parse rather than
+		// silently dropping it.
+		w.item(3, "kind", yString(fmt.Sprintf("unencodable:%T", mod)))
+	}
+}
+
+func encodePredicate(w *yamlWriter, p Predicate) {
+	first := func() (func(level int, key, val string), func()) {
+		emitted := false
+		return func(level int, key, val string) {
+				if !emitted {
+					w.item(level-1, key, val)
+					emitted = true
+					return
+				}
+				w.scalar(level, key, val)
+			}, func() {
+				if !emitted {
+					panic("spec: predicate encoded no fields")
+				}
+			}
+	}
+	emit, done := first()
+	if p.Name != "" {
+		emit(2, "name", yString(p.Name))
+	}
+	emit(2, "type", yString(p.Type))
+	emit(2, "metric", yString(p.Metric))
+	if p.Op != "" {
+		emit(2, "op", yString(p.Op))
+	}
+	if p.Type == TypeThreshold {
+		emit(2, "value", yFloat(p.Value))
+	}
+	if p.Window != nil {
+		emit(2, "window", fmt.Sprintf("{from: %s, to: %s}", yDuration(p.Window.From), yDuration(p.Window.To)))
+	}
+	if p.Phase != "" {
+		emit(2, "phase", yString(p.Phase))
+	}
+	if p.Within != 0 {
+		emit(2, "within", yDuration(p.Within))
+	}
+	if p.Tolerance != 0 {
+		emit(2, "tolerance", yFloat(p.Tolerance))
+	}
+	done()
+}
+
+// yamlWriter emits indented lines; one indent level is two spaces.
+type yamlWriter struct {
+	b *strings.Builder
+}
+
+func (w *yamlWriter) indent(level int) {
+	for i := 0; i < level; i++ {
+		w.b.WriteString("  ")
+	}
+}
+
+// key writes "key:" opening a nested block.
+func (w *yamlWriter) key(level int, key string) {
+	w.indent(level)
+	w.b.WriteString(key)
+	w.b.WriteString(":\n")
+}
+
+// scalar writes "key: value".
+func (w *yamlWriter) scalar(level int, key, val string) {
+	w.indent(level)
+	w.b.WriteString(key)
+	w.b.WriteString(": ")
+	w.b.WriteString(val)
+	w.b.WriteByte('\n')
+}
+
+// item writes "- key: value", starting a sequence element.
+func (w *yamlWriter) item(level int, key, val string) {
+	w.indent(level)
+	w.b.WriteString("- ")
+	w.b.WriteString(key)
+	w.b.WriteString(": ")
+	w.b.WriteString(val)
+	w.b.WriteByte('\n')
+}
+
+// yString quotes a string scalar only when the plain form would not
+// parse back to the same value.
+func yString(s string) string {
+	if needsQuote(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func needsQuote(s string) bool {
+	if s == "" || s == "true" || s == "false" || s == "null" || s == "~" {
+		return true
+	}
+	if numberPattern(s) {
+		return true
+	}
+	if s != strings.TrimSpace(s) {
+		return true
+	}
+	if strings.ContainsAny(s, "\"'#:\n\t{}[],&*!|>%@`") {
+		return true
+	}
+	return strings.HasPrefix(s, "- ") || s == "-"
+}
+
+func yInt(v int) string { return strconv.Itoa(v) }
+
+func yFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// yDuration renders a duration in the most readable exact form: whole
+// days, whole hours, or Go's general syntax.
+func yDuration(v time.Duration) string {
+	switch {
+	case v != 0 && v%units.Day == 0:
+		return strconv.FormatInt(int64(v/units.Day), 10) + "d"
+	case v != 0 && v%time.Hour == 0:
+		return strconv.FormatInt(int64(v/time.Hour), 10) + "h"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,55 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden checkpoint series:
+//
+//	go test ./internal/scenario/spec -run TestSpecGoldenCheckpoints -update
+var update = flag.Bool("update", false, "rewrite golden checkpoint files")
+
+// TestSpecGoldenCheckpoints pins each checked-in spec's full checkpoint
+// series against a committed golden file, so any behavioural drift in
+// the workload generator, the modulators, or the serving engine shows
+// up as a named first-divergent field instead of a silent change.
+func TestSpecGoldenCheckpoints(t *testing.T) {
+	for _, name := range specNames {
+		t.Run(name, func(t *testing.T) {
+			f := loadSpec(t, name)
+			report, err := Run(f, RunOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got, err := json.MarshalIndent(report.Checkpoints, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join(specDir, "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatalf("mkdir: %v", err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to generate): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("checkpoint series diverges from golden %s\nfirst divergence: %s\n(re-run with -update if the change is intended)",
+					path, firstJSONDivergence(got, want))
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/scenario"
+)
+
+// defaultNeighborhood is the paper's subscribers-per-headend scale,
+// applied when neither the caller nor the spec pins one (the same
+// default the vodsim CLI uses).
+const defaultNeighborhood = 1000
+
+// RunOptions configures one Harness run. The spec's own engine block
+// overrides Engine; Parallelism then overrides both, so equivalence
+// tests can sweep worker-pool widths over one spec.
+type RunOptions struct {
+	// Engine is the caller's serving-engine configuration; the spec's
+	// engine block overlays it.
+	Engine core.Config
+
+	// Parallelism, when positive, pins the engine worker-pool width
+	// regardless of Engine.Parallelism.
+	Parallelism int
+
+	// Checkpoint is the fallback cadence when the spec sets none.
+	Checkpoint time.Duration
+
+	// Chunk is the fallback SubmitBatch window when the spec sets none
+	// (0 = the Driver's one-day default).
+	Chunk time.Duration
+
+	// Acceleration rate-limits the virtual clock (0 = unthrottled), for
+	// live demos.
+	Acceleration float64
+
+	// OnCheckpoint observes each checkpoint as it is taken.
+	OnCheckpoint func(scenario.Checkpoint)
+}
+
+// Run executes a spec end to end: resolve the engine configuration,
+// validate everything up front, drive the scenario through the live
+// System, evaluate the assert block against the checkpoint series, and
+// return the full Report. Run never silently skips assertions: a spec
+// that declares predicates but resolves to no checkpoint cadence is an
+// error, because temporal predicates over an empty series would pass
+// vacuously.
+func Run(f *File, opts RunOptions) (*Report, error) {
+	cfg, err := f.EngineConfig(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallelism > 0 {
+		cfg.Parallelism = opts.Parallelism
+	}
+	if cfg.Topology.NeighborhoodSize == 0 {
+		cfg.Topology.NeighborhoodSize = defaultNeighborhood
+	}
+	if err := f.Validate(cfg.Topology.NeighborhoodSize); err != nil {
+		return nil, err
+	}
+
+	cadence := f.Checkpoint
+	if cadence == 0 {
+		cadence = opts.Checkpoint
+	}
+	if cadence <= 0 && len(f.Assert) > 0 {
+		return nil, fmt.Errorf("spec %s: %d assertions but no checkpoint cadence — set checkpoint: in the spec or supply a fallback (vodsim -checkpoint, RunOptions.Checkpoint); temporal predicates over zero checkpoints would pass vacuously",
+			f.Name, len(f.Assert))
+	}
+	chunk := f.Chunk
+	if chunk == 0 {
+		chunk = opts.Chunk
+	}
+
+	driver, err := scenario.NewDriver(cfg, f.ScenarioSpec(), scenario.Options{
+		Chunk:        chunk,
+		Checkpoint:   cadence,
+		OnCheckpoint: opts.OnCheckpoint,
+		Acceleration: opts.Acceleration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := driver.Run()
+	if err != nil {
+		return nil, err
+	}
+	cps := driver.Checkpoints()
+
+	coax := cfg.Topology.CoaxCapacity
+	if coax == 0 {
+		coax = hfc.DefaultCoaxCapacity
+	}
+	preds, trace := Evaluate(f, cps, coax)
+
+	parallelism := cfg.Parallelism
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Report{
+		File:        f,
+		Parallelism: parallelism,
+		Checkpoint:  cadence,
+		Result:      res,
+		Checkpoints: cps,
+		Trace:       trace,
+		Predicates:  preds,
+	}, nil
+}
+
+// RunFile loads a spec file and runs it, stamping the source path into
+// the report.
+func RunFile(path string, opts RunOptions) (*Report, error) {
+	f, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.Source = path
+	return r, nil
+}

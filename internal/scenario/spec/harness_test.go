@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/units"
+)
+
+func quickFile() *File {
+	warmup := 0
+	return &File{
+		Name:       "quick",
+		Checkpoint: 12 * time.Hour,
+		Base:       Base{Subscribers: 300, Catalog: 80, Days: 2, BacklogDays: 30},
+		Engine: Engine{
+			Strategy:       "lfu",
+			Neighborhood:   100,
+			PerPeerStorage: units.GB,
+			WarmupDays:     &warmup,
+		},
+	}
+}
+
+// TestHarnessRejectsAssertionsWithoutCheckpoints pins the loud-failure
+// contract: a spec that declares temporal predicates but resolves to no
+// checkpoint cadence errors out instead of passing vacuously over an
+// empty series (the `vodsim -checkpoint 0` trap).
+func TestHarnessRejectsAssertionsWithoutCheckpoints(t *testing.T) {
+	f := quickFile()
+	f.Checkpoint = 0
+	f.Assert = []Predicate{{
+		Type: TypeThreshold, Metric: "hit_ratio", Op: ">=", Value: 0,
+		Window: &Window{From: 0, To: units.Day},
+	}}
+	_, err := Run(f, RunOptions{Parallelism: 1})
+	if err == nil {
+		t.Fatal("a spec with assertions but no checkpoint cadence must error")
+	}
+	if !strings.Contains(err.Error(), "no checkpoint cadence") {
+		t.Fatalf("error should explain the missing cadence: %v", err)
+	}
+
+	// A caller-supplied fallback cadence unblocks the same spec.
+	if _, err := Run(f, RunOptions{Parallelism: 1, Checkpoint: 12 * time.Hour}); err != nil {
+		t.Fatalf("fallback cadence should unblock the run: %v", err)
+	}
+
+	// Without assertions, a checkpoint-less run stays fine.
+	f.Assert = nil
+	report, err := Run(f, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("assertion-free run without checkpoints: %v", err)
+	}
+	if len(report.Checkpoints) != 0 {
+		t.Fatalf("expected no checkpoints, got %d", len(report.Checkpoints))
+	}
+	if !report.Pass() {
+		t.Fatal("an assertion-free report passes")
+	}
+}
+
+// TestHarnessSpecCadenceWinsOverFallback: the spec's own cadence is
+// authoritative; RunOptions.Checkpoint only fills a gap.
+func TestHarnessSpecCadenceWinsOverFallback(t *testing.T) {
+	f := quickFile()
+	report, err := Run(f, RunOptions{Parallelism: 1, Checkpoint: 6 * time.Hour})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if report.Checkpoint != 12*time.Hour {
+		t.Fatalf("spec cadence should win: got %v", report.Checkpoint)
+	}
+	if len(report.Checkpoints) != 4 {
+		t.Fatalf("2 days at 12h = 4 checkpoints, got %d", len(report.Checkpoints))
+	}
+}
+
+// TestHarnessValidatesBeforeRunning: a semantically broken spec is
+// rejected by Run without generating any workload.
+func TestHarnessValidatesBeforeRunning(t *testing.T) {
+	f := quickFile()
+	f.Assert = []Predicate{{Type: TypeThreshold, Metric: "no_such_metric", Op: ">=", Value: 0,
+		Window: &Window{From: 0, To: units.Day}}}
+	_, err := Run(f, RunOptions{Parallelism: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("want unknown-metric validation error, got %v", err)
+	}
+}
+
+// TestHarnessEngineOverlay: the spec's engine block overrides the
+// caller's config, and RunOptions.Parallelism overrides both.
+func TestHarnessEngineOverlay(t *testing.T) {
+	f := quickFile()
+	caller := core.Config{Parallelism: 3}
+	caller.Topology.NeighborhoodSize = 50 // spec pins 100; spec wins
+	report, err := Run(f, RunOptions{Engine: caller, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if report.Parallelism != 1 {
+		t.Fatalf("RunOptions.Parallelism should win, got %d", report.Parallelism)
+	}
+	if got := report.Result.Config.Topology.NeighborhoodSize; got != 100 {
+		t.Fatalf("spec engine block should win: neighborhood %d, want 100", got)
+	}
+	// 300 subscribers at 100 per headend = 3 neighborhoods.
+	if got := report.Result.Neighborhoods; got != 3 {
+		t.Fatalf("expected 3 neighborhoods, got %d", got)
+	}
+}
+
+// TestRunFileStampsSource: RunFile carries the path into the report.
+func TestRunFileStampsSource(t *testing.T) {
+	path := specDir + "/flash-crowd.yaml"
+	report, err := RunFile(path, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if report.Source != path {
+		t.Fatalf("source %q, want %q", report.Source, path)
+	}
+	if !report.Pass() {
+		t.Fatalf("checked-in spec should pass: %+v", report.FirstFailure())
+	}
+}

@@ -1,0 +1,209 @@
+package spec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cablevod/internal/scenario"
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// randomName draws scenario/phase names from a pool that includes every
+// class the encoder must quote: colons, comments, number-alikes,
+// booleans, quotes.
+func randomName(rng *rand.Rand) string {
+	pool := []string{
+		"flash-crowd", "p1", "weekend_surge", "UPPER", "a b c",
+		"with: colon", "hash # inside", "3.14", "true", "null",
+		"it's quoted", `she said "hi"`, "-", "- leading dash",
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func randomDuration(rng *rand.Rand) time.Duration {
+	switch rng.Intn(3) {
+	case 0:
+		return time.Duration(1+rng.Intn(14)) * units.Day
+	case 1:
+		return time.Duration(1+rng.Intn(72)) * time.Hour
+	default:
+		return time.Duration(1+rng.Intn(5000)) * time.Second
+	}
+}
+
+func randomModulator(rng *rand.Rand) scenario.Modulator {
+	switch rng.Intn(5) {
+	case 0:
+		m := scenario.FlashCrowd{
+			Program:   trace.ProgramID(rng.Intn(500)),
+			Factor:    1 + rng.Float64()*50,
+			RateBoost: rng.Float64() * 2,
+		}
+		if rng.Intn(2) == 0 {
+			m.Local = true
+			m.Neighborhood = rng.Intn(8)
+		}
+		return m
+	case 1:
+		return scenario.Premiere{
+			Hotness: rng.Float64() * 5,
+			Length:  randomDuration(rng),
+		}
+	case 2:
+		m := scenario.IntensityShift{
+			Scale:        rng.Float64() * 3,
+			WeekendScale: rng.Float64() * 2,
+		}
+		if rng.Intn(2) == 0 {
+			m.HourScale = make([]float64, 24)
+			for i := range m.HourScale {
+				m.HourScale[i] = rng.Float64() * 2
+			}
+		}
+		return m
+	case 3:
+		return scenario.Churn{
+			CancelFraction: rng.Float64(),
+			Joins:          rng.Intn(1000),
+			Seed:           rng.Uint64() >> 1,
+		}
+	default:
+		return scenario.SkewDrift{
+			Strength: rng.Float64() * 2,
+			Period:   randomDuration(rng),
+			Seed:     rng.Uint64() >> 1,
+		}
+	}
+}
+
+func randomPredicate(rng *rand.Rand, phases []PhaseSpec) Predicate {
+	p := Predicate{Metric: "hit_ratio"}
+	if rng.Intn(2) == 0 {
+		p.Name = randomName(rng)
+	}
+	if rng.Intn(4) == 0 || len(phases) == 0 {
+		p.Type = TypeThreshold
+		p.Op = []string{">=", "<=", ">", "<"}[rng.Intn(4)]
+		p.Value = rng.Float64()
+		from := randomDuration(rng)
+		p.Window = &Window{From: from, To: from + randomDuration(rng)}
+		return p
+	}
+	ph := phases[rng.Intn(len(phases))]
+	if rng.Intn(2) == 0 {
+		p.Type = TypeThreshold
+		p.Op = ">="
+		p.Value = rng.Float64()
+		p.Phase = ph.Name
+		return p
+	}
+	p.Type = TypeRecovery
+	p.Phase = ph.Name
+	p.Within = randomDuration(rng)
+	p.Tolerance = 0.01 + rng.Float64()
+	return p
+}
+
+// randomFile draws a structurally valid spec exercising every encodable
+// field: optional base/engine blocks, ordered phases stacking random
+// modulators, and a mixed assert block.
+func randomFile(rng *rand.Rand) *File {
+	f := &File{Name: randomName(rng)}
+	if rng.Intn(2) == 0 {
+		f.Description = randomName(rng)
+	}
+	if rng.Intn(2) == 0 {
+		f.Checkpoint = randomDuration(rng)
+	}
+	if rng.Intn(3) == 0 {
+		f.Chunk = randomDuration(rng)
+	}
+	if rng.Intn(2) == 0 {
+		f.Base = Base{
+			Subscribers:        rng.Intn(10_000),
+			Catalog:            rng.Intn(5_000),
+			Days:               rng.Intn(30),
+			Seed:               rng.Uint64() >> 1,
+			SessionsPerUserDay: rng.Float64() * 4,
+			BacklogDays:        rng.Intn(200),
+			ZipfExponent:       rng.Float64() * 2,
+			WeekendBoost:       rng.Float64() * 2,
+			SeekProb:           rng.Float64(),
+		}
+	}
+	if rng.Intn(2) == 0 {
+		f.Engine = Engine{
+			Strategy:       []string{"lru", "lfu", "global-lfu"}[rng.Intn(3)],
+			Neighborhood:   rng.Intn(2000),
+			PerPeerStorage: units.ByteSize(1+rng.Intn(64)) * units.GB,
+			CoaxCapacity:   units.BitRate(1+rng.Intn(9)) * units.Gbps,
+			MaxStreams:     rng.Intn(8),
+			Replicas:       rng.Intn(4),
+			PrefixSegments: rng.Intn(10),
+			Fill:           []string{"", "immediate", "on-broadcast"}[rng.Intn(3)],
+			LFUHistory:     randomDuration(rng),
+			GlobalLag:      randomDuration(rng),
+		}
+		if rng.Intn(2) == 0 {
+			w := rng.Intn(3)
+			f.Engine.WarmupDays = &w
+		}
+	}
+	start := time.Duration(0)
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		from := start + randomDuration(rng)
+		ph := PhaseSpec{
+			Name: randomName(rng),
+			From: from,
+			To:   from + randomDuration(rng),
+		}
+		for j, m := 0, 1+rng.Intn(3); j < m; j++ {
+			ph.Modulators = append(ph.Modulators, randomModulator(rng))
+		}
+		f.Phases = append(f.Phases, ph)
+		start = from
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		f.Assert = append(f.Assert, randomPredicate(rng, f.Phases))
+	}
+	return f
+}
+
+// TestSpecRoundTripProperty: for any valid spec, MarshalYAML then Parse
+// reproduces the File exactly — names with every quoting hazard,
+// float-precise knobs, day/hour/second durations, every modulator kind,
+// and both predicate types. This is what lets generated specs be
+// checked in verbatim.
+func TestSpecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		orig := randomFile(rng)
+		data := orig.MarshalYAML()
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse failed: %v\nencoded:\n%s", trial, err, data)
+		}
+		if !reflect.DeepEqual(got, orig) {
+			t.Fatalf("trial %d: round trip diverged:\n got: %+v\nwant: %+v\nencoded:\n%s",
+				trial, got, orig, data)
+		}
+	}
+}
+
+// TestCheckedInSpecsRoundTrip re-encodes each checked-in spec and
+// proves the canonical form still parses to the same File.
+func TestCheckedInSpecsRoundTrip(t *testing.T) {
+	for _, name := range specNames {
+		f := loadSpec(t, name)
+		got, err := Parse(f.MarshalYAML())
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("%s: round trip diverged:\n got: %+v\nwant: %+v", name, got, f)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package spec makes scenarios data: a declarative YAML/JSON document
+// describing a base synthetic workload, a phase timeline stacking the
+// scenario modulators, an optional engine block, and an assert block of
+// temporal predicates evaluated against the Driver's checkpoint series.
+//
+// A spec file compiles onto the exact same scenario.Spec the Go
+// registry builds, so the repo's determinism contract extends to the
+// data path: a spec and its registry twin produce byte-identical
+// checkpoint series at every Config.Parallelism (pinned by
+// TestSpecRegistryEquivalence). The Harness runs a spec, records a
+// per-checkpoint execution trace, evaluates the predicates, and renders
+// pass/fail with the first violated predicate and the surrounding
+// checkpoint values — the scenario-outcome gate CI runs on every
+// checked-in spec, the way vcltest gates VCL behavior.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/scenario"
+	"cablevod/internal/synth"
+	"cablevod/internal/units"
+)
+
+// File is one parsed scenario spec document. The zero value is not
+// valid; Parse and Load produce validated-enough structures, and
+// Validate performs the full structural check a Harness run performs.
+type File struct {
+	// Name identifies the scenario; a spec re-expressing a registry
+	// scenario uses the registry name ("flash-crowd", ...).
+	Name string
+
+	// Description says what question the scenario answers.
+	Description string
+
+	// Checkpoint is the cadence of the Driver's checkpoint series. Any
+	// spec with assertions needs one (temporal predicates are evaluated
+	// against checkpoints); running such a spec without a cadence is an
+	// error, never a silent pass.
+	Checkpoint time.Duration
+
+	// Chunk is the SubmitBatch ingest window (0 = the Driver default of
+	// one day). Results are bit-identical at every chunking.
+	Chunk time.Duration
+
+	// Base sizes the synthetic workload; unset fields keep the
+	// paper-calibrated defaults of synth.DefaultConfig.
+	Base Base
+
+	// Engine overrides the serving-engine configuration, making a spec
+	// self-contained for CI; unset fields keep the caller's values.
+	Engine Engine
+
+	// Phases is the scenario timeline, ordered by start.
+	Phases []PhaseSpec
+
+	// Assert is the temporal-predicate block the Harness evaluates
+	// against the checkpoint series.
+	Assert []Predicate
+}
+
+// Base selects the synthetic-workload knobs a spec may override; zero
+// fields keep the synth.DefaultConfig paper calibration.
+type Base struct {
+	// Subscribers is the base population (paper: 41,698).
+	Subscribers int
+
+	// Catalog is the program-catalog size (paper: 8,278).
+	Catalog int
+
+	// Days is the scenario length.
+	Days int
+
+	// Seed makes the workload reproducible (default 1).
+	Seed uint64
+
+	// SessionsPerUserDay is the average arrival rate.
+	SessionsPerUserDay float64
+
+	// BacklogDays spreads catalog introduction before day zero.
+	BacklogDays int
+
+	// ZipfExponent shapes the popularity skew.
+	ZipfExponent float64
+
+	// WeekendBoost multiplies weekend arrival intensity.
+	WeekendBoost float64
+
+	// SeekProb is the probability a session starts mid-program.
+	SeekProb float64
+}
+
+// Engine selects the serving-engine knobs a spec may pin; zero fields
+// defer to the caller (CLI flags or library config).
+type Engine struct {
+	// Strategy names the caching strategy (built-in or registered).
+	Strategy string
+
+	// Neighborhood is the subscribers-per-headend topology knob.
+	Neighborhood int
+
+	// PerPeerStorage is each set-top box's cache contribution.
+	PerPeerStorage units.ByteSize
+
+	// CoaxCapacity is the VoD-available coax bandwidth per neighborhood.
+	CoaxCapacity units.BitRate
+
+	// MaxStreams bounds concurrent streams per set-top box.
+	MaxStreams int
+
+	// Replicas keeps N copies per cached segment.
+	Replicas int
+
+	// PrefixSegments caches only the first N segments per program.
+	PrefixSegments int
+
+	// Fill is the segment-availability model: "immediate" or
+	// "on-broadcast".
+	Fill string
+
+	// LFUHistory is the LFU sliding window.
+	LFUHistory time.Duration
+
+	// GlobalLag batches global popularity publication.
+	GlobalLag time.Duration
+
+	// WarmupDays excludes the first N days from statistics; nil defers
+	// to the caller (0 is an explicit "no warmup").
+	WarmupDays *int
+}
+
+// PhaseSpec is one named [From, To) window of the timeline with the
+// modulators it stacks onto the base workload.
+type PhaseSpec struct {
+	Name       string
+	From, To   time.Duration
+	Modulators []scenario.Modulator
+}
+
+// Window is a closed virtual-time interval [From, To] a threshold
+// predicate evaluates over.
+type Window struct {
+	From, To time.Duration
+}
+
+// Predicate types.
+const (
+	// TypeThreshold asserts a metric against a bound at every
+	// checkpoint of a window (explicit or phase-scoped).
+	TypeThreshold = "threshold"
+
+	// TypeRecovery asserts a metric returns to within Tolerance of its
+	// pre-phase baseline within Within after the phase ends.
+	TypeRecovery = "recovery"
+)
+
+// Predicate is one temporal assertion over the checkpoint series.
+//
+// Three forms:
+//
+//   - threshold-in-window: Type "threshold" with an explicit Window —
+//     "Metric Op Value at every checkpoint in [From, To]".
+//   - phase-scoped comparison: Type "threshold" with Phase — the window
+//     is the named phase's (From, To] checkpoint span.
+//   - recovery-within: Type "recovery" with Phase, Within, Tolerance —
+//     the metric's last pre-phase checkpoint value is the baseline, and
+//     some checkpoint within Within after the phase end must come back
+//     to within Tolerance (relative) of it.
+type Predicate struct {
+	// Name labels the assertion in reports (optional).
+	Name string
+
+	// Type is TypeThreshold or TypeRecovery.
+	Type string
+
+	// Metric names the checkpoint-series metric (see Metrics).
+	Metric string
+
+	// Op compares the metric against Value: ">=", "<=", ">" or "<"
+	// (threshold only).
+	Op string
+
+	// Value is the threshold bound (threshold only).
+	Value float64
+
+	// Window is the explicit evaluation window (threshold only,
+	// mutually exclusive with Phase).
+	Window *Window
+
+	// Phase scopes the predicate to a named phase of the timeline.
+	Phase string
+
+	// Within is the recovery deadline after the phase end (recovery
+	// only).
+	Within time.Duration
+
+	// Tolerance is the relative deviation from baseline that counts as
+	// recovered, e.g. 0.05 for ±5% (recovery only).
+	Tolerance float64
+}
+
+// Label returns the predicate's report label: its name, or a positional
+// fallback.
+func (p Predicate) Label(i int) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("assert[%d]", i)
+}
+
+// describe renders the predicate's claim for reports.
+func (p Predicate) describe() string {
+	scope := ""
+	switch {
+	case p.Window != nil:
+		scope = fmt.Sprintf(" in [%v, %v]", p.Window.From, p.Window.To)
+	case p.Phase != "":
+		scope = fmt.Sprintf(" during phase %s", p.Phase)
+	}
+	if p.Type == TypeRecovery {
+		return fmt.Sprintf("%s recovers to ±%g%% of its pre-%s baseline within %v",
+			p.Metric, p.Tolerance*100, p.Phase, p.Within)
+	}
+	return fmt.Sprintf("%s %s %g%s", p.Metric, p.Op, p.Value, scope)
+}
+
+// BaseConfig resolves the spec's base workload: synth.DefaultConfig
+// with the spec's overrides applied. A registry twin built with the
+// same synth.Config generates the identical record stream.
+func (f *File) BaseConfig() synth.Config {
+	c := synth.DefaultConfig()
+	b := f.Base
+	if b.Subscribers > 0 {
+		c.Users = b.Subscribers
+	}
+	if b.Catalog > 0 {
+		c.Programs = b.Catalog
+	}
+	if b.Days > 0 {
+		c.Days = b.Days
+	}
+	if b.Seed > 0 {
+		c.Seed = b.Seed
+	}
+	if b.SessionsPerUserDay > 0 {
+		c.SessionsPerUserDay = b.SessionsPerUserDay
+	}
+	if b.BacklogDays > 0 {
+		c.BacklogDays = b.BacklogDays
+	}
+	if b.ZipfExponent > 0 {
+		c.ZipfExponent = b.ZipfExponent
+	}
+	if b.WeekendBoost > 0 {
+		c.WeekendBoost = b.WeekendBoost
+	}
+	if b.SeekProb > 0 {
+		c.SeekProb = b.SeekProb
+	}
+	return c
+}
+
+// ScenarioSpec compiles the file onto the engine's scenario.Spec form —
+// the same structure the Go registry builds.
+func (f *File) ScenarioSpec() scenario.Spec {
+	s := scenario.Spec{
+		Name:        f.Name,
+		Description: f.Description,
+		Base:        f.BaseConfig(),
+	}
+	for _, ph := range f.Phases {
+		s.Phases = append(s.Phases, scenario.Phase{
+			Name:       ph.Name,
+			From:       ph.From,
+			To:         ph.To,
+			Modulators: ph.Modulators,
+		})
+	}
+	return s
+}
+
+// EngineConfig applies the spec's engine block on top of the caller's
+// configuration, so a checked-in spec pins the knobs its assertions
+// depend on while the caller keeps the rest (parallelism above all).
+func (f *File) EngineConfig(base core.Config) (core.Config, error) {
+	e := f.Engine
+	cfg := base
+	if e.Strategy != "" {
+		if s, err := core.ParseStrategy(e.Strategy); err == nil {
+			cfg.Strategy, cfg.StrategyName = s, ""
+		} else {
+			cfg.Strategy, cfg.StrategyName = 0, e.Strategy
+		}
+	}
+	if e.Neighborhood > 0 {
+		cfg.Topology.NeighborhoodSize = e.Neighborhood
+	}
+	if e.PerPeerStorage > 0 {
+		cfg.Topology.PerPeerStorage = e.PerPeerStorage
+	}
+	if e.CoaxCapacity > 0 {
+		cfg.Topology.CoaxCapacity = e.CoaxCapacity
+	}
+	if e.MaxStreams > 0 {
+		cfg.Topology.MaxStreamsPerPeer = e.MaxStreams
+	}
+	if e.Replicas > 0 {
+		cfg.Replicas = e.Replicas
+	}
+	if e.PrefixSegments > 0 {
+		cfg.PrefixSegments = e.PrefixSegments
+	}
+	switch e.Fill {
+	case "":
+	case "immediate":
+		cfg.Fill = core.FillImmediate
+	case "on-broadcast":
+		cfg.Fill = core.FillOnBroadcast
+	default:
+		return cfg, fmt.Errorf("spec %s: engine: unknown fill mode %q (want immediate or on-broadcast)", f.Name, e.Fill)
+	}
+	if e.LFUHistory > 0 {
+		cfg.LFUHistory = e.LFUHistory
+	}
+	if e.GlobalLag > 0 {
+		cfg.GlobalLag = e.GlobalLag
+	}
+	if e.WarmupDays != nil {
+		cfg.WarmupDays = *e.WarmupDays
+	}
+	return cfg, nil
+}
+
+// Span returns the spec's timeline extent.
+func (f *File) Span() time.Duration {
+	return f.ScenarioSpec().Span()
+}
+
+// phase finds a timeline phase by name.
+func (f *File) phase(name string) (PhaseSpec, bool) {
+	for _, ph := range f.Phases {
+		if ph.Name == name {
+			return ph, true
+		}
+	}
+	return PhaseSpec{}, false
+}
+
+// Validate performs the full structural check: the compiled scenario
+// spec against the neighborhood size it will run with (phase ordering,
+// modulator knobs, program/neighborhood references), the engine block,
+// and every assertion (known metric, valid op and window, resolvable
+// phase reference). It mirrors core.Config's style: everything is
+// rejected before any generation starts.
+func (f *File) Validate(neighborhoodSize int) error {
+	if err := f.ScenarioSpec().Validate(neighborhoodSize); err != nil {
+		return err
+	}
+	if f.Checkpoint < 0 {
+		return fmt.Errorf("spec %s: negative checkpoint cadence %v", f.Name, f.Checkpoint)
+	}
+	if f.Chunk < 0 {
+		return fmt.Errorf("spec %s: negative chunk %v", f.Name, f.Chunk)
+	}
+	if _, err := f.EngineConfig(core.Config{}); err != nil {
+		return err
+	}
+	span := f.Span()
+	for i, p := range f.Assert {
+		if err := f.validatePredicate(p, span); err != nil {
+			return fmt.Errorf("spec %s: assert %s: %w", f.Name, p.Label(i), err)
+		}
+	}
+	return nil
+}
+
+func (f *File) validatePredicate(p Predicate, span time.Duration) error {
+	if _, ok := metricDefs[p.Metric]; !ok {
+		return fmt.Errorf("unknown metric %q (known: %s)", p.Metric, MetricNames())
+	}
+	if p.Phase != "" {
+		if _, ok := f.phase(p.Phase); !ok {
+			return fmt.Errorf("unknown phase %q", p.Phase)
+		}
+	}
+	switch p.Type {
+	case TypeThreshold:
+		switch p.Op {
+		case ">=", "<=", ">", "<":
+		default:
+			return fmt.Errorf("unknown op %q (want >=, <=, > or <)", p.Op)
+		}
+		if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+			return fmt.Errorf("value %v is not a finite number", p.Value)
+		}
+		if (p.Window == nil) == (p.Phase == "") {
+			return fmt.Errorf("threshold needs exactly one of window or phase")
+		}
+		if w := p.Window; w != nil {
+			switch {
+			case w.From < 0:
+				return fmt.Errorf("window starts before the timeline (%v)", w.From)
+			case w.To <= w.From:
+				return fmt.Errorf("window [%v, %v] is empty or inverted", w.From, w.To)
+			case w.From > span:
+				return fmt.Errorf("window [%v, %v] starts past the %v timeline", w.From, w.To, span)
+			}
+		}
+		if p.Within != 0 || p.Tolerance != 0 {
+			return fmt.Errorf("within/tolerance are recovery knobs, not threshold knobs")
+		}
+	case TypeRecovery:
+		if p.Phase == "" {
+			return fmt.Errorf("recovery needs a phase (the incident whose end starts the clock)")
+		}
+		if p.Within <= 0 {
+			return fmt.Errorf("recovery needs a positive within deadline, got %v", p.Within)
+		}
+		if !(p.Tolerance > 0) || math.IsInf(p.Tolerance, 0) {
+			return fmt.Errorf("recovery needs a positive tolerance, got %v", p.Tolerance)
+		}
+		if p.Op != "" || p.Value != 0 || p.Window != nil {
+			return fmt.Errorf("op/value/window are threshold knobs, not recovery knobs")
+		}
+	case "":
+		return fmt.Errorf("missing type (want %s or %s)", TypeThreshold, TypeRecovery)
+	default:
+		return fmt.Errorf("unknown type %q (want %s or %s)", p.Type, TypeThreshold, TypeRecovery)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpec is a minimal spec every error case below mutates from.
+const validSpec = `
+name: demo
+checkpoint: 12h
+base:
+  subscribers: 400
+  catalog: 120
+  days: 3
+  backlog_days: 30
+phases:
+  - name: early
+    from: 1d
+    to: 2d
+    modulators:
+      - kind: premiere
+        hotness: 3
+  - name: late
+    from: 2d
+    to: 3d
+    modulators:
+      - kind: flash-crowd
+        program: 0
+        factor: 10
+assert:
+  - type: threshold
+    metric: hit_ratio
+    op: ">="
+    value: 0.4
+    phase: late
+`
+
+func TestValidSpecValidates(t *testing.T) {
+	f, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := f.Validate(100); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+// TestParseErrors pins the strict decoder: unknown keys, wrong types,
+// and malformed values are rejected with their path.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing name", "checkpoint: 12h", "missing name"},
+		{"unknown top key", "name: x\nbogus: 1", `unknown key "bogus"`},
+		{"unknown base key", "name: x\nbase:\n  users: 10", `unknown key "users"`},
+		{"unknown engine key", "name: x\nengine:\n  stratgy: lfu", `unknown key "stratgy"`},
+		{"unknown modulator kind", "name: x\nphases:\n  - name: p\n    from: 0s\n    to: 1d\n    modulators:\n      - kind: flashcrowd",
+			`unknown modulator kind "flashcrowd"`},
+		{"missing modulator kind", "name: x\nphases:\n  - name: p\n    from: 0s\n    to: 1d\n    modulators:\n      - hotness: 3",
+			"missing modulator kind"},
+		{"unknown modulator knob", "name: x\nphases:\n  - name: p\n    from: 0s\n    to: 1d\n    modulators:\n      - kind: premiere\n        factor: 3",
+			`unknown key "factor"`},
+		{"malformed duration", "name: x\ncheckpoint: 12 hours", "bad duration"},
+		{"malformed window", "name: x\nassert:\n  - type: threshold\n    metric: hit_ratio\n    op: \">=\"\n    value: 1\n    window: {from: 0s, upto: 1d}",
+			`unknown key "upto"`},
+		{"string where number", "name: x\nbase:\n  days: three", "expected a number"},
+		{"float where integer", "name: x\nbase:\n  days: 3.5", "expected an integer"},
+		{"negative seed", "name: x\nbase:\n  seed: -1", "non-negative"},
+		{"bad byte size", "name: x\nengine:\n  per_peer_storage: huge", "per_peer_storage"},
+		{"bad bit rate", "name: x\nengine:\n  coax_capacity: fast", "coax_capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parsed without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// mutate applies a textual replacement to validSpec and validates the
+// result at neighborhood size 100.
+func mutate(t *testing.T, old, new string) error {
+	t.Helper()
+	src := strings.Replace(validSpec, old, new, 1)
+	if src == validSpec {
+		t.Fatalf("mutation %q -> %q did not apply", old, new)
+	}
+	f, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("mutated spec failed to parse: %v", err)
+	}
+	return f.Validate(100)
+}
+
+// TestValidateErrors pins the semantic checks: phase ordering, knob
+// ranges, reference resolution, and predicate structure.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, old, new, want string
+	}{
+		{"out-of-order phases", "  - name: late\n    from: 2d", "  - name: late\n    from: 12h", "out of order"},
+		{"phase past timeline", "    to: 3d\n    modulators:\n      - kind: flash-crowd", "    to: 4d\n    modulators:\n      - kind: flash-crowd", "past the 3-day timeline"},
+		{"empty phase window", "    from: 2d\n    to: 3d", "    from: 2d\n    to: 2d", "is empty"},
+		{"unknown program ref", "        program: 0", "        program: 500", "program 500"},
+		{"unknown phase ref", "    phase: late", "    phase: lte", `unknown phase "lte"`},
+		{"unknown metric", "    metric: hit_ratio", "    metric: hit_rato", `unknown metric "hit_rato"`},
+		{"unknown op", `    op: ">="`, `    op: "=="`, `unknown op "=="`},
+		{"window and phase", "    phase: late", "    phase: late\n    window: {from: 0s, to: 1d}", "exactly one of window or phase"},
+		{"inverted window", "    phase: late", "    window: {from: 2d, to: 1d}", "empty or inverted"},
+		{"window past timeline", "    phase: late", "    window: {from: 4d, to: 5d}", "starts past"},
+		{"missing predicate type", "  - type: threshold\n    metric", "  - metric", "missing type"},
+		{"unknown predicate type", "type: threshold", "type: treshold", `unknown type "treshold"`},
+		{"threshold with recovery knobs", "    phase: late", "    phase: late\n    within: 1d", "recovery knobs"},
+		{"negative checkpoint", "checkpoint: 12h", "checkpoint: -12h", "negative checkpoint"},
+		{"bad fill mode", "base:", "engine:\n  fill: eager\nbase:", `unknown fill mode "eager"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mutate(t, tc.old, tc.new)
+			if err == nil {
+				t.Fatalf("validated without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateRecoveryErrors covers the recovery-specific knob checks.
+func TestValidateRecoveryErrors(t *testing.T) {
+	base := `
+name: demo
+checkpoint: 12h
+base: {subscribers: 400, catalog: 120, days: 3, backlog_days: 30}
+phases:
+  - name: p
+    from: 1d
+    to: 2d
+    modulators:
+      - kind: premiere
+        hotness: 3
+assert:
+  - type: recovery
+    metric: hit_ratio
+`
+	cases := []struct {
+		name, extra, want string
+	}{
+		{"missing phase", "    within: 1d\n    tolerance: 0.05", "needs a phase"},
+		{"missing within", "    phase: p\n    tolerance: 0.05", "positive within"},
+		{"missing tolerance", "    phase: p\n    within: 1d", "positive tolerance"},
+		{"threshold knobs", "    phase: p\n    within: 1d\n    tolerance: 0.05\n    op: \">=\"", "threshold knobs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse([]byte(base + tc.extra + "\n"))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = f.Validate(100)
+			if err == nil {
+				t.Fatalf("validated without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

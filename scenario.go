@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cablevod/internal/scenario"
+	"cablevod/internal/scenario/spec"
 )
 
 // ScenarioInfo describes one registered workload scenario.
@@ -102,6 +103,57 @@ func RunScenario(name string, cfg Config, opts ScenarioOptions) (*Result, []Scen
 		return nil, nil, err
 	}
 	return res, d.Checkpoints(), nil
+}
+
+// SpecReport is the outcome of a declarative scenario-spec run: the
+// engine result, the checkpoint series with its execution trace, and
+// one verdict per assertion. Render writes the human-readable pass/fail
+// report; Pass and FirstFailure summarize it programmatically.
+type SpecReport = spec.Report
+
+// SpecRunOptions configures a RunSpecFile call. The spec file itself
+// pins the workload, the phase timeline, and (usually) the engine and
+// checkpoint cadence; these options fill what the spec leaves open.
+type SpecRunOptions struct {
+	// Checkpoint is the fallback cadence when the spec sets none. A
+	// spec with assertions must resolve to a positive cadence — running
+	// its temporal predicates over zero checkpoints is an error, never
+	// a silent pass.
+	Checkpoint time.Duration
+
+	// Chunk is the fallback SubmitBatch ingest window (0 = one day).
+	Chunk time.Duration
+
+	// OnCheckpoint observes checkpoints as they are taken.
+	OnCheckpoint func(ScenarioCheckpoint)
+
+	// Acceleration rate-limits the virtual clock, exactly as in
+	// ScenarioOptions.
+	Acceleration float64
+}
+
+// RunSpecFile loads a declarative scenario spec (YAML or JSON; see
+// SCENARIOS.md for the schema), runs it through the live engine, and
+// evaluates its assert block against the checkpoint series. The spec's
+// engine block overrides cfg field by field, so a checked-in spec pins
+// the knobs its assertions depend on while the caller keeps the rest
+// (Parallelism above all — results are bit-identical at every width).
+//
+// The returned report is complete even when assertions fail; check
+// report.Pass(). The error is non-nil only when the run itself cannot
+// proceed (unreadable spec, validation failure, engine error, or a spec
+// with assertions but no checkpoint cadence).
+func RunSpecFile(path string, cfg Config, opts SpecRunOptions) (*SpecReport, error) {
+	if cfg.Subscribers != nil || cfg.Catalog != nil || cfg.Future != nil {
+		return nil, fmt.Errorf("cablevod: RunSpecFile derives Subscribers/Catalog from the spec; leave them unset")
+	}
+	return spec.RunFile(path, spec.RunOptions{
+		Engine:       cfg.internal(),
+		Checkpoint:   opts.Checkpoint,
+		Chunk:        opts.Chunk,
+		OnCheckpoint: opts.OnCheckpoint,
+		Acceleration: opts.Acceleration,
+	})
 }
 
 // zeroWorkload reports whether a TraceOptions is the zero value, so

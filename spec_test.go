@@ -1,0 +1,71 @@
+package cablevod
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSpecFileSmoke: a checked-in declarative spec runs end to end
+// through the public API — engine block applied, checkpoints observed,
+// assertions evaluated, report renderable.
+func TestRunSpecFileSmoke(t *testing.T) {
+	path := filepath.Join("testdata", "scenarios", "flash-crowd.yaml")
+	var seen []ScenarioCheckpoint
+	report, err := RunSpecFile(path, Config{Parallelism: 2}, SpecRunOptions{
+		OnCheckpoint: func(cp ScenarioCheckpoint) { seen = append(seen, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass() {
+		t.Fatalf("checked-in spec failed: %+v", report.FirstFailure())
+	}
+	if len(report.Checkpoints) != 6 { // 3 days / 12 h spec cadence
+		t.Errorf("got %d checkpoints, want 6", len(report.Checkpoints))
+	}
+	if len(seen) != len(report.Checkpoints) {
+		t.Errorf("observer saw %d checkpoints, report has %d", len(seen), len(report.Checkpoints))
+	}
+	// The spec's engine block must have overridden the zero-value
+	// caller config.
+	if got := report.Result.Config.Topology.NeighborhoodSize; got != 100 {
+		t.Errorf("spec engine block not applied: neighborhood %d, want 100", got)
+	}
+	var b strings.Builder
+	report.Render(&b)
+	if !strings.Contains(b.String(), "result: PASS") {
+		t.Errorf("report did not render a PASS verdict:\n%s", b.String())
+	}
+}
+
+// TestRunSpecFileRejectsVacuousAssertions: assertions without a
+// checkpoint cadence are an error at the public surface too.
+func TestRunSpecFileRejectsVacuousAssertions(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+name: vacuous
+base: {subscribers: 300, catalog: 80, days: 2, backlog_days: 30}
+engine: {strategy: lfu, neighborhood: 100, per_peer_storage: 1GB, warmup_days: 0}
+assert:
+  - type: threshold
+    metric: hit_ratio
+    op: ">="
+    value: 0
+    window: {from: 12h, to: 1d}
+`
+	path := filepath.Join(dir, "vacuous.yaml")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunSpecFile(path, Config{}, SpecRunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "no checkpoint cadence") {
+		t.Fatalf("want no-cadence error, got %v", err)
+	}
+	// A fallback cadence resolves it.
+	if _, err := RunSpecFile(path, Config{Parallelism: 1}, SpecRunOptions{Checkpoint: 12 * time.Hour}); err != nil {
+		t.Fatalf("fallback cadence should unblock: %v", err)
+	}
+}
