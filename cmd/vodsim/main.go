@@ -16,6 +16,9 @@
 //	vodsim -scenario flash-crowd -checkpoint 6   # drive one, 6h checkpoints
 //	vodsim -scenario premiere -snapshot-json     # machine-readable checkpoints
 //	vodsim -scenario-file testdata/scenarios/flash-crowd.yaml  # declarative spec + assertions
+//	vodsim -serve :8080 -scenario flash-crowd -accel 86400     # live daemon: /metrics, /snapshot, ...
+//	vodsim -serve :8080 -synth -live 1                         # ingest daemon self-fed day by day
+//	vodsim -synth -synth-days 7 -bench-json                    # Submit-path throughput report (JSON)
 package main
 
 import (
@@ -62,12 +65,14 @@ func run(args []string) error {
 		live         = fs.Int("live", 0, "drive the online engine, printing a snapshot every N simulated days")
 		parallel     = fs.Int("parallel", 0, "worker pool for concurrent neighborhood shards (0 = GOMAXPROCS, 1 = serial)")
 
+		serveAddr    = fs.String("serve", "", "run as a live service daemon on ADDR (e.g. :8080): /metrics, /snapshot, /healthz, /submit, /scenario/status; composes with -scenario, -scenario-file, or a -synth/-trace ingest plant (add -live N to self-feed it in N-day batches)")
 		scenarioName = fs.String("scenario", "", "drive a registered live-workload scenario (see -scenario-list); sized by the -synth-* flags")
 		scenarioFile = fs.String("scenario-file", "", "run a declarative scenario spec (YAML/JSON, see SCENARIOS.md) and gate on its assertions")
 		scenarioList = fs.Bool("scenario-list", false, "list registered scenarios and exit")
 		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none; a -scenario-file spec with assertions must then set its own cadence — assertions never pass over zero checkpoints)")
 		accel        = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
 		snapJSON     = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
+		benchJSON    = fs.Bool("bench-json", false, "benchmark the Submit path (serial, sharded, sharded+telemetry) on the fixed bench plant and print one JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,10 +108,22 @@ func run(args []string) error {
 	case *path != "":
 		tr, err = cablevod.LoadTrace(*path)
 	default:
+		if *serveAddr != "" {
+			return fmt.Errorf("-serve needs a workload: -scenario, -scenario-file, or a -synth/-trace plant for ingest")
+		}
 		return fmt.Errorf("need -trace FILE or -synth")
 	}
 	if err != nil {
 		return err
+	}
+
+	if *benchJSON {
+		if tr == nil {
+			return fmt.Errorf("-bench-json needs a workload: -synth or -trace FILE")
+		}
+		return runBenchJSON(tr, benchWorkload{
+			Users: *users, Programs: *programs, Days: *days, Seed: *seed,
+		})
 	}
 
 	// Built-in names parse to the enum; anything else must be a
@@ -149,6 +166,15 @@ func run(args []string) error {
 		WarmupDays:        *warmup,
 		Parallelism:       *parallel,
 	}
+	if *serveAddr != "" {
+		return runServe(cfg, serveRunOptions{
+			addr: *serveAddr, scenario: *scenarioName, specFile: *scenarioFile,
+			trace: tr, feedDays: *live,
+			users: *users, programs: *programs, days: *days, seed: *seed,
+			checkpointHours: *checkpoint, accel: *accel, json: *snapJSON,
+		})
+	}
+
 	start := time.Now()
 	var res *cablevod.Result
 	switch {

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cablevod"
+)
+
+// serveRunOptions carries the CLI knobs of a -serve run.
+type serveRunOptions struct {
+	addr     string
+	scenario string
+	specFile string
+
+	// trace provisions the ingest-mode plant (population + catalog);
+	// feedDays > 0 additionally self-feeds it through POST /submit in
+	// feedDays-sized batches (the -live composition).
+	trace    *cablevod.Trace
+	feedDays int
+
+	users, programs, days int
+	seed                  uint64
+	checkpointHours       int
+	accel                 float64
+	json                  bool
+}
+
+// runServe runs the live service daemon until SIGINT/SIGTERM, then
+// prints the finalized result. A violated spec assertion is a command
+// failure, exactly as in runSpecFile.
+func runServe(cfg cablevod.Config, o serveRunOptions) error {
+	if o.checkpointHours < 0 {
+		return fmt.Errorf("negative -checkpoint %d", o.checkpointHours)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := cablevod.ServeOptions{
+		Addr:         o.addr,
+		Scenario:     o.scenario,
+		SpecFile:     o.specFile,
+		Checkpoint:   time.Duration(o.checkpointHours) * time.Hour,
+		Acceleration: o.accel,
+		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
+		FinalOut:     os.Stdout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "vodsim: "+format+"\n", args...)
+		},
+	}
+	if o.scenario != "" {
+		w := cablevod.DefaultTraceOptions()
+		w.Users, w.Programs, w.Days, w.Seed = o.users, o.programs, o.days, o.seed
+		opts.Workload = w
+	}
+
+	feederDone := make(chan struct{})
+	if o.trace != nil && o.scenario == "" && o.specFile == "" {
+		cfg.Subscribers = o.trace.Users()
+		cfg.Catalog = cablevod.TraceCatalog(o.trace)
+		if o.feedDays > 0 {
+			tr := o.trace
+			opts.OnListen = func(addr string) {
+				go func() {
+					defer close(feederDone)
+					if err := feedTrace(ctx, addr, tr, o.feedDays, o.accel); err != nil {
+						fmt.Fprintln(os.Stderr, "vodsim: feeder:", err)
+					}
+				}()
+			}
+		} else {
+			close(feederDone)
+		}
+	} else {
+		close(feederDone)
+	}
+
+	start := time.Now()
+	sr, err := cablevod.Serve(ctx, cfg, opts)
+	<-feederDone
+	if err != nil {
+		return err
+	}
+	if sr.Report != nil {
+		fmt.Println()
+		sr.Report.Render(os.Stdout)
+		fmt.Println()
+	}
+	if sr.Result != nil {
+		printResult(sr.Result, time.Since(start))
+	}
+	if sr.Report != nil && !sr.Report.Pass() {
+		f := sr.Report.FirstFailure()
+		return fmt.Errorf("scenario spec %s: assertion %s violated: %s", o.specFile, f.Label, f.Detail)
+	}
+	return nil
+}
+
+// maxFeedBatch bounds one self-feed POST /submit batch, keeping the
+// request body well under the daemon's 32 MiB limit.
+const maxFeedBatch = 100_000
+
+// feedTrace streams the trace into the daemon's own POST /submit
+// endpoint in windows of feedDays simulated days — the -serve -live
+// composition. When accel > 0 the feed is throttled to that many
+// virtual seconds per wall-clock second.
+func feedTrace(ctx context.Context, addr string, tr *cablevod.Trace, feedDays int, accel float64) error {
+	url := "http://" + addr + "/submit"
+	client := &http.Client{}
+	window := time.Duration(feedDays) * 24 * time.Hour
+	recs := tr.Records
+	for start := 0; start < len(recs); {
+		if err := ctx.Err(); err != nil {
+			return nil // daemon is shutting down; not a feed failure
+		}
+		windowEnd := recs[start].Start + window
+		end := start
+		for end < len(recs) && recs[end].Start < windowEnd && end-start < maxFeedBatch {
+			end++
+		}
+		if err := postBatch(ctx, client, url, recs[start:end]); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("batch starting at record %d: %w", start, err)
+		}
+		if accel > 0 {
+			span := recs[end-1].Start - recs[start].Start
+			throttleSleep(ctx, time.Duration(float64(span)/accel))
+		}
+		start = end
+	}
+	fmt.Fprintln(os.Stderr, "vodsim: feeder: trace fully submitted; daemon serving until SIGTERM")
+	return nil
+}
+
+// postBatch submits one record batch and surfaces the daemon's error
+// body on a non-200 response.
+func postBatch(ctx context.Context, client *http.Client, url string, recs []cablevod.Record) error {
+	body, err := json.Marshal(struct {
+		Records []cablevod.Record `json:"records"`
+	}{recs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("daemon rejected batch: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// throttleSleep sleeps for d or until ctx is cancelled.
+func throttleSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"cablevod/internal/trace"
+	"cablevod/internal/units"
+)
+
+// Collector observes engine events on the serving hot path — the seam
+// the telemetry subsystem attaches to. A collector is strictly
+// observational: the engine hands it copies of values it has already
+// computed and never reads anything back, so results are bit-identical
+// with and without a collector attached (pinned by
+// TestTelemetryIsObservational in internal/telemetry).
+//
+// Concurrency contract: the engine calls a collector from its shard
+// workers. Calls for one neighborhood never race each other (a shard is
+// owned by at most one worker at a time, the engine's own discipline),
+// but calls for different neighborhoods run concurrently at
+// Config.Parallelism > 1. Implementations must therefore be safe for
+// concurrent use across neighborhoods — per-neighborhood state plus
+// atomic aggregates is the intended shape — and must never block: a
+// slow collector stalls the serving path it is watching.
+type Collector interface {
+	// ObserveSession fires once per session start, after the engine has
+	// accepted the record, on the session's home shard.
+	ObserveSession(nb int, p trace.ProgramID, at time.Duration)
+
+	// ObserveSegment fires once per segment request, after the serve
+	// outcome is resolved.
+	ObserveSegment(ev SegmentEvent)
+}
+
+// SegmentEvent is one resolved segment request, carrying the load-meter
+// readings a latency model needs. All fields are computed from
+// shard-local state, so a shard's event stream is identical at every
+// Config.Parallelism — only the interleaving across neighborhoods
+// varies.
+type SegmentEvent struct {
+	// Neighborhood is the home shard's index.
+	Neighborhood int
+
+	// Program is the requested program.
+	Program trace.ProgramID
+
+	// At is the virtual time the segment request is served.
+	At time.Duration
+
+	// Outcome is the index server's serve resolution. It is zero for
+	// first-fetch segments (FirstFetch below): the admitting session
+	// streams from the central server while peers are seeded, so the
+	// index server is never consulted.
+	Outcome ServeOutcome
+
+	// FirstFetch marks segments of the session that admitted the
+	// program under FillImmediate — billed to the central server.
+	FirstFetch bool
+
+	// CoaxBusy is the aggregate rate of broadcasts already on the
+	// neighborhood's coax channel when this request arrived (this
+	// request's own broadcast excluded).
+	CoaxBusy units.BitRate
+
+	// CoaxCapacity is the channel's VoD-available capacity.
+	CoaxCapacity units.BitRate
+
+	// ServerRate is this neighborhood's draw on the central media
+	// server averaged over the previous completed hour — the load-meter
+	// reading a queueing-delay model keys on. Zero during the first
+	// hour of a run.
+	ServerRate units.BitRate
+}
+
+// Hit reports whether the segment was served by a peer broadcast.
+func (ev SegmentEvent) Hit() bool {
+	return !ev.FirstFetch && ev.Outcome == ServedByPeer
+}
+
+// SetCollector attaches a hot-path observer to the engine. It must be
+// called before the first Submit/SubmitBatch and at most once; nil
+// detaches. The collector sees every subsequent session and segment
+// event. Attaching a collector never changes engine results — it is a
+// pure tap.
+func (s *System) SetCollector(c Collector) {
+	s.collector = c
+}

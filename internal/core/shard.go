@@ -38,6 +38,15 @@ type shard struct {
 	// pending is the shard's mailbox: records routed by the coordinator
 	// for the current processing window, drained by drainPending.
 	pending []trace.Record
+
+	// obsHour/obsServerRate memoize the collector's previous-hour
+	// server-meter reading, which changes only at hour boundaries —
+	// without this every observed segment event pays a meter lookup.
+	// obsHour starts at -1 (no hour cached; hour 0 reads meter hour -1,
+	// which is defined as zero anyway, but the cache must still
+	// distinguish "unset" from "cached zero" once rates are nonzero).
+	obsHour       int64
+	obsServerRate units.BitRate
 }
 
 // submit ingests one session record, advancing the shard's virtual time
@@ -88,6 +97,9 @@ func (sh *shard) startSession(rec trace.Record, now time.Duration) {
 	viewer, _ := sh.nb.PeerOf(rec.User) // membership validated on Submit
 	sh.counters.Sessions++
 	sh.active++
+	if col := sh.sys.collector; col != nil {
+		col.ObserveSession(sh.nb.ID(), rec.Program, now)
+	}
 
 	// The viewer's box holds a receive stream for the whole session.
 	viewer.ForceOpenStream()
@@ -163,6 +175,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	// from a peer or the headend (Section VI-B).
 	sh.coaxMeter.AddTransfer(from, to, units.StreamRate)
 	coax := sh.nb.Coax()
+	coaxBusy := coax.Rate() // channel load before this broadcast, for telemetry
 	if coax.Admit(units.StreamRate) {
 		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
 			coax.Release(units.StreamRate)
@@ -174,6 +187,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	if sess.firstFetch {
 		sh.counters.MissFirstFetch++
 		sh.serverMeter.AddTransfer(from, to, units.StreamRate)
+		sh.observe(p, from, 0, true, coaxBusy)
 		return
 	}
 
@@ -184,6 +198,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
 			server.CloseStream()
 		}))
+		sh.observe(p, from, outcome, false, coaxBusy)
 		return
 	case MissNotCached:
 		sh.counters.MissNotCached++
@@ -206,4 +221,31 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 			}))
 		}
 	}
+	sh.observe(p, from, outcome, false, coaxBusy)
+}
+
+// observe emits one resolved segment request to the attached collector.
+// Every reading is shard-local (the coax channel and the shard's own
+// server meter), so the event stream a shard produces is identical at
+// every parallelism level.
+func (sh *shard) observe(p trace.ProgramID, at time.Duration, outcome ServeOutcome, firstFetch bool, coaxBusy units.BitRate) {
+	col := sh.sys.collector
+	if col == nil {
+		return
+	}
+	if hour := int64(at / time.Hour); hour != sh.obsHour {
+		sh.obsHour = hour
+		sh.obsServerRate = sh.serverMeter.RateInHour(hour - 1)
+	}
+	coax := sh.nb.Coax()
+	col.ObserveSegment(SegmentEvent{
+		Neighborhood: sh.nb.ID(),
+		Program:      p,
+		At:           at,
+		Outcome:      outcome,
+		FirstFetch:   firstFetch,
+		CoaxBusy:     coaxBusy,
+		CoaxCapacity: coax.Capacity(),
+		ServerRate:   sh.obsServerRate,
+	})
 }

@@ -113,6 +113,10 @@ type System struct {
 	// lengths resolves catalog program lengths.
 	lengths func(trace.ProgramID) time.Duration
 
+	// collector, when non-nil, observes hot-path events (see
+	// Collector). Strictly observational: never read by the engine.
+	collector Collector
+
 	submitted int
 	lastStart time.Duration
 	closed    bool
@@ -203,6 +207,7 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 			serverMeter: metrics.NewRateMeter(),
 			demandMeter: metrics.NewRateMeter(),
 			coaxMeter:   metrics.NewRateMeter(),
+			obsHour:     -1,
 		}
 	}
 	return s, nil

@@ -68,6 +68,17 @@ func (m *RateMeter) Merge(other *RateMeter) {
 	}
 }
 
+// RateInHour returns the average rate over the absolute hour idx —
+// accumulated bits over the 3600-second bucket. Hours before the epoch
+// or with no traffic read as zero. This is the load-meter reading the
+// telemetry latency model keys on.
+func (m *RateMeter) RateInHour(idx int64) units.BitRate {
+	if idx < 0 {
+		return 0
+	}
+	return units.BitRate(float64(m.bits[idx]) / 3600)
+}
+
 // TotalBits returns all accumulated bits.
 func (m *RateMeter) TotalBits() int64 {
 	var total int64

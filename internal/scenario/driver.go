@@ -37,6 +37,13 @@ type Options struct {
 	// acceleration of 86400 plays one simulated day per real second.
 	Acceleration float64
 
+	// Stop, when non-nil, requests a graceful early finish: once the
+	// channel is closed, Run stops streaming at the next hour boundary
+	// (interrupting any throttle sleep), flushes the pending chunk, and
+	// finalizes the engine normally — the Result covers the records
+	// streamed so far. The daemon's SIGTERM path.
+	Stop <-chan struct{}
+
 	// now and sleep are test seams; nil uses the real clock.
 	now   func() time.Time
 	sleep func(time.Duration)
@@ -87,6 +94,7 @@ type Driver struct {
 
 	checkpoints []Checkpoint
 	ran         bool
+	stopped     bool
 }
 
 // NewDriver validates the spec against the engine configuration,
@@ -108,7 +116,7 @@ func NewDriver(cfg core.Config, spec Spec, opts Options) (*Driver, error) {
 		opts.now = time.Now
 	}
 	if opts.sleep == nil {
-		opts.sleep = time.Sleep
+		opts.sleep = stoppableSleep(opts.Stop)
 	}
 
 	comp, err := spec.compile(cfg.Topology)
@@ -138,6 +146,10 @@ func (d *Driver) Spec() Spec { return d.spec }
 // Checkpoints returns the checkpoint series collected so far.
 func (d *Driver) Checkpoints() []Checkpoint { return d.checkpoints }
 
+// Stopped reports whether Run finished early on an Options.Stop
+// request rather than by exhausting the scenario stream.
+func (d *Driver) Stopped() bool { return d.stopped }
+
 // Run streams the whole scenario and finalizes the engine. It can be
 // called once.
 func (d *Driver) Run() (*core.Result, error) {
@@ -152,6 +164,10 @@ func (d *Driver) Run() (*core.Result, error) {
 	nextCheckpoint := d.opts.Checkpoint
 
 	for !d.stream.Done() {
+		if stopRequested(d.opts.Stop) {
+			d.stopped = true
+			break
+		}
 		recs, info, err := d.stream.NextHour()
 		if err != nil {
 			return nil, err
@@ -186,6 +202,14 @@ func (d *Driver) Run() (*core.Result, error) {
 			}
 		}
 	}
+	// A stop between chunk boundaries leaves streamed-but-unsubmitted
+	// records pending; flush them so the Result covers every record the
+	// stream handed out.
+	if len(pending) > 0 {
+		if err := d.sys.SubmitBatch(pending); err != nil {
+			return nil, fmt.Errorf("scenario %s: submitting final chunk: %w", d.spec.Name, err)
+		}
+	}
 	return d.sys.Close()
 }
 
@@ -199,5 +223,34 @@ func (d *Driver) throttle(start time.Time, virtual time.Duration) {
 	target := time.Duration(float64(virtual) / d.opts.Acceleration)
 	if ahead := target - d.opts.now().Sub(start); ahead > 0 {
 		d.opts.sleep(ahead)
+	}
+}
+
+// stopRequested polls a stop channel without blocking; a nil channel
+// never stops.
+func stopRequested(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// stoppableSleep returns a sleep that a closed stop channel cuts
+// short, so a throttled (low-acceleration) run reacts to shutdown
+// immediately instead of finishing a long wall-clock wait. A nil stop
+// degrades to time.Sleep.
+func stoppableSleep(stop <-chan struct{}) func(time.Duration) {
+	if stop == nil {
+		return time.Sleep
+	}
+	return func(d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-stop:
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"cablevod/internal/core"
 	"cablevod/internal/hfc"
 	"cablevod/internal/scenario"
+	"cablevod/internal/units"
 )
 
 // defaultNeighborhood is the paper's subscribers-per-headend scale,
@@ -40,16 +41,36 @@ type RunOptions struct {
 
 	// OnCheckpoint observes each checkpoint as it is taken.
 	OnCheckpoint func(scenario.Checkpoint)
+
+	// Stop requests a graceful early finish of the drive loop (see
+	// scenario.Options.Stop). Assertions still evaluate over whatever
+	// checkpoints were taken.
+	Stop <-chan struct{}
 }
 
-// Run executes a spec end to end: resolve the engine configuration,
-// validate everything up front, drive the scenario through the live
-// System, evaluate the assert block against the checkpoint series, and
-// return the full Report. Run never silently skips assertions: a spec
-// that declares predicates but resolves to no checkpoint cadence is an
-// error, because temporal predicates over an empty series would pass
-// vacuously.
-func Run(f *File, opts RunOptions) (*Report, error) {
+// Prepared is a spec resolved and validated into a live, not-yet-run
+// Driver: the daemon-mode hook. Callers that need to own the drive
+// loop — attach a telemetry collector, chain checkpoint observers,
+// stop on a signal — call Prepare, run p.Driver themselves, and hand
+// the Result to p.Report for assertion evaluation.
+type Prepared struct {
+	// File is the spec that will run.
+	File *File
+
+	// Driver is the live scenario driver, ready for Run.
+	Driver *scenario.Driver
+
+	cadence      time.Duration
+	coaxCapacity units.BitRate
+	parallelism  int
+}
+
+// Prepare resolves the engine configuration, validates the spec
+// against it, and builds the live Driver without running it. Prepare
+// never defers a failure to run time: a spec that declares predicates
+// but resolves to no checkpoint cadence is rejected here, because
+// temporal predicates over an empty series would pass vacuously.
+func Prepare(f *File, opts RunOptions) (*Prepared, error) {
 	cfg, err := f.EngineConfig(opts.Engine)
 	if err != nil {
 		return nil, err
@@ -82,35 +103,60 @@ func Run(f *File, opts RunOptions) (*Report, error) {
 		Checkpoint:   cadence,
 		OnCheckpoint: opts.OnCheckpoint,
 		Acceleration: opts.Acceleration,
+		Stop:         opts.Stop,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := driver.Run()
-	if err != nil {
-		return nil, err
-	}
-	cps := driver.Checkpoints()
 
 	coax := cfg.Topology.CoaxCapacity
 	if coax == 0 {
 		coax = hfc.DefaultCoaxCapacity
 	}
-	preds, trace := Evaluate(f, cps, coax)
-
 	parallelism := cfg.Parallelism
 	if parallelism == 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	return &Prepared{
+		File:         f,
+		Driver:       driver,
+		cadence:      cadence,
+		coaxCapacity: coax,
+		parallelism:  parallelism,
+	}, nil
+}
+
+// Report evaluates the spec's assert block against the checkpoints the
+// Driver collected and assembles the full Report around the engine
+// Result the caller got from Driver.Run.
+func (p *Prepared) Report(res *core.Result) *Report {
+	cps := p.Driver.Checkpoints()
+	preds, trace := Evaluate(p.File, cps, p.coaxCapacity)
 	return &Report{
-		File:        f,
-		Parallelism: parallelism,
-		Checkpoint:  cadence,
+		File:        p.File,
+		Parallelism: p.parallelism,
+		Checkpoint:  p.cadence,
 		Result:      res,
 		Checkpoints: cps,
 		Trace:       trace,
 		Predicates:  preds,
-	}, nil
+	}
+}
+
+// Run executes a spec end to end: Prepare, drive the scenario through
+// the live System, and evaluate the assert block against the
+// checkpoint series. Run never silently skips assertions (see
+// Prepare).
+func Run(f *File, opts RunOptions) (*Report, error) {
+	p, err := Prepare(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Driver.Run()
+	if err != nil {
+		return nil, err
+	}
+	return p.Report(res), nil
 }
 
 // RunFile loads a spec file and runs it, stamping the source path into

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cablevod/internal/trace"
+)
+
+// contentTypeProm is the Prometheus text exposition content type.
+const contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// maxSubmitBody bounds one POST /submit body (32 MiB ≈ 800k records).
+const maxSubmitBody = 32 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /scenario/status", s.handleScenarioStatus)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleMetrics renders the registry. The render goes through a buffer
+// so a mid-render failure becomes a clean 500 instead of a torn 200.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentTypeProm)
+	w.Write(buf.Bytes())
+}
+
+// handleSnapshot serves the last published engine snapshot as JSON —
+// never touching the live engine.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.published.Load())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state, _ := s.currentState()
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"mode":   s.mode,
+		"state":  state,
+	})
+}
+
+// submitRequest is the POST /submit wire format: a batch of session
+// records, start-ordered, in the engine's native units (durations in
+// nanoseconds).
+type submitRequest struct {
+	Records []trace.Record `json:"records"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.mode != "ingest" {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("daemon is driving a %s workload; /submit is ingest-mode only", s.mode),
+		})
+		return
+	}
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode: " + err.Error()})
+		return
+	}
+	if len(req.Records) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty batch"})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "engine closed"})
+		return
+	}
+	if err := s.sys.SubmitBatch(req.Records); err != nil {
+		// A rejected batch leaves engine state unchanged (SubmitBatch
+		// validates before processing), so 400 is accurate.
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.submits.Inc()
+	// SubmitBatch returned, so the engine is quiescent under s.mu;
+	// flush the collector so scrapes reflect this batch exactly.
+	s.col.Flush()
+	s.publish(s.sys.Snapshot())
+
+	m := s.published.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":      len(req.Records),
+		"virtual_hours": m.Now.Hours(),
+		"hit_ratio":     m.HitRatio(),
+	})
+}
+
+// scenarioStatus is the GET /scenario/status payload.
+type scenarioStatus struct {
+	Mode         string  `json:"mode"`
+	Scenario     string  `json:"scenario"`
+	State        string  `json:"state"`
+	VirtualHours float64 `json:"virtual_hours"`
+	Submitted    int     `json:"submitted_records"`
+	Checkpoints  uint64  `json:"checkpoints"`
+	Acceleration float64 `json:"acceleration,omitempty"`
+	Error        string  `json:"error,omitempty"`
+
+	Assertions *assertionStatus `json:"assertions,omitempty"`
+}
+
+// assertionStatus summarizes the spec report once the run finished.
+type assertionStatus struct {
+	Total        int    `json:"total"`
+	Passed       int    `json:"passed"`
+	Pass         bool   `json:"pass"`
+	FirstFailure string `json:"first_failure,omitempty"`
+}
+
+func (s *Server) handleScenarioStatus(w http.ResponseWriter, r *http.Request) {
+	if s.driver == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "no scenario: daemon is in ingest mode",
+		})
+		return
+	}
+	state, runErr := s.currentState()
+	st := scenarioStatus{
+		Mode:         s.mode,
+		Scenario:     s.name,
+		State:        state,
+		Checkpoints:  s.checkpoints.Load(),
+		Acceleration: s.opts.Acceleration,
+	}
+	if m := s.published.Load(); m != nil {
+		st.VirtualHours = m.Now.Hours()
+		st.Submitted = m.Submitted
+	}
+	if runErr != nil {
+		st.Error = runErr.Error()
+	}
+	if rep := s.Report(); rep != nil {
+		as := &assertionStatus{Total: len(rep.Predicates), Pass: rep.Pass()}
+		for _, p := range rep.Predicates {
+			if p.Pass {
+				as.Passed++
+			}
+		}
+		if f := rep.FirstFailure(); f != nil {
+			as.FirstFailure = fmt.Sprintf("%s: %s", f.Label, f.Detail)
+		}
+		st.Assertions = as
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

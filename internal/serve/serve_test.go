@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/telemetry"
+	"cablevod/internal/units"
+)
+
+func testEngine() core.Config {
+	return core.Config{
+		Topology: hfc.Config{
+			NeighborhoodSize: 100,
+			PerPeerStorage:   2 * units.GB,
+		},
+		Fill:       core.FillOnBroadcast,
+		WarmupDays: 0,
+	}
+}
+
+// startServer runs s until the test ends, failing the test if Run
+// errors, and returns its base URL.
+func startServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("Run did not return after context cancel")
+		}
+	})
+	return "http://" + s.Addr()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// snapshotWire mirrors the fields of core.Metrics' custom JSON shape
+// the tests read back (Metrics has MarshalJSON only — it does not
+// round-trip into the Go struct).
+type snapshotWire struct {
+	NowSeconds float64 `json:"now_seconds"`
+	Submitted  int     `json:"submitted"`
+	Counters   struct {
+		SegmentRequests uint64 `json:"segment_requests"`
+	} `json:"counters"`
+}
+
+// waitForState polls /scenario/status until the drive loop reaches
+// want.
+func waitForState(t *testing.T, base, want string) scenarioStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st scenarioStatus
+		if code := getJSON(t, base+"/scenario/status", &st); code != http.StatusOK {
+			t.Fatalf("/scenario/status = %d", code)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == "failed" {
+			t.Fatalf("scenario failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state %q never reached (last %q)", want, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeScenario is the end-to-end acceptance path: daemon drives a
+// registered scenario unthrottled, every endpoint answers, /metrics is
+// valid Prometheus text carrying the issue's named families, and the
+// run completes with a Result.
+func TestServeScenario(t *testing.T) {
+	s, err := New(Options{
+		Addr:             ":0",
+		Engine:           testEngine(),
+		Scenario:         "flash-crowd",
+		ScenarioWorkload: synth.TestConfig(),
+		Checkpoint:       6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != "scenario" {
+		t.Fatalf("mode = %q", s.Mode())
+	}
+	base := startServer(t, s)
+
+	var health map[string]string
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if health["status"] != "ok" || health["mode"] != "scenario" {
+		t.Fatalf("/healthz = %v", health)
+	}
+
+	st := waitForState(t, base, "done")
+	if st.Checkpoints == 0 {
+		t.Error("no checkpoints taken")
+	}
+	if st.VirtualHours < 48 { // 3-day scenario
+		t.Errorf("virtual clock at %v hours, want the full run", st.VirtualHours)
+	}
+
+	code, metrics := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, family := range []string{
+		"# TYPE vodsim_up gauge",
+		"vodsim_up 1",
+		"vodsim_hit_ratio ",
+		"vodsim_server_bps ",
+		"vodsim_coax_bps ",
+		"vodsim_active_sessions ",
+		`vodsim_request_latency_seconds{quantile="0.5"}`,
+		`vodsim_request_latency_seconds{quantile="0.95"}`,
+		`vodsim_request_latency_seconds{quantile="0.99"}`,
+		"vodsim_neighborhood_hit_ratio{nb=\"0\"}",
+		`vodsim_daemon_info{mode="scenario",name="flash-crowd"} 1`,
+		"vodsim_scenario_checkpoints_total ",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+
+	var snap snapshotWire
+	if code := getJSON(t, base+"/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("/snapshot = %d", code)
+	}
+	if snap.Counters.SegmentRequests == 0 {
+		t.Error("/snapshot has zero segment requests after a full run")
+	}
+
+	// /submit must be refused while a scenario owns the engine.
+	resp, err := http.Post(base+"/submit", "application/json", strings.NewReader(`{"records":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("/submit in scenario mode = %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+}
+
+// TestServeSpecFile drives the checked-in CI-scale spec and checks the
+// assertion verdicts surface on /scenario/status.
+func TestServeSpecFile(t *testing.T) {
+	// The spec's engine block pins strategy, neighborhood, storage, and
+	// warmup; everything else stays at engine defaults, matching how the
+	// spec's own assertion baselines were established (an overlaid
+	// FillOnBroadcast would shift the hit-ratio trajectory).
+	var final bytes.Buffer
+	s, err := New(Options{
+		Addr:     ":0",
+		Engine:   core.Config{},
+		SpecFile: "../../testdata/scenarios/flash-crowd.yaml",
+		FinalOut: &final,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServer(t, s)
+
+	st := waitForState(t, base, "done")
+	if st.Mode != "spec" || st.Scenario != "flash-crowd" {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Assertions == nil {
+		t.Fatal("no assertion verdicts in status after completion")
+	}
+	if !st.Assertions.Pass || st.Assertions.Passed != st.Assertions.Total {
+		t.Errorf("spec assertions failed: %+v", st.Assertions)
+	}
+	if rep := s.Report(); rep == nil || !rep.Pass() {
+		t.Error("Report() missing or failing after done state")
+	}
+}
+
+// TestServeIngest drives the daemon through POST /submit and checks
+// snapshots and metrics advance with each batch.
+func TestServeIngest(t *testing.T) {
+	opts := synth.TestConfig()
+	tr, err := synth.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Addr:   ":0",
+		Engine: testEngine(),
+		Workload: core.Workload{
+			Users:   tr.Users(),
+			Lengths: core.TraceLengths(tr),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServer(t, s)
+
+	if code := getJSON(t, base+"/scenario/status", nil); code != http.StatusNotFound {
+		t.Errorf("/scenario/status in ingest mode = %d, want 404", code)
+	}
+
+	batch := tr.Records[:2000]
+	body, err := json.Marshal(submitRequest{Records: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/submit = %d: %v", resp.StatusCode, ack)
+	}
+	if got := ack["accepted"].(float64); int(got) != len(batch) {
+		t.Errorf("accepted %v records, sent %d", got, len(batch))
+	}
+
+	var snap snapshotWire
+	getJSON(t, base+"/snapshot", &snap)
+	if snap.Submitted != len(batch) {
+		t.Errorf("snapshot shows %d submitted, want %d", snap.Submitted, len(batch))
+	}
+
+	_, metrics := getBody(t, base+"/metrics")
+	if !strings.Contains(metrics, fmt.Sprintf("vodsim_submitted_records_total %d", len(batch))) {
+		t.Error("/metrics does not reflect the submitted batch")
+	}
+	if !strings.Contains(metrics, "vodsim_daemon_submits_total 1") {
+		t.Error("/metrics missing submit accounting")
+	}
+
+	// An out-of-order batch must be rejected without corrupting state.
+	bad, _ := json.Marshal(submitRequest{Records: tr.Records[:10]})
+	resp, err = http.Post(base+"/submit", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-order batch = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeGracefulStop cancels the daemon mid-scenario: the drive
+// loop must stop at an hour boundary, finalize the engine, flush the
+// final snapshot, and report state "stopped".
+func TestServeGracefulStop(t *testing.T) {
+	workload := synth.TestConfig()
+	workload.Days = 365 // never finishes within the test
+
+	var final bytes.Buffer
+	s, err := New(Options{
+		Addr:             ":0",
+		Engine:           testEngine(),
+		Scenario:         "flash-crowd",
+		ScenarioWorkload: workload,
+		Checkpoint:       6 * time.Hour,
+		FinalOut:         &final,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	base := "http://" + s.Addr()
+
+	// Let it make some progress, then pull the plug.
+	waitForProgress := time.Now().Add(30 * time.Second)
+	for {
+		var st scenarioStatus
+		getJSON(t, base+"/scenario/status", &st)
+		if st.Checkpoints >= 2 {
+			break
+		}
+		if time.Now().After(waitForProgress) {
+			t.Fatal("scenario made no progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after cancel: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("graceful shutdown hung")
+	}
+
+	res, runErr := s.Result()
+	if runErr != nil {
+		t.Fatalf("stopped run errored: %v", runErr)
+	}
+	if res == nil {
+		t.Fatal("no Result after graceful stop")
+	}
+	state, _ := s.currentState()
+	if state != "stopped" {
+		t.Errorf("state = %q, want stopped", state)
+	}
+
+	var flush struct {
+		Mode     string        `json:"mode"`
+		State    string        `json:"state"`
+		Snapshot *core.Metrics `json:"snapshot"`
+	}
+	if err := json.Unmarshal(final.Bytes(), &flush); err != nil {
+		t.Fatalf("final snapshot flush is not JSON: %v\n%s", err, final.String())
+	}
+	if flush.State != "stopped" || flush.Snapshot == nil {
+		t.Errorf("final flush = %+v", flush)
+	}
+}
+
+// TestServeTelemetryMatchesOffline pins the daemon path against a
+// direct offline drive of the same scenario: same records, same
+// collector totals — the serving layer adds nothing and loses nothing.
+func TestServeTelemetryMatchesOffline(t *testing.T) {
+	s, err := New(Options{
+		Addr:             ":0",
+		Engine:           testEngine(),
+		Scenario:         "flash-crowd",
+		ScenarioWorkload: synth.TestConfig(),
+		Checkpoint:       12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServer(t, s)
+	waitForState(t, base, "done")
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Collector().Segments(); got != uint64(res.Counters.SegmentRequests) {
+		t.Errorf("collector saw %d segments, engine served %d", got, res.Counters.SegmentRequests)
+	}
+	sum := s.Collector().Latency(telemetry.All)
+	if sum.Count != uint64(res.Counters.SegmentRequests) {
+		t.Errorf("latency digest holds %d samples, want %d", sum.Count, res.Counters.SegmentRequests)
+	}
+	if sum.P50 <= 0 || sum.P99 < sum.P50 {
+		t.Errorf("implausible latency summary: %+v", sum)
+	}
+}

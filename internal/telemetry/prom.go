@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// Quantiles is a rendered quantile summary: the Prometheus summary
+// family shape (quantile-labelled gauges plus _sum and _count).
+type Quantiles struct {
+	Count uint64
+	Sum   float64
+	// P maps quantile (0.5, 0.95, 0.99) to value, rendered in
+	// ascending quantile order.
+	P map[float64]float64
+}
+
+// Writer renders the Prometheus text exposition format (version
+// 0.0.4): one # HELP and # TYPE header per family, then samples. It
+// enforces the format's family grouping — all samples of a family must
+// be emitted together, and a family name may not recur — so a registry
+// render is valid for any scraper by construction. Errors are sticky:
+// the first I/O or format error is kept and reported by Err.
+type Writer struct {
+	w        io.Writer
+	err      error
+	families map[string]bool
+	current  string
+}
+
+// NewWriter wraps w for one exposition render.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, families: make(map[string]bool)}
+}
+
+// Err returns the first error encountered.
+func (pw *Writer) Err() error { return pw.err }
+
+// Counter emits a single-sample counter family.
+func (pw *Writer) Counter(name, help string, v float64, labels ...Label) {
+	pw.family(name, "counter", help)
+	pw.sample(name, labels, v)
+}
+
+// Gauge emits a single-sample gauge family.
+func (pw *Writer) Gauge(name, help string, v float64, labels ...Label) {
+	pw.family(name, "gauge", help)
+	pw.sample(name, labels, v)
+}
+
+// AlsoSample adds one more labelled sample to the family opened by
+// the immediately preceding Gauge/AlsoSample call — the per-
+// neighborhood breakdown shape.
+func (pw *Writer) AlsoSample(name string, v float64, labels ...Label) {
+	if pw.current != name {
+		pw.fail(fmt.Errorf("telemetry: sample for family %q outside its group (current %q)", name, pw.current))
+		return
+	}
+	pw.sample(name, labels, v)
+}
+
+// Summary emits a Prometheus summary family from pre-computed
+// quantiles: quantile-labelled samples, then _sum and _count.
+func (pw *Writer) Summary(name, help string, q Quantiles, labels ...Label) {
+	pw.family(name, "summary", help)
+	qs := make([]float64, 0, len(q.P))
+	for k := range q.P {
+		qs = append(qs, k)
+	}
+	sort.Float64s(qs)
+	for _, quantile := range qs {
+		l := append(append([]Label(nil), labels...), Label{"quantile", formatFloat(quantile)})
+		pw.sample(name, l, q.P[quantile])
+	}
+	pw.sample(name+"_sum", labels, q.Sum)
+	pw.sample(name+"_count", labels, float64(q.Count))
+}
+
+// family emits the HELP/TYPE header, rejecting invalid and duplicate
+// family names.
+func (pw *Writer) family(name, typ, help string) {
+	if pw.err != nil {
+		return
+	}
+	if !validMetricName(name) {
+		pw.fail(fmt.Errorf("telemetry: invalid metric name %q", name))
+		return
+	}
+	if pw.families[name] {
+		pw.fail(fmt.Errorf("telemetry: duplicate metric family %q", name))
+		return
+	}
+	pw.families[name] = true
+	pw.current = name
+	pw.printf("# HELP %s %s\n", name, escapeHelp(help))
+	pw.printf("# TYPE %s %s\n", name, typ)
+}
+
+func (pw *Writer) sample(name string, labels []Label, v float64) {
+	if pw.err != nil {
+		return
+	}
+	if len(labels) == 0 {
+		pw.printf("%s %s\n", name, formatFloat(v))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !validLabelName(l.Name) {
+			pw.fail(fmt.Errorf("telemetry: invalid label name %q", l.Name))
+			return
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	pw.printf("%s %s\n", b.String(), formatFloat(v))
+}
+
+func (pw *Writer) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(pw.w, format, args...); err != nil {
+		pw.err = err
+	}
+}
+
+func (pw *Writer) fail(err error) {
+	if pw.err == nil {
+		pw.err = err
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}

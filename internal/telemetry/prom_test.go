@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriterRendersFamilies(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Counter("vodsim_things_total", "Things that happened.", 42)
+	w.Gauge("vodsim_level", "Current level, by tier.", 1.5, Label{"tier", "gold"})
+	w.AlsoSample("vodsim_level", 0.25, Label{"tier", `sil"ver`})
+	w.Summary("vodsim_wait_seconds", "Wait time.", Quantiles{
+		Count: 10,
+		Sum:   1.25,
+		P:     map[float64]float64{0.99: 0.9, 0.5: 0.1, 0.95: 0.5},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := b.String()
+	want := strings.Join([]string{
+		"# HELP vodsim_things_total Things that happened.",
+		"# TYPE vodsim_things_total counter",
+		"vodsim_things_total 42",
+		"# HELP vodsim_level Current level, by tier.",
+		"# TYPE vodsim_level gauge",
+		`vodsim_level{tier="gold"} 1.5`,
+		`vodsim_level{tier="sil\"ver"} 0.25`,
+		"# HELP vodsim_wait_seconds Wait time.",
+		"# TYPE vodsim_wait_seconds summary",
+		`vodsim_wait_seconds{quantile="0.5"} 0.1`,
+		`vodsim_wait_seconds{quantile="0.95"} 0.5`,
+		`vodsim_wait_seconds{quantile="0.99"} 0.9`,
+		"vodsim_wait_seconds_sum 1.25",
+		"vodsim_wait_seconds_count 10",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriterRejectsMalformedFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(w *Writer)
+	}{
+		{"duplicate family", func(w *Writer) {
+			w.Counter("vodsim_x_total", "x", 1)
+			w.Counter("vodsim_x_total", "x again", 2)
+		}},
+		{"invalid metric name", func(w *Writer) {
+			w.Counter("7bad", "leading digit", 1)
+		}},
+		{"empty metric name", func(w *Writer) {
+			w.Gauge("", "empty", 1)
+		}},
+		{"invalid label name", func(w *Writer) {
+			w.Gauge("vodsim_ok", "ok", 1, Label{"bad-label", "v"})
+		}},
+		{"colon in label name", func(w *Writer) {
+			w.Gauge("vodsim_ok", "ok", 1, Label{"a:b", "v"})
+		}},
+		{"sample outside its family group", func(w *Writer) {
+			w.Gauge("vodsim_a", "a", 1)
+			w.Gauge("vodsim_b", "b", 1)
+			w.AlsoSample("vodsim_a", 2)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWriter(&strings.Builder{})
+			tc.emit(w)
+			if w.Err() == nil {
+				t.Error("Err() = nil, want format error")
+			}
+		})
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestWriterStickyIOError(t *testing.T) {
+	boom := errors.New("boom")
+	w := NewWriter(failWriter{boom})
+	w.Counter("vodsim_x_total", "x", 1)
+	w.Gauge("vodsim_y", "y", 2)
+	if !errors.Is(w.Err(), boom) {
+		t.Errorf("Err() = %v, want wrapped %v", w.Err(), boom)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	var hits Counter
+	hits.Add(3)
+	if err := r.Register("hits", SourceFunc(func(w *Writer) {
+		w.Counter("vodsim_hits_total", "hits", float64(hits.Load()))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("gauges", SourceFunc(func(w *Writer) {
+		w.Gauge("vodsim_depth", "depth", 2.5)
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Registration order is render order.
+	if !strings.Contains(out, "vodsim_hits_total 3") || !strings.Contains(out, "vodsim_depth 2.5") {
+		t.Errorf("render missing families:\n%s", out)
+	}
+	if strings.Index(out, "vodsim_hits_total") > strings.Index(out, "vodsim_depth") {
+		t.Error("sources rendered out of registration order")
+	}
+	if r.Scrapes() != 1 {
+		t.Errorf("Scrapes() = %d, want 1", r.Scrapes())
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	ok := SourceFunc(func(w *Writer) {})
+	if err := r.Register("", ok); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("nil", nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if err := r.Register("dup", ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("dup", ok); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestRegistryWrapsSourceError(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("broken", SourceFunc(func(w *Writer) {
+		w.Counter("not a name", "x", 1)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	err := r.WritePrometheus(&strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), `"broken"`) {
+		t.Errorf("WritePrometheus error = %v, want one naming the source", err)
+	}
+	if r.Scrapes() != 0 {
+		t.Errorf("failed scrape counted: Scrapes() = %d", r.Scrapes())
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("Counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Errorf("Gauge = %d, want 7", g.Load())
+	}
+	var f FloatGauge
+	f.Set(2.75)
+	if f.Load() != 2.75 {
+		t.Errorf("FloatGauge = %g, want 2.75", f.Load())
+	}
+}

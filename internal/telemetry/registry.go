@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Source contributes one group of metric families to a registry
+// render. Sources are invoked on every scrape, in registration order,
+// against a fresh Writer; a source must emit each of its families
+// exactly once per call.
+type Source interface {
+	WriteMetrics(w *Writer)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(w *Writer)
+
+// WriteMetrics calls f.
+func (f SourceFunc) WriteMetrics(w *Writer) { f(w) }
+
+// Registry is an ordered collection of metric sources rendered into
+// one Prometheus text-format exposition. Registration happens at
+// daemon construction; scrapes are concurrent-safe and lock the
+// registry only to snapshot the source list — each source is
+// responsible for its own read synchronization (the telemetry
+// primitives are atomic, the collector's digests sit behind
+// per-neighborhood mutexes).
+type Registry struct {
+	mu      sync.RWMutex
+	names   map[string]bool
+	sources []namedSource
+
+	scrapes Counter
+}
+
+type namedSource struct {
+	name string
+	src  Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Register adds a named source. It fails on an empty name, a nil
+// source, or a duplicate name.
+func (r *Registry) Register(name string, src Source) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: source needs a name")
+	}
+	if src == nil {
+		return fmt.Errorf("telemetry: nil source %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		return fmt.Errorf("telemetry: source %q already registered", name)
+	}
+	r.names[name] = true
+	r.sources = append(r.sources, namedSource{name, src})
+	return nil
+}
+
+// Scrapes returns the number of completed WritePrometheus calls.
+func (r *Registry) Scrapes() uint64 { return r.scrapes.Load() }
+
+// WritePrometheus renders every source into the Prometheus text
+// exposition format (version 0.0.4). The first source or I/O error
+// aborts the render and is returned, wrapped with the failing source's
+// name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	sources := append([]namedSource(nil), r.sources...)
+	r.mu.RUnlock()
+
+	pw := NewWriter(w)
+	for _, s := range sources {
+		s.src.WriteMetrics(pw)
+		if err := pw.Err(); err != nil {
+			return fmt.Errorf("telemetry: source %q: %w", s.name, err)
+		}
+	}
+	r.scrapes.Inc()
+	return nil
+}

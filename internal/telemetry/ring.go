@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size, lock-free, lossy ring buffer for recent-event
+// series: writers never block and never wait for readers — when the
+// ring is full, the oldest entry is overwritten (lossy by design, the
+// property that keeps the serving hot path immune to a slow or absent
+// scraper). Any number of goroutines may Append and Snapshot
+// concurrently.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	head  atomic.Uint64 // total appends ever
+}
+
+// NewRing returns a ring holding the most recent n entries.
+func NewRing[T any](n int) *Ring[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("telemetry: ring size must be positive, got %d", n))
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+// Append records v, overwriting the oldest entry when full.
+func (r *Ring[T]) Append(v T) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&v)
+}
+
+// Snapshot returns the retained entries, oldest first. The view is
+// best-effort under concurrent appends: an entry overwritten mid-read
+// surfaces as its newer value or is skipped — never as a torn record.
+func (r *Ring[T]) Snapshot() []T {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if h > n {
+		start = h - n
+	}
+	out := make([]T, 0, h-start)
+	for seq := start; seq < h; seq++ {
+		if p := r.slots[seq%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Appended returns the total number of entries ever appended.
+func (r *Ring[T]) Appended() uint64 { return r.head.Load() }
+
+// Dropped returns how many entries have been overwritten — the lossy
+// ring's drop counter.
+func (r *Ring[T]) Dropped() uint64 {
+	h := r.head.Load()
+	if n := uint64(len(r.slots)); h > n {
+		return h - n
+	}
+	return 0
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }

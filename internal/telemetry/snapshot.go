@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"cablevod/internal/core"
+)
+
+// SnapshotSource renders the engine's live aggregate view — the
+// existing core.Metrics / NeighborhoodMetrics / Counters types — as
+// Prometheus families. get returns the snapshot to render (typically
+// the daemon's last published snapshot, an atomic pointer the hot path
+// refreshes); a nil snapshot renders only vodsim_up 0.
+func SnapshotSource(get func() *core.Metrics) SourceFunc {
+	return func(w *Writer) {
+		m := get()
+		if m == nil {
+			w.Gauge("vodsim_up", "1 when the engine has published a snapshot.", 0)
+			return
+		}
+		w.Gauge("vodsim_up", "1 when the engine has published a snapshot.", 1)
+		w.Gauge("vodsim_virtual_time_seconds", "Engine virtual clock at the published snapshot.", m.Now.Seconds())
+		w.Counter("vodsim_submitted_records_total", "Session records accepted by the engine.", float64(m.Submitted))
+
+		c := m.Counters
+		w.Counter("vodsim_sessions_total", "Sessions started.", float64(c.Sessions))
+		w.Gauge("vodsim_active_sessions", "Sessions currently playing.", float64(m.ActiveSessions))
+		w.Counter("vodsim_segment_requests_total", "Segment requests served.", float64(c.SegmentRequests))
+		w.Counter("vodsim_segment_hits_total", "Segment requests served by a peer broadcast.", float64(c.Hits))
+		w.Counter("vodsim_segment_misses_total", "Segment requests served by the central server, by miss reason.",
+			float64(c.MissNotCached), Label{"reason", "not_cached"})
+		w.AlsoSample("vodsim_segment_misses_total", float64(c.MissUnplaced), Label{"reason", "unplaced"})
+		w.AlsoSample("vodsim_segment_misses_total", float64(c.MissPeerBusy), Label{"reason", "peer_busy"})
+		w.AlsoSample("vodsim_segment_misses_total", float64(c.MissFirstFetch), Label{"reason", "first_fetch"})
+		w.Counter("vodsim_cache_admissions_total", "Program admissions across all neighborhood caches.", float64(c.Admissions))
+		w.Counter("vodsim_cache_evictions_total", "Program evictions across all neighborhood caches.", float64(c.Evictions))
+		w.Counter("vodsim_cache_fills_total", "Segments absorbed from miss broadcasts (FillOnBroadcast).", float64(c.Fills))
+		w.Counter("vodsim_coax_overloads_total", "Broadcasts refused by a saturated coax channel.", float64(c.CoaxOverloads))
+
+		w.Gauge("vodsim_hit_ratio", "Running segment hit ratio.", m.HitRatio())
+		w.Gauge("vodsim_savings_ratio", "Transfer savings against the uncached baseline.", m.Savings())
+
+		w.Counter("vodsim_server_bits_total", "Bits streamed from the central media server.", float64(m.ServerBits))
+		w.Counter("vodsim_demand_bits_total", "Bits the uncached-demand baseline would have streamed.", float64(m.DemandBits))
+		w.Gauge("vodsim_server_bps", "Whole-run average central-server rate.", float64(m.ServerRate))
+		w.Gauge("vodsim_demand_bps", "Whole-run average uncached-demand rate.", float64(m.DemandRate))
+		w.Gauge("vodsim_coax_bps", "Whole-run average coax broadcast rate per neighborhood.", float64(m.CoaxRate))
+
+		w.Gauge("vodsim_cache_used_bytes", "Pooled cache bytes in use across all neighborhoods.", float64(m.CacheUsed))
+		w.Gauge("vodsim_cache_capacity_bytes", "Pooled cache capacity across all neighborhoods.", float64(m.CacheCapacity))
+		w.Gauge("vodsim_cached_programs", "Program copies resident across all neighborhood caches.", float64(m.CachedPrograms))
+		w.Gauge("vodsim_neighborhoods", "Coax neighborhoods (= engine shards).", float64(m.Neighborhoods))
+
+		writeNeighborhoods(w, m.PerNeighborhood)
+	}
+}
+
+// writeNeighborhoods renders the per-neighborhood breakdown as
+// nb-labelled families.
+func writeNeighborhoods(w *Writer, nbs []core.NeighborhoodMetrics) {
+	if len(nbs) == 0 {
+		return
+	}
+	label := func(n core.NeighborhoodMetrics) Label {
+		return Label{"nb", strconv.Itoa(n.ID)}
+	}
+	w.Gauge("vodsim_neighborhood_hit_ratio", "Running segment hit ratio per neighborhood.",
+		nbs[0].HitRatio, label(nbs[0]))
+	for _, n := range nbs[1:] {
+		w.AlsoSample("vodsim_neighborhood_hit_ratio", n.HitRatio, label(n))
+	}
+	w.Gauge("vodsim_neighborhood_coax_bps", "Whole-run average coax broadcast rate per neighborhood.",
+		float64(nbs[0].CoaxRate), label(nbs[0]))
+	for _, n := range nbs[1:] {
+		w.AlsoSample("vodsim_neighborhood_coax_bps", float64(n.CoaxRate), label(n))
+	}
+	w.Gauge("vodsim_neighborhood_active_sessions", "Sessions currently playing per neighborhood.",
+		float64(nbs[0].ActiveSessions), label(nbs[0]))
+	for _, n := range nbs[1:] {
+		w.AlsoSample("vodsim_neighborhood_active_sessions", float64(n.ActiveSessions), label(n))
+	}
+	w.Gauge("vodsim_neighborhood_cache_used_bytes", "Pooled cache bytes in use per neighborhood.",
+		float64(nbs[0].CacheUsed), label(nbs[0]))
+	for _, n := range nbs[1:] {
+		w.AlsoSample("vodsim_neighborhood_cache_used_bytes", float64(n.CacheUsed), label(n))
+	}
+}

@@ -1,0 +1,152 @@
+package cablevod
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/serve"
+)
+
+// ServeOptions configures a Serve daemon.
+type ServeOptions struct {
+	// Addr is the HTTP listen address (default ":8080"; ":0" picks a
+	// free port, reported through OnListen).
+	Addr string
+
+	// Scenario drives a registered live-workload scenario under the
+	// daemon (mutually exclusive with SpecFile).
+	Scenario string
+
+	// SpecFile drives a declarative scenario spec; its assertions are
+	// evaluated when the run completes and surface on /scenario/status
+	// and in the returned report.
+	SpecFile string
+
+	// Workload sizes the scenario's base synthetic workload, exactly as
+	// in ScenarioOptions (zero value = DefaultTraceOptions). Ignored
+	// outside scenario mode.
+	Workload TraceOptions
+
+	// Checkpoint is the virtual-time cadence of snapshot publication
+	// and scenario checkpoints (0 = a 6-hour default).
+	Checkpoint time.Duration
+
+	// Chunk is the drive loop's SubmitBatch window (0 = one day).
+	Chunk time.Duration
+
+	// Acceleration caps scenario virtual time at this many virtual
+	// seconds per wall-clock second (0 = unthrottled).
+	Acceleration float64
+
+	// OnCheckpoint observes checkpoints as the drive loop takes them.
+	OnCheckpoint func(ScenarioCheckpoint)
+
+	// OnListen receives the bound listen address before serving starts.
+	OnListen func(addr string)
+
+	// FinalOut, when set, receives one JSON line with the final state
+	// and engine snapshot during shutdown.
+	FinalOut io.Writer
+
+	// Logf logs daemon lifecycle events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ServeResult is what a finished daemon hands back: the engine's final
+// Result (complete even after a graceful early stop) and, in spec
+// mode, the assertion report.
+type ServeResult struct {
+	Result *Result
+	Report *SpecReport
+}
+
+// Serve runs the vodsim live service mode: an HTTP daemon hosting a
+// live System with a production telemetry surface —
+//
+//	GET  /metrics          Prometheus text exposition
+//	GET  /snapshot         last published Metrics as JSON
+//	GET  /healthz          liveness + mode/state
+//	POST /submit           JSON record batches (ingest mode)
+//	GET  /scenario/status  drive-loop progress and assertion verdicts
+//
+// The daemon runs in one of three modes. With Scenario or SpecFile
+// set, it drives that workload through the engine exactly as
+// RunScenario / RunSpecFile would (cfg.Subscribers, Catalog, and
+// Future must be unset — the scenario provisions the plant), while
+// serving telemetry live. With neither set it runs in ingest mode:
+// cfg provisions the plant exactly as for New, and record batches
+// arrive over POST /submit.
+//
+// Telemetry is strictly observational: the engine result is
+// bit-identical with and without the daemon's latency collector
+// attached, at every Config.Parallelism.
+//
+// Serve blocks until ctx is cancelled, then shuts down gracefully —
+// the drive loop finishes the current virtual hour, pending records
+// flush, the engine finalizes (so the Result and any spec assertions
+// cover everything streamed), the final snapshot is written to
+// FinalOut, and in-flight HTTP requests drain. A scenario that
+// completes before cancellation leaves the daemon serving its final
+// telemetry until cancelled. The error reports daemon or engine
+// failure; a failed spec assertion is not an error — check
+// ServeResult.Report.Pass().
+func Serve(ctx context.Context, cfg Config, opts ServeOptions) (*ServeResult, error) {
+	iopts := serve.Options{
+		Addr:         opts.Addr,
+		Engine:       cfg.internal(),
+		Scenario:     opts.Scenario,
+		SpecFile:     opts.SpecFile,
+		Checkpoint:   opts.Checkpoint,
+		Chunk:        opts.Chunk,
+		Acceleration: opts.Acceleration,
+		OnCheckpoint: opts.OnCheckpoint,
+		FinalOut:     opts.FinalOut,
+		Logf:         opts.Logf,
+	}
+
+	switch {
+	case opts.Scenario != "" || opts.SpecFile != "":
+		if cfg.Subscribers != nil || cfg.Catalog != nil || cfg.Future != nil {
+			return nil, fmt.Errorf("cablevod: Serve derives Subscribers/Catalog from the scenario; leave them unset")
+		}
+		base := opts.Workload
+		if zeroWorkload(base) {
+			base = DefaultTraceOptions()
+		}
+		iopts.ScenarioWorkload = base
+
+	default:
+		if len(cfg.Subscribers) == 0 {
+			return nil, fmt.Errorf("cablevod: Serve in ingest mode needs Config.Subscribers (or set ServeOptions.Scenario / SpecFile)")
+		}
+		w := core.Workload{Users: cfg.Subscribers, Lengths: cfg.Catalog}
+		if cfg.Future != nil {
+			if !cfg.Future.Sorted() {
+				return nil, fmt.Errorf("cablevod: Config.Future must be sorted")
+			}
+			w.Future = cfg.Future.Records
+		}
+		iopts.Workload = w
+	}
+
+	s, err := serve.New(iopts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(s.Addr())
+	}
+	if err := s.Run(ctx); err != nil {
+		return nil, err
+	}
+
+	res, runErr := s.Result()
+	out := &ServeResult{Result: res, Report: s.Report()}
+	if runErr != nil {
+		return out, runErr
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package cablevod_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cablevod"
+)
+
+// TestServePublicScenario drives the public live-service entry point
+// end to end: a small scenario runs to completion under the daemon,
+// /metrics serves Prometheus text while it does, and cancelling the
+// context shuts down gracefully with a complete Result.
+func TestServePublicScenario(t *testing.T) {
+	w := cablevod.DefaultTraceOptions()
+	w.Users, w.Programs, w.Days, w.Seed = 400, 120, 3, 99
+	w.BacklogDays = 30
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan struct{})
+	var sr *cablevod.ServeResult
+	var serveErr error
+	go func() {
+		defer close(done)
+		sr, serveErr = cablevod.Serve(ctx, cablevod.Config{NeighborhoodSize: 100, WarmupDays: 0},
+			cablevod.ServeOptions{
+				Addr:     "127.0.0.1:0",
+				Scenario: "flash-crowd",
+				Workload: w,
+				OnListen: func(addr string) { addrCh <- addr },
+			})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never listened")
+	}
+
+	// Wait for the scenario to finish, then scrape.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), `"state":"done"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scenario never finished; healthz: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"vodsim_up 1", "vodsim_hit_ratio", "vodsim_request_latency_seconds{quantile=\"0.99\"}"} {
+		if !strings.Contains(string(scrape), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if serveErr != nil {
+		t.Fatalf("Serve: %v", serveErr)
+	}
+	if sr == nil || sr.Result == nil {
+		t.Fatal("no final result")
+	}
+	if sr.Result.Counters.SegmentRequests == 0 {
+		t.Error("final result has zero segment requests")
+	}
+
+	// The daemon is strictly observational: the same scenario offline
+	// must produce the identical engine counters.
+	offline, _, err := cablevod.RunScenario("flash-crowd", cablevod.Config{NeighborhoodSize: 100, WarmupDays: 0},
+		cablevod.ScenarioOptions{Workload: w})
+	if err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+	if offline.Counters != sr.Result.Counters {
+		t.Errorf("daemon result diverged from offline run:\n  daemon  %+v\n  offline %+v",
+			sr.Result.Counters, offline.Counters)
+	}
+}
+
+// TestServeRejectsConflictingOptions pins the mode-validation
+// surface of the public API.
+func TestServeRejectsConflictingOptions(t *testing.T) {
+	ctx := context.Background()
+	if _, err := cablevod.Serve(ctx, cablevod.Config{}, cablevod.ServeOptions{}); err == nil {
+		t.Error("ingest mode without Subscribers should fail")
+	}
+	if _, err := cablevod.Serve(ctx, cablevod.Config{}, cablevod.ServeOptions{
+		Scenario: "flash-crowd", SpecFile: "x.yaml",
+	}); err == nil {
+		t.Error("Scenario+SpecFile should fail")
+	}
+	if _, err := cablevod.Serve(ctx, cablevod.Config{Subscribers: []cablevod.UserID{1}}, cablevod.ServeOptions{
+		Scenario: "flash-crowd",
+	}); err == nil {
+		t.Error("scenario mode with Subscribers set should fail")
+	}
+}
