@@ -1,0 +1,190 @@
+package cablevod
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adversityConfig is the engine shape the public adversity tests run
+// on: small plant, no warmup, so disruptions bite quickly.
+func adversityConfig(parallelism int) Config {
+	return Config{
+		NeighborhoodSize: 400,
+		PerPeerStorage:   2 * GB,
+		Strategy:         LFU,
+		WarmupDays:       0,
+		Parallelism:      parallelism,
+	}
+}
+
+// TestPublicSnapshotRoundTrip drives the whole public surface of the
+// snapshot feature: export mid-run, save to disk, load, restore, and
+// finish — the resumed run must be bit-identical to one that was never
+// interrupted, including under an armed disruption schedule.
+func TestPublicSnapshotRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := NodeFailure{
+		At:        36 * time.Hour,
+		Fraction:  0.5,
+		RampHours: 2,
+		Seed:      11,
+	}
+	cut := len(tr.Records) / 2
+
+	build := func() *System {
+		sys, err := New(streamConfig(adversityConfig(2), tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Disrupt(fault); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	// The uninterrupted reference run.
+	ref := build()
+	if err := ref.SubmitBatch(tr.Records); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interrupted run: half the records, then export → save → load
+	// → restore → the other half.
+	sys := build()
+	if err := sys.SubmitBatch(tr.Records[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := SaveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := FutureTail(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != len(tr.Records)-cut {
+		t.Fatalf("future tail holds %d records, want %d", len(tail), len(tr.Records)-cut)
+	}
+	restored, err := Restore(loaded, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SubmitBatch(tail); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeParallelism(got), normalizeParallelism(want)) {
+		t.Errorf("restored run diverges from the uninterrupted run:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestPublicFork checks System.Fork hands out fully independent warm
+// engines: both forks driven through the same tail agree with each
+// other and with the parent continuing alone.
+func TestPublicFork(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(tr.Records) / 2
+	sys, err := New(streamConfig(adversityConfig(2), tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitBatch(tr.Records[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	forks, err := sys.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finish := func(s *System) *Result {
+		t.Helper()
+		if err := s.SubmitBatch(tr.Records[cut:]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	parent := finish(sys)
+	for i, f := range forks {
+		if res := finish(f); !reflect.DeepEqual(res, parent) {
+			t.Errorf("fork %d diverges from the parent run:\n got: %+v\nwant: %+v", i, res, parent)
+		}
+	}
+}
+
+// TestPublicRunForks races three strategies from one warm snapshot and
+// sanity-checks the comparative report.
+func TestPublicRunForks(t *testing.T) {
+	tr, err := GenerateTrace(smallTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(tr.Records) / 2
+	sys, err := New(streamConfig(adversityConfig(2), tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitBatch(tr.Records[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Disrupt(ColdRestart{At: tr.Records[cut].Start}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := FutureTail(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := RunForks(st, []string{"lfu", "lru", "gdsf"}, tail, ForkOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Arms) != 3 {
+		t.Fatalf("report has %d arms, want 3", len(report.Arms))
+	}
+	for _, arm := range report.Arms {
+		if arm.HitRatio <= 0 || arm.HitRatio > 1 {
+			t.Errorf("arm %s post-fork hit ratio %v out of range", arm.Strategy, arm.HitRatio)
+		}
+		if arm.Result == nil {
+			t.Errorf("arm %s carries no final result", arm.Strategy)
+		}
+	}
+	table := report.Table()
+	for _, want := range []string{"lfu", "lru", "gdsf", "STRATEGY", "best post-fork savings"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("report table missing %q:\n%s", want, table)
+		}
+	}
+}

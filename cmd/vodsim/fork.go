@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cablevod"
+)
+
+// armSnapshot wires the -snapshot-out/-snapshot-at flags into a
+// scenario or spec run's options: the mid-run export is saved to file
+// with the remaining workload embedded, so the file later resumes
+// (-snapshot-in) or forks (-snapshot-in -fork) standalone.
+func armSnapshot(at *time.Duration, on *func(*cablevod.SystemState) error, future *bool, out string, atHours int) {
+	if out == "" {
+		return
+	}
+	*at = time.Duration(atHours) * time.Hour
+	*future = true
+	*on = func(st *cablevod.SystemState) error {
+		if err := cablevod.SaveState(out, st); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot: state at %.0fh (%d records in, strategy %s) saved to %s\n",
+			st.At().Hours(), st.Submitted, st.Strategy(), out)
+		return nil
+	}
+}
+
+// runResume restores a saved engine state and replays its embedded
+// workload tail to the end, printing the final result — the
+// checkpointed-run composition: snapshot once, finish later.
+func runResume(path string, parallel int) error {
+	st, err := cablevod.LoadState(path)
+	if err != nil {
+		return err
+	}
+	tail, err := cablevod.FutureTail(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resuming %s: strategy %s at %.0fh, %d records in, %d to replay\n",
+		path, st.Strategy(), st.At().Hours(), st.Submitted, len(tail))
+
+	start := time.Now()
+	sys, err := cablevod.Restore(st, cablevod.RestoreOptions{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	if err := sys.SubmitBatch(tail); err != nil {
+		return err
+	}
+	res, err := sys.Close()
+	if err != nil {
+		return err
+	}
+	printResult(res, time.Since(start))
+	return nil
+}
+
+// runFork races one restored engine per strategy from the same saved
+// state through the same workload tail and prints the comparative
+// report: post-fork hit ratio, savings, and p95 coax through the
+// incident window, per strategy.
+func runFork(path, list string, parallel int) error {
+	names := splitStrategies(list)
+	if len(names) == 0 {
+		return fmt.Errorf("-fork needs a comma-separated strategy list, e.g. \"lfu,lru,gdsf\"")
+	}
+	st, err := cablevod.LoadState(path)
+	if err != nil {
+		return err
+	}
+	tail, err := cablevod.FutureTail(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forking %s: %d arms from %s at %.0fh, replaying %d records each\n",
+		path, len(names), st.Strategy(), st.At().Hours(), len(tail))
+
+	start := time.Now()
+	report, err := cablevod.RunForks(st, names, tail, cablevod.ForkOptions{Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.Table())
+	fmt.Printf("\nelapsed %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// splitStrategies parses the -fork list, tolerating spaces and empty
+// segments.
+func splitStrategies(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

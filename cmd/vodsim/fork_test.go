@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const adversitySpec = "../../testdata/scenarios/node-outage.yaml"
+
+// TestRunSnapshotForkCycle is the CLI's end-to-end adversity loop: a
+// spec run saves its warm state mid-incident, -fork races strategies
+// from that file with every arm rendered in the comparative report,
+// and -snapshot-in alone resumes the interrupted run to completion.
+func TestRunSnapshotForkCycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "outage.snap")
+	out := captureStdout(t, func() error {
+		return run([]string{"-scenario-file", adversitySpec, "-snapshot-out", snap, "-snapshot-at", "30"})
+	})
+	if !strings.Contains(out, "saved to "+snap) {
+		t.Fatalf("run did not confirm the snapshot save:\n%s", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"-snapshot-in", snap, "-fork", "lfu, lru"})
+	})
+	for _, want := range []string{"STRATEGY", "HIT RATIO", "SAVINGS", "COAX P95", "lfu", "lru", "best post-fork savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fork report missing %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"-snapshot-in", snap})
+	})
+	if !strings.Contains(out, "resuming "+snap) || !strings.Contains(out, "savings") {
+		t.Errorf("resume did not run to a final result:\n%s", out)
+	}
+}
+
+// TestRunSnapshotFlagErrors pins the flag-composition contract.
+func TestRunSnapshotFlagErrors(t *testing.T) {
+	quietStdout(t)
+	snap := filepath.Join(t.TempDir(), "x.snap")
+	cases := [][]string{
+		{"-fork", "lfu,lru"},                                     // fork without a state file
+		{"-snapshot-out", snap, "-synth"},                        // snapshot-out outside scenario modes
+		{"-scenario", "flash-crowd", "-snapshot-out", snap},      // missing -snapshot-at
+		{"-snapshot-in", "/nonexistent.snap"},                    // unreadable state
+		{"-snapshot-in", snap, "-synth"},                         // snapshot-in composes with nothing else
+		{"-snapshot-in", "/nonexistent.snap", "-fork", " ,  , "}, // empty strategy list
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -72,6 +72,10 @@ func run(args []string) error {
 		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none; a -scenario-file spec with assertions must then set its own cadence — assertions never pass over zero checkpoints)")
 		accel        = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
 		snapJSON     = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
+		snapOut      = fs.String("snapshot-out", "", "save the engine state to FILE mid-run at -snapshot-at (with -scenario or -scenario-file); the file embeds the remaining workload, so it resumes or forks standalone")
+		snapAt       = fs.Int("snapshot-at", 0, "simulated hour of the -snapshot-out state export")
+		snapIn       = fs.String("snapshot-in", "", "load a state file saved by -snapshot-out and resume the run to the end (or race strategies from it: -fork)")
+		forkList     = fs.String("fork", "", "comma-separated caching strategies to fork from the -snapshot-in state and race through the same incident, printing a comparative report")
 		benchJSON    = fs.Bool("bench-json", false, "benchmark the Submit path (serial, sharded, sharded+telemetry) on the fixed bench plant and print one JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +93,27 @@ func run(args []string) error {
 			fmt.Printf("%-12s %s\n", info.Name, info.Description)
 		}
 		return nil
+	}
+
+	if *snapIn != "" {
+		if *scenarioName != "" || *scenarioFile != "" || *synth || *path != "" || *serveAddr != "" {
+			return fmt.Errorf("-snapshot-in replays a saved engine state; it composes only with -fork and -parallel")
+		}
+		if *forkList != "" {
+			return runFork(*snapIn, *forkList, *parallel)
+		}
+		return runResume(*snapIn, *parallel)
+	}
+	if *forkList != "" {
+		return fmt.Errorf("-fork needs a warm state to branch from: -snapshot-in FILE")
+	}
+	if *snapOut != "" {
+		if *scenarioName == "" && *scenarioFile == "" {
+			return fmt.Errorf("-snapshot-out captures a mid-run scenario state; it needs -scenario or -scenario-file")
+		}
+		if *snapAt <= 0 {
+			return fmt.Errorf("-snapshot-out needs a positive -snapshot-at hour")
+		}
 	}
 
 	var tr *cablevod.Trace
@@ -179,12 +204,16 @@ func run(args []string) error {
 	var res *cablevod.Result
 	switch {
 	case *scenarioFile != "":
-		res, err = runSpecFile(cfg, *scenarioFile,
-			time.Duration(*checkpoint)*time.Hour, *accel, *snapJSON)
+		res, err = runSpecFile(cfg, *scenarioFile, specFileRunOptions{
+			fallback: time.Duration(*checkpoint) * time.Hour,
+			accel:    *accel, json: *snapJSON,
+			snapshotOut: *snapOut, snapshotAtHours: *snapAt,
+		})
 	case *scenarioName != "":
 		res, err = runScenario(cfg, *scenarioName, scenarioRunOptions{
 			users: *users, programs: *programs, days: *days, seed: *seed,
 			checkpointHours: *checkpoint, accel: *accel, json: *snapJSON,
+			snapshotOut: *snapOut, snapshotAtHours: *snapAt,
 		})
 	case *live > 0:
 		res, err = runLive(cfg, tr, *live, *snapJSON)
@@ -205,6 +234,8 @@ type scenarioRunOptions struct {
 	checkpointHours       int
 	accel                 float64
 	json                  bool
+	snapshotOut           string
+	snapshotAtHours       int
 }
 
 // runScenario drives a registered scenario through the live engine,
@@ -215,25 +246,38 @@ func runScenario(cfg cablevod.Config, name string, o scenarioRunOptions) (*cable
 	}
 	workload := cablevod.DefaultTraceOptions()
 	workload.Users, workload.Programs, workload.Days, workload.Seed = o.users, o.programs, o.days, o.seed
-	res, _, err := cablevod.RunScenario(name, cfg, cablevod.ScenarioOptions{
+	opts := cablevod.ScenarioOptions{
 		Workload:     workload,
 		Checkpoint:   time.Duration(o.checkpointHours) * time.Hour,
 		Acceleration: o.accel,
 		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
-	})
+	}
+	armSnapshot(&opts.SnapshotAt, &opts.OnSnapshot, &opts.SnapshotFuture, o.snapshotOut, o.snapshotAtHours)
+	res, _, err := cablevod.RunScenario(name, cfg, opts)
 	return res, err
+}
+
+// specFileRunOptions carries the CLI knobs of a -scenario-file run.
+type specFileRunOptions struct {
+	fallback        time.Duration
+	accel           float64
+	json            bool
+	snapshotOut     string
+	snapshotAtHours int
 }
 
 // runSpecFile runs a declarative scenario spec through the assertion
 // harness: checkpoints print as they are taken, then the pass/fail
 // report. A violated assertion is a command failure (non-zero exit) —
 // the CI gate contract.
-func runSpecFile(cfg cablevod.Config, path string, fallback time.Duration, accel float64, asJSON bool) (*cablevod.Result, error) {
-	report, err := cablevod.RunSpecFile(path, cfg, cablevod.SpecRunOptions{
-		Checkpoint:   fallback,
-		Acceleration: accel,
-		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, asJSON) },
-	})
+func runSpecFile(cfg cablevod.Config, path string, o specFileRunOptions) (*cablevod.Result, error) {
+	opts := cablevod.SpecRunOptions{
+		Checkpoint:   o.fallback,
+		Acceleration: o.accel,
+		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
+	}
+	armSnapshot(&opts.SnapshotAt, &opts.OnSnapshot, &opts.SnapshotFuture, o.snapshotOut, o.snapshotAtHours)
+	report, err := cablevod.RunSpecFile(path, cfg, opts)
 	if err != nil {
 		return nil, err
 	}

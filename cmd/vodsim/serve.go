@@ -66,6 +66,10 @@ func runServe(cfg cablevod.Config, o serveRunOptions) error {
 	if o.trace != nil && o.scenario == "" && o.specFile == "" {
 		cfg.Subscribers = o.trace.Users()
 		cfg.Catalog = cablevod.TraceCatalog(o.trace)
+		// Handing the plant its own trace as the future makes daemon
+		// state exports self-contained: POST /fork can race strategies
+		// through the not-yet-submitted remainder.
+		cfg.Future = o.trace
 		if o.feedDays > 0 {
 			tr := o.trace
 			opts.OnListen = func(addr string) {

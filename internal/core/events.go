@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cablevod/internal/hfc"
+	"cablevod/internal/units"
+)
+
+// eventKind enumerates the engine's scheduled event types. Shard events
+// used to be closures; making them enumerable data is what lets a
+// snapshot serialize a mid-run event queue and a restore rebuild it
+// bit-exactly (see snapshot.go).
+type eventKind uint8
+
+const (
+	// evSessionEnd closes the viewer's receive stream when the session
+	// ends and retires it from the active count.
+	evSessionEnd eventKind = iota + 1
+	// evCoaxRelease returns one broadcast's bandwidth to the coax
+	// channel when the broadcast ends.
+	evCoaxRelease
+	// evPeerClose closes a serving or cache-filling peer's stream when
+	// its broadcast ends.
+	evPeerClose
+	// evSegment advances a session to its next segment.
+	evSegment
+)
+
+// String names the kind for diagnostics.
+func (k eventKind) String() string {
+	switch k {
+	case evSessionEnd:
+		return "session-end"
+	case evCoaxRelease:
+		return "coax-release"
+	case evPeerClose:
+		return "peer-close"
+	case evSegment:
+		return "segment"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// shardEvent is one scheduled simulation action on a shard's queue: a
+// kind plus the references the kind needs (the session for session-end
+// and segment events, the peer for stream-close events). All shard
+// events are of this one type so a snapshot can enumerate a queue.
+type shardEvent struct {
+	sh   *shard
+	kind eventKind
+	sess *session
+	peer *hfc.SetTopBox
+}
+
+// Execute runs the event at its scheduled time.
+func (e *shardEvent) Execute(now time.Duration) {
+	switch e.kind {
+	case evSessionEnd:
+		e.sess.viewer.CloseStream()
+		e.sh.active--
+	case evCoaxRelease:
+		e.sh.nb.Coax().Release(units.StreamRate)
+	case evPeerClose:
+		e.peer.CloseStream()
+	case evSegment:
+		e.sh.processSegment(e.sess, now)
+	default:
+		panic(fmt.Sprintf("core: executing unknown event kind %d", e.kind))
+	}
+}

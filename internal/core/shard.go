@@ -101,12 +101,19 @@ func (sh *shard) startSession(rec trace.Record, now time.Duration) {
 		col.ObserveSession(sh.nb.ID(), rec.Program, now)
 	}
 
+	// The session value exists before its end event is scheduled so the
+	// event can carry it; firstFetch is resolved below, after the index
+	// server has seen the request.
+	sess := &session{
+		rec:    rec,
+		sh:     sh,
+		viewer: viewer,
+		length: sh.sys.lengths(rec.Program),
+	}
+
 	// The viewer's box holds a receive stream for the whole session.
 	viewer.ForceOpenStream()
-	sh.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-		viewer.CloseStream()
-		sh.active--
-	}))
+	sh.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evSessionEnd, sess: sess})
 
 	// The index server observes the request and updates the cache.
 	res := sh.is.OnSessionStart(rec.Program, now)
@@ -114,14 +121,8 @@ func (sh *shard) startSession(rec trace.Record, now time.Duration) {
 		sh.counters.Admissions++
 	}
 	sh.counters.Evictions += uint64(len(res.Evicted))
+	sess.firstFetch = res.Admitted && sh.sys.cfg.Fill == FillImmediate
 
-	sess := &session{
-		rec:        rec,
-		sh:         sh,
-		viewer:     viewer,
-		length:     sh.sys.lengths(rec.Program),
-		firstFetch: res.Admitted && sh.sys.cfg.Fill == FillImmediate,
-	}
 	sh.processSegment(sess, now)
 }
 
@@ -154,9 +155,7 @@ func (sh *shard) processSegment(sess *session, now time.Duration) {
 	sh.serveSegment(sess, idx, now, watchEnd, complete)
 
 	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
-		sh.queue.Schedule(segEndAbs, eventq.PrioritySegment, eventq.Func(func(t time.Duration) {
-			sh.processSegment(sess, t)
-		}))
+		sh.queue.Schedule(segEndAbs, eventq.PrioritySegment, &shardEvent{sh: sh, kind: evSegment, sess: sess})
 	}
 }
 
@@ -177,9 +176,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	coax := sh.nb.Coax()
 	coaxBusy := coax.Rate() // channel load before this broadcast, for telemetry
 	if coax.Admit(units.StreamRate) {
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			coax.Release(units.StreamRate)
-		}))
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evCoaxRelease})
 	} else {
 		sh.counters.CoaxOverloads++
 	}
@@ -195,9 +192,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	switch outcome {
 	case ServedByPeer:
 		sh.counters.Hits++
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-			server.CloseStream()
-		}))
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evPeerClose, peer: server})
 		sh.observe(p, from, outcome, false, coaxBusy)
 		return
 	case MissNotCached:
@@ -216,9 +211,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	if complete {
 		if filler := sh.is.TryFill(p, idx); filler != nil {
 			sh.counters.Fills++
-			sh.queue.Schedule(to, eventq.PrioritySessionEnd, eventq.Func(func(time.Duration) {
-				filler.CloseStream()
-			}))
+			sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evPeerClose, peer: filler})
 		}
 	}
 	sh.observe(p, from, outcome, false, coaxBusy)

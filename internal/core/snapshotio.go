@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshotFormat identifies snapshot files.
+const snapshotFormat = "cablevod-snapshot"
+
+// snapshotHeader is the file's first line: plain JSON so `head -1` tells
+// a human what the file is without decoding the gob body that follows.
+type snapshotHeader struct {
+	Format    string `json:"format"`
+	Version   int    `json:"version"`
+	Strategy  string `json:"strategy"`
+	At        string `json:"at"`
+	Submitted int    `json:"submitted"`
+	Shards    int    `json:"shards"`
+}
+
+// WriteState serializes a SystemState to w: one JSON header line, then
+// the gob-encoded state.
+func WriteState(w io.Writer, st *SystemState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil system state")
+	}
+	hdr := snapshotHeader{
+		Format:    snapshotFormat,
+		Version:   st.Version,
+		Strategy:  st.Strategy(),
+		At:        st.LastStart.String(),
+		Submitted: st.Submitted,
+		Shards:    len(st.Shards),
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("core: encode snapshot header: %w", err)
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadState deserializes a SystemState written by WriteState, verifying
+// the format and version before decoding the body.
+func ReadState(r io.Reader) (*SystemState, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("core: read snapshot header: %w", err)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("core: not a snapshot file (bad header): %w", err)
+	}
+	if hdr.Format != snapshotFormat {
+		return nil, fmt.Errorf("core: not a snapshot file (format %q)", hdr.Format)
+	}
+	if hdr.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, this build reads %d", hdr.Version, SnapshotVersion)
+	}
+	var st SystemState
+	if err := gob.NewDecoder(br).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if st.Version != hdr.Version {
+		return nil, fmt.Errorf("core: snapshot body version %d disagrees with header %d", st.Version, hdr.Version)
+	}
+	return &st, nil
+}
+
+// SaveStateFile writes a snapshot to path atomically (temp file +
+// rename), so a crash mid-write never leaves a truncated snapshot where
+// a good one was expected.
+func SaveStateFile(path string, st *SystemState) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := WriteState(bw, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadStateFile reads a snapshot file written by SaveStateFile.
+func LoadStateFile(path string) (*SystemState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := ReadState(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: load snapshot %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// PeekStateHeader reads only a snapshot file's header line — enough for
+// status displays without decoding the full state.
+func PeekStateHeader(path string) (strategy string, at time.Duration, submitted int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadBytes('\n')
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("core: read snapshot header: %w", err)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return "", 0, 0, fmt.Errorf("core: not a snapshot file: %w", err)
+	}
+	if hdr.Format != snapshotFormat {
+		return "", 0, 0, fmt.Errorf("core: not a snapshot file (format %q)", hdr.Format)
+	}
+	d, err := time.ParseDuration(hdr.At)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("core: bad snapshot time %q: %w", hdr.At, err)
+	}
+	return hdr.Strategy, d, hdr.Submitted, nil
+}

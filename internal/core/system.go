@@ -113,6 +113,18 @@ type System struct {
 	// lengths resolves catalog program lengths.
 	lengths func(trace.ProgramID) time.Duration
 
+	// users, lengthTable and future retain the workload the engine was
+	// built from, so a snapshot can rebuild an identical plant and
+	// strategy state (see ExportState). All three are read-only after
+	// construction.
+	users       []trace.UserID
+	lengthTable map[trace.ProgramID]time.Duration
+	future      []trace.Record
+
+	// disruptions is the pending supply-side disruption schedule, sorted
+	// by time (see ScheduleDisruptions).
+	disruptions []Disruption
+
 	// collector, when non-nil, observes hot-path events (see
 	// Collector). Strictly observational: never read by the engine.
 	collector Collector
@@ -159,6 +171,9 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 		lengths = map[trace.ProgramID]time.Duration{}
 	}
 	s.lengths = func(p trace.ProgramID) time.Duration { return lengths[p] }
+	s.users = append([]trace.UserID(nil), w.Users...)
+	s.lengthTable = lengths
+	s.future = w.Future
 
 	entry, ok := lookupStrategy(cfg.strategyName())
 	if !ok {
@@ -273,6 +288,9 @@ func (s *System) Submit(rec trace.Record) error {
 	if err != nil {
 		return err
 	}
+	if s.disruptionDue(rec.Start) {
+		s.applyDisruptionsDue(rec.Start)
+	}
 	if s.coupler != nil && s.coupler.SyncNeeded(rec.Start) {
 		s.coupler.Sync(rec.Start)
 	}
@@ -308,23 +326,31 @@ func (s *System) SubmitBatch(recs []trace.Record) error {
 	case shardsSerialized:
 		// Per-request cross-shard coupling: global order, one goroutine.
 		for i, rec := range recs {
+			if s.disruptionDue(rec.Start) {
+				s.applyDisruptionsDue(rec.Start)
+			}
 			routed[i].submit(rec)
 		}
-	case shardsEpochCoupled:
-		// Shards run concurrently between publication barriers; shared
-		// strategy state synchronizes exactly where the serial engine
-		// would have published.
+	default:
+		// Shards run concurrently between barriers: epoch publication
+		// instants (shared strategy state synchronizes exactly where the
+		// serial engine would have published) and disruption instants
+		// (the plant changes with no worker running). Both split the
+		// batch at the same record boundaries at every parallelism level,
+		// so results stay bit-identical.
 		start := 0
 		for i, rec := range recs {
-			if s.coupler.SyncNeeded(rec.Start) {
+			sync := s.mode == shardsEpochCoupled && s.coupler.SyncNeeded(rec.Start)
+			if sync || s.disruptionDue(rec.Start) {
 				s.dispatch(recs[start:i], routed[start:i])
-				s.coupler.Sync(rec.Start)
+				s.applyDisruptionsDue(rec.Start)
+				if sync {
+					s.coupler.Sync(rec.Start)
+				}
 				start = i
 			}
 		}
 		s.dispatch(recs[start:], routed[start:])
-	default:
-		s.dispatch(recs, routed)
 	}
 
 	if len(recs) > 0 {
@@ -404,6 +430,13 @@ func (s *System) Close() (*Result, error) {
 		return nil, fmt.Errorf("core: system already closed")
 	}
 	s.closed = true
+	// Disruptions scheduled past the last record still apply, in order,
+	// before the drain they precede.
+	for len(s.disruptions) > 0 {
+		d := s.disruptions[0]
+		s.disruptions = s.disruptions[1:]
+		s.applyDisruption(d)
+	}
 	s.forShards(s.shards, func(sh *shard) { sh.queue.Run() })
 
 	days := s.days()

@@ -71,6 +71,32 @@ func (c *Coax) Admit(rate units.BitRate) bool {
 	return true
 }
 
+// SetCapacity re-provisions the VoD-available bandwidth — the coax
+// degradation hook. In-flight broadcasts are not torn down: the rate may
+// exceed a lowered capacity until streams drain; only new admissions see
+// the new limit.
+func (c *Coax) SetCapacity(capacity units.BitRate) error {
+	if capacity <= 0 {
+		return fmt.Errorf("hfc: coax capacity must be positive, got %v", capacity)
+	}
+	c.capacity = capacity
+	return nil
+}
+
+// RestoreState forces the channel's live accounting to a serialized
+// snapshot's values. Restore-time only: the caller must rebuild the
+// in-flight broadcast release events the counters describe.
+func (c *Coax) RestoreState(rate units.BitRate, active int, peak units.BitRate) error {
+	if rate < 0 || active < 0 || (rate > 0 && active == 0) {
+		return fmt.Errorf("hfc: restore of rate %v over %d streams", rate, active)
+	}
+	if peak < rate {
+		return fmt.Errorf("hfc: restore peak %v below rate %v", peak, rate)
+	}
+	c.rate, c.active, c.peak = rate, active, peak
+	return nil
+}
+
 // Release closes a broadcast stream of the given rate.
 func (c *Coax) Release(rate units.BitRate) {
 	if rate <= 0 || rate > c.rate || c.active <= 0 {

@@ -72,6 +72,34 @@ func (s *SetTopBox) Release(bytes units.ByteSize) {
 	s.used -= bytes
 }
 
+// SetStorageCapacity re-provisions the box's storage contribution — the
+// supply-side disruption hook (node failure takes capacity away,
+// restoration and heterogeneous fleets give it back unevenly). The new
+// capacity may fall below the bytes currently used; the index server is
+// responsible for shedding placed segments until the box fits again.
+func (s *SetTopBox) SetStorageCapacity(capacity units.ByteSize) error {
+	if capacity < 0 {
+		return fmt.Errorf("hfc: negative storage capacity %v", capacity)
+	}
+	s.capacity = capacity
+	return nil
+}
+
+// RestoreState forces the box's live accounting to a serialized
+// snapshot's values. Restore-time only: the caller must rebuild the
+// placements and sessions the counters describe.
+func (s *SetTopBox) RestoreState(used units.ByteSize, activeStreams int) error {
+	if used < 0 || used > s.capacity {
+		return fmt.Errorf("hfc: restore of %v used into %v capacity", used, s.capacity)
+	}
+	if activeStreams < 0 {
+		return fmt.Errorf("hfc: negative active streams %d", activeStreams)
+	}
+	s.used = used
+	s.active = activeStreams
+	return nil
+}
+
 // ActiveStreams returns the number of streams currently open (sending or
 // receiving).
 func (s *SetTopBox) ActiveStreams() int { return s.active }

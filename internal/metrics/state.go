@@ -1,0 +1,44 @@
+package metrics
+
+import "cablevod/internal/units"
+
+// Buckets returns a copy of the meter's absolute-hour bit buckets — the
+// meter's complete serializable state.
+func (m *RateMeter) Buckets() map[int64]int64 {
+	out := make(map[int64]int64, len(m.bits))
+	for idx, b := range m.bits {
+		out[idx] = b
+	}
+	return out
+}
+
+// RestoreBuckets replaces the meter's contents with the given buckets
+// (copied, so the caller's map stays independent).
+func (m *RateMeter) RestoreBuckets(buckets map[int64]int64) {
+	m.bits = make(map[int64]int64, len(buckets))
+	for idx, b := range buckets {
+		m.bits[idx] = b
+	}
+}
+
+// HourWindowSamples returns the average rate of every absolute hour in
+// [fromHour, toHour) whose hour-of-day satisfies keep (nil keeps all).
+// Hours with no traffic yield zero samples, exactly like HourSamples —
+// used to report rate statistics over an incident window rather than
+// whole days.
+func (m *RateMeter) HourWindowSamples(fromHour, toHour int64, keep func(hour int) bool) []units.BitRate {
+	if toHour <= fromHour {
+		return nil
+	}
+	var out []units.BitRate
+	for h := fromHour; h < toHour; h++ {
+		if h < 0 {
+			continue
+		}
+		if keep != nil && !keep(int(h%24)) {
+			continue
+		}
+		out = append(out, units.BitRate(float64(m.bits[h])/3600))
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cablevod/internal/core"
+	"cablevod/internal/hfc"
 	"cablevod/internal/synth"
 	"cablevod/internal/trace"
 )
@@ -44,6 +45,25 @@ type Options struct {
 	// streamed so far. The daemon's SIGTERM path.
 	Stop <-chan struct{}
 
+	// SnapshotAt requests one mid-run state export at the first hour
+	// boundary at or after this virtual time (0 = none). The pending
+	// chunk is flushed first, so the snapshot reflects exactly the
+	// records up to its instant — the warm state fork runs branch from.
+	SnapshotAt time.Duration
+
+	// OnSnapshot receives the export. A returned error aborts the run
+	// (a snapshot the caller could not keep should not be silently
+	// dropped). Required when SnapshotAt is set.
+	OnSnapshot func(*core.SystemState) error
+
+	// SnapshotFuture additionally embeds the scenario's complete
+	// materialized record stream in the snapshot's Future field, making
+	// the saved state self-contained: Future[Submitted:] is exactly the
+	// records still to come, so a fork run can replay the rest of the
+	// scenario from the file alone. Costs one extra generation pass of
+	// the whole stream at snapshot time.
+	SnapshotFuture bool
+
 	// now and sleep are test seams; nil uses the real clock.
 	now   func() time.Time
 	sleep func(time.Duration)
@@ -58,6 +78,10 @@ func (o Options) validate() error {
 		return fmt.Errorf("scenario: negative checkpoint interval %v", o.Checkpoint)
 	case o.Acceleration < 0:
 		return fmt.Errorf("scenario: negative acceleration %v (0 = unthrottled)", o.Acceleration)
+	case o.SnapshotAt < 0:
+		return fmt.Errorf("scenario: negative snapshot time %v", o.SnapshotAt)
+	case o.SnapshotAt > 0 && o.OnSnapshot == nil:
+		return fmt.Errorf("scenario: snapshot at %v requested without an OnSnapshot receiver", o.SnapshotAt)
 	}
 	return nil
 }
@@ -89,6 +113,7 @@ type Checkpoint struct {
 type Driver struct {
 	spec   Spec
 	opts   Options
+	topo   hfc.Config
 	sys    *core.System
 	stream *synth.Stream
 
@@ -134,7 +159,14 @@ func NewDriver(cfg core.Config, spec Spec, opts Options) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Driver{spec: spec, opts: opts, sys: sys, stream: stream}, nil
+	for _, ph := range spec.Phases {
+		for i, f := range ph.Faults {
+			if err := sys.Disrupt(f); err != nil {
+				return nil, fmt.Errorf("scenario %s: phase %q fault %d (%s): %w", spec.Name, ph.Name, i, f.Kind(), err)
+			}
+		}
+	}
+	return &Driver{spec: spec, opts: opts, topo: cfg.Topology, sys: sys, stream: stream}, nil
 }
 
 // System returns the live engine, for mid-run Snapshot access.
@@ -162,6 +194,7 @@ func (d *Driver) Run() (*core.Result, error) {
 	var pending []trace.Record
 	pendingFrom := time.Duration(0)
 	nextCheckpoint := d.opts.Checkpoint
+	snapshotDone := d.opts.SnapshotAt == 0
 
 	for !d.stream.Done() {
 		if stopRequested(d.opts.Stop) {
@@ -176,7 +209,8 @@ func (d *Driver) Run() (*core.Result, error) {
 		hourEnd := info.Start + time.Hour
 
 		atCheckpoint := d.opts.Checkpoint > 0 && hourEnd >= nextCheckpoint
-		if hourEnd-pendingFrom >= d.opts.Chunk || atCheckpoint || d.stream.Done() {
+		atSnapshot := !snapshotDone && hourEnd >= d.opts.SnapshotAt
+		if hourEnd-pendingFrom >= d.opts.Chunk || atCheckpoint || atSnapshot || d.stream.Done() {
 			if len(pending) > 0 {
 				if err := d.sys.SubmitBatch(pending); err != nil {
 					return nil, fmt.Errorf("scenario %s: submitting hour d%02d/%02d: %w",
@@ -186,6 +220,26 @@ func (d *Driver) Run() (*core.Result, error) {
 			}
 			pendingFrom = hourEnd
 			d.throttle(start, hourEnd)
+		}
+		if atSnapshot {
+			st, err := d.sys.ExportState()
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: snapshot at %v: %w", d.spec.Name, hourEnd, err)
+			}
+			if d.opts.SnapshotFuture {
+				// Materialize generates the same sorted hour chunks the
+				// stream hands out, so the full record list lines up with
+				// the snapshot's Submitted cursor.
+				tr, err := Materialize(d.spec, d.topo)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: snapshot at %v: materialize future: %w", d.spec.Name, hourEnd, err)
+				}
+				st.Future = tr.Records
+			}
+			if err := d.opts.OnSnapshot(st); err != nil {
+				return nil, fmt.Errorf("scenario %s: snapshot at %v: %w", d.spec.Name, hourEnd, err)
+			}
+			snapshotDone = true
 		}
 		if atCheckpoint {
 			cp := Checkpoint{

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"cablevod/internal/core"
 	"cablevod/internal/hfc"
 	"cablevod/internal/synth"
 	"cablevod/internal/trace"
@@ -47,11 +48,30 @@ type Spec struct {
 }
 
 // Phase is one named window [From, To) of the scenario timeline; its
-// modulators apply while the virtual clock is inside the window.
+// modulators apply while the virtual clock is inside the window, and
+// its faults hit the plant at the absolute instants they each carry.
 type Phase struct {
 	Name       string
 	From, To   time.Duration
 	Modulators []Modulator
+	Faults     []Fault
+}
+
+// Fault is a plant-level disruption riding the phase timeline — demand
+// stays the base workload's, but supply degrades: boxes fail, caches
+// wipe, coax narrows. Faults validate plant-independently here and
+// compile to engine disruptions when the Driver arms them (the concrete
+// models live in internal/adversity). Unlike modulators, a fault is not
+// scoped by its phase window: it carries its own absolute schedule, and
+// the phase only names the incident it belongs to.
+type Fault interface {
+	core.Disruptor
+
+	// Kind names the fault model ("node_failure", ...).
+	Kind() string
+
+	// Validate checks the fault's parameters before any plant exists.
+	Validate() error
 }
 
 // Contains reports whether t falls inside the phase window.
@@ -186,6 +206,14 @@ func (s Spec) Validate(neighborhoodSize int) error {
 		for j, m := range ph.Modulators {
 			if err := m.validate(ctx, ph); err != nil {
 				return fmt.Errorf("scenario %s: phase %q modulator %d (%s): %w", s.Name, ph.Name, j, m.Kind(), err)
+			}
+		}
+		for j, f := range ph.Faults {
+			if f == nil {
+				return fmt.Errorf("scenario %s: phase %q fault %d is nil", s.Name, ph.Name, j)
+			}
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("scenario %s: phase %q fault %d (%s): %w", s.Name, ph.Name, j, f.Kind(), err)
 			}
 		}
 	}

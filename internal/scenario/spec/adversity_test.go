@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cablevod/internal/core"
+)
+
+// TestAdversitySpecs is the CI gate of the fault-injection data path:
+// every checked-in adversity spec must decode its faults, pass its own
+// calibrated assertions, and produce a byte-identical checkpoint series
+// at parallelism 1, 4, and GOMAXPROCS — faults have no registry twins,
+// so parallelism self-equivalence replaces the registry comparison.
+func TestAdversitySpecs(t *testing.T) {
+	for _, name := range adversitySpecNames {
+		t.Run(name, func(t *testing.T) {
+			f := loadSpec(t, name)
+			faults := 0
+			for _, ph := range f.Phases {
+				faults += len(ph.Faults)
+			}
+			if faults == 0 {
+				t.Fatalf("adversity spec %s declares no faults", name)
+			}
+
+			var want []byte
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+					report, err := Run(f, RunOptions{Parallelism: par})
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if fail := report.FirstFailure(); fail != nil {
+						t.Errorf("checked-in assertion %s violated: %s", fail.Label, fail.Detail)
+					}
+					got := checkpointJSON(t, report.Checkpoints)
+					if want == nil {
+						want = got
+						return
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("checkpoint series diverges at parallelism %d:\nfirst divergence: %s",
+							par, firstJSONDivergence(got, want))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestAdversitySpecSnapshot drives an adversity spec to a mid-run
+// snapshot through the Driver's snapshot hook and verifies the export
+// lands at the requested boundary with the spec's pending disruption
+// schedule re-armed in it.
+func TestAdversitySpecSnapshot(t *testing.T) {
+	f := loadSpec(t, "node-outage")
+	var st *core.SystemState
+	_, err := Run(f, RunOptions{
+		Parallelism: 1,
+		SnapshotAt:  30 * time.Hour,
+		OnSnapshot: func(s *core.SystemState) error {
+			st = s
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no snapshot delivered")
+	}
+	if st.At() < 30*time.Hour-time.Hour || st.At() > 31*time.Hour {
+		t.Fatalf("snapshot at %v, want around 30h", st.At())
+	}
+	// The outage began at 24h with a 4h ramp and restores at 48h: by 30h
+	// the ramp steps are consumed and only the restore — one entry per
+	// neighborhood — is still pending.
+	if len(st.Disruptions) == 0 {
+		t.Fatal("no pending disruptions in snapshot, want the 48h restore")
+	}
+	for i, d := range st.Disruptions {
+		if d.At != 48*time.Hour {
+			t.Fatalf("pending disruption %d at %v, want 48h", i, d.At)
+		}
+	}
+
+	// The snapshot restores and finishes cleanly.
+	sys, err := core.RestoreSystem(st, core.RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"cablevod/internal/adversity"
 	"cablevod/internal/scenario"
 	"cablevod/internal/trace"
 	"cablevod/internal/units"
@@ -332,7 +333,7 @@ func (d *decoder) engine(v any) Engine {
 
 func (d *decoder) phase(v any, path string) PhaseSpec {
 	m := d.mapping(v, path)
-	d.allowed(m, path, "name", "from", "to", "modulators")
+	d.allowed(m, path, "name", "from", "to", "modulators", "faults")
 	ph := PhaseSpec{
 		Name: d.str(m, "name", path),
 		From: d.dur(m, "from", path),
@@ -346,7 +347,73 @@ func (d *decoder) phase(v any, path string) PhaseSpec {
 			}
 		}
 	}
+	if faults, ok := m["faults"]; ok {
+		for i, item := range d.sequence(faults, path+".faults") {
+			f := d.fault(item, fmt.Sprintf("%s.faults[%d]", path, i))
+			if f != nil {
+				ph.Faults = append(ph.Faults, f)
+			}
+		}
+	}
 	return ph
+}
+
+// neighborhoodRef decodes a fault's optional neighborhood key; absent
+// means every neighborhood (-1).
+func (d *decoder) neighborhoodRef(m map[string]any, path string) int {
+	if _, ok := m["neighborhood"]; !ok {
+		return -1
+	}
+	return d.integer(m, "neighborhood", path)
+}
+
+// fault decodes one plant fault by its kind discriminator.
+func (d *decoder) fault(v any, path string) scenario.Fault {
+	m := d.mapping(v, path)
+	kind := d.str(m, "kind", path)
+	if d.err != nil {
+		return nil
+	}
+	switch kind {
+	case "node_failure":
+		d.allowed(m, path+" (node_failure)", "kind", "at", "neighborhood", "fraction", "ramp_hours", "restore_at", "seed")
+		return adversity.NodeFailure{
+			At:           d.dur(m, "at", path),
+			Neighborhood: d.neighborhoodRef(m, path),
+			Fraction:     d.float(m, "fraction", path),
+			RampHours:    d.integer(m, "ramp_hours", path),
+			RestoreAt:    d.dur(m, "restore_at", path),
+			Seed:         d.uint(m, "seed", path),
+		}
+	case "cold_restart":
+		d.allowed(m, path+" (cold_restart)", "kind", "at", "neighborhood")
+		return adversity.ColdRestart{
+			At:           d.dur(m, "at", path),
+			Neighborhood: d.neighborhoodRef(m, path),
+		}
+	case "coax_degrade":
+		d.allowed(m, path+" (coax_degrade)", "kind", "at", "neighborhood", "factor", "restore_at")
+		return adversity.CoaxDegrade{
+			At:           d.dur(m, "at", path),
+			Neighborhood: d.neighborhoodRef(m, path),
+			Factor:       d.float(m, "factor", path),
+			RestoreAt:    d.dur(m, "restore_at", path),
+		}
+	case "hetero_cache":
+		d.allowed(m, path+" (hetero_cache)", "kind", "at", "neighborhood", "min", "max", "seed")
+		return adversity.HeteroCache{
+			At:           d.dur(m, "at", path),
+			Neighborhood: d.neighborhoodRef(m, path),
+			Min:          d.bytesize(m, "min", path),
+			Max:          d.bytesize(m, "max", path),
+			Seed:         d.uint(m, "seed", path),
+		}
+	case "":
+		d.fail("%s: missing fault kind", path)
+	default:
+		d.fail("%s: unknown fault kind %q (known: node_failure, cold_restart, coax_degrade, hetero_cache)", path, kind)
+	}
+	return nil
 }
 
 // modulator decodes one modulator by its kind discriminator.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"cablevod/internal/adversity"
 	"cablevod/internal/scenario"
 	"cablevod/internal/units"
 )
@@ -40,6 +41,12 @@ func (f *File) MarshalYAML() []byte {
 				w.key(2, "modulators")
 				for _, m := range ph.Modulators {
 					encodeModulator(w, m)
+				}
+			}
+			if len(ph.Faults) > 0 {
+				w.key(2, "faults")
+				for _, ft := range ph.Faults {
+					encodeFault(w, ft)
 				}
 			}
 		}
@@ -194,6 +201,57 @@ func encodeModulator(w *yamlWriter, mod scenario.Modulator) {
 		// spec grammar; emit a marker that fails to re-parse rather than
 		// silently dropping it.
 		w.item(3, "kind", yString(fmt.Sprintf("unencodable:%T", mod)))
+	}
+}
+
+// encodeNeighborhood emits a fault's neighborhood only when it targets
+// one (absent means all, the -1 sentinel).
+func encodeNeighborhood(w *yamlWriter, nb int) {
+	if nb != -1 {
+		w.scalar(4, "neighborhood", yInt(nb))
+	}
+}
+
+func encodeFault(w *yamlWriter, fault scenario.Fault) {
+	switch f := fault.(type) {
+	case adversity.NodeFailure:
+		w.item(3, "kind", yString("node_failure"))
+		w.scalar(4, "at", yDuration(f.At))
+		encodeNeighborhood(w, f.Neighborhood)
+		w.scalar(4, "fraction", yFloat(f.Fraction))
+		if f.RampHours != 0 {
+			w.scalar(4, "ramp_hours", yInt(f.RampHours))
+		}
+		if f.RestoreAt != 0 {
+			w.scalar(4, "restore_at", yDuration(f.RestoreAt))
+		}
+		if f.Seed != 0 {
+			w.scalar(4, "seed", strconv.FormatUint(f.Seed, 10))
+		}
+	case adversity.ColdRestart:
+		w.item(3, "kind", yString("cold_restart"))
+		w.scalar(4, "at", yDuration(f.At))
+		encodeNeighborhood(w, f.Neighborhood)
+	case adversity.CoaxDegrade:
+		w.item(3, "kind", yString("coax_degrade"))
+		w.scalar(4, "at", yDuration(f.At))
+		encodeNeighborhood(w, f.Neighborhood)
+		w.scalar(4, "factor", yFloat(f.Factor))
+		if f.RestoreAt != 0 {
+			w.scalar(4, "restore_at", yDuration(f.RestoreAt))
+		}
+	case adversity.HeteroCache:
+		w.item(3, "kind", yString("hetero_cache"))
+		w.scalar(4, "at", yDuration(f.At))
+		encodeNeighborhood(w, f.Neighborhood)
+		w.scalar(4, "min", yString(f.Min.String()))
+		w.scalar(4, "max", yString(f.Max.String()))
+		if f.Seed != 0 {
+			w.scalar(4, "seed", strconv.FormatUint(f.Seed, 10))
+		}
+	default:
+		// Same contract as modulators: never drop a fault silently.
+		w.item(3, "kind", yString(fmt.Sprintf("unencodable:%T", fault)))
 	}
 }
 

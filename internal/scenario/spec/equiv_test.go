@@ -21,6 +21,17 @@ const specDir = "../../../testdata/scenarios"
 // specNames are the five registry scenarios re-expressed as data.
 var specNames = []string{"flash-crowd", "premiere", "churn-wave", "weekend-surge", "regional-drift"}
 
+// adversitySpecNames are the checked-in fault-injection scenarios; they
+// have no registry twins (faults are spec-only), so the equivalence gate
+// skips them and TestAdversitySpecs pins their behaviour instead.
+var adversitySpecNames = []string{"node-outage", "cache-wipe"}
+
+// allSpecNames is the complete checked-in corpus, for grammar-level
+// tests (round trip, goldens).
+func allSpecNames() []string {
+	return append(append([]string(nil), specNames...), adversitySpecNames...)
+}
+
 func loadSpec(t *testing.T, name string) *File {
 	t.Helper()
 	f, err := Load(filepath.Join(specDir, name+".yaml"))

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite golden checkpoint files")
 // the workload generator, the modulators, or the serving engine shows
 // up as a named first-divergent field instead of a silent change.
 func TestSpecGoldenCheckpoints(t *testing.T) {
-	for _, name := range specNames {
+	for _, name := range allSpecNames() {
 		t.Run(name, func(t *testing.T) {
 			f := loadSpec(t, name)
 			report, err := Run(f, RunOptions{Parallelism: 1})

@@ -46,6 +46,21 @@ type RunOptions struct {
 	// scenario.Options.Stop). Assertions still evaluate over whatever
 	// checkpoints were taken.
 	Stop <-chan struct{}
+
+	// SnapshotAt, when positive, exports the full engine state at the
+	// first hour boundary at or past this offset and hands it to
+	// OnSnapshot (see scenario.Options.SnapshotAt). The run then
+	// continues to the end.
+	SnapshotAt time.Duration
+
+	// OnSnapshot receives the mid-run state export. Required when
+	// SnapshotAt is set; an error aborts the run.
+	OnSnapshot func(*core.SystemState) error
+
+	// SnapshotFuture embeds the spec's complete materialized record
+	// stream in the snapshot, making the saved state self-contained for
+	// fork replay (see scenario.Options.SnapshotFuture).
+	SnapshotFuture bool
 }
 
 // Prepared is a spec resolved and validated into a live, not-yet-run
@@ -99,11 +114,14 @@ func Prepare(f *File, opts RunOptions) (*Prepared, error) {
 	}
 
 	driver, err := scenario.NewDriver(cfg, f.ScenarioSpec(), scenario.Options{
-		Chunk:        chunk,
-		Checkpoint:   cadence,
-		OnCheckpoint: opts.OnCheckpoint,
-		Acceleration: opts.Acceleration,
-		Stop:         opts.Stop,
+		Chunk:          chunk,
+		Checkpoint:     cadence,
+		OnCheckpoint:   opts.OnCheckpoint,
+		Acceleration:   opts.Acceleration,
+		Stop:           opts.Stop,
+		SnapshotAt:     opts.SnapshotAt,
+		OnSnapshot:     opts.OnSnapshot,
+		SnapshotFuture: opts.SnapshotFuture,
 	})
 	if err != nil {
 		return nil, err

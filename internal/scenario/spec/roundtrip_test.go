@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cablevod/internal/adversity"
 	"cablevod/internal/scenario"
 	"cablevod/internal/trace"
 	"cablevod/internal/units"
@@ -75,6 +76,45 @@ func randomModulator(rng *rand.Rand) scenario.Modulator {
 			Strength: rng.Float64() * 2,
 			Period:   randomDuration(rng),
 			Seed:     rng.Uint64() >> 1,
+		}
+	}
+}
+
+func randomFault(rng *rand.Rand) scenario.Fault {
+	nb := rng.Intn(9) - 1
+	switch rng.Intn(4) {
+	case 0:
+		f := adversity.NodeFailure{
+			At:           randomDuration(rng),
+			Neighborhood: nb,
+			Fraction:     0.05 + rng.Float64()*0.9,
+			RampHours:    rng.Intn(6),
+			Seed:         rng.Uint64() >> 1,
+		}
+		if rng.Intn(2) == 0 {
+			f.RestoreAt = f.At + randomDuration(rng)
+		}
+		return f
+	case 1:
+		return adversity.ColdRestart{At: randomDuration(rng), Neighborhood: nb}
+	case 2:
+		f := adversity.CoaxDegrade{
+			At:           randomDuration(rng),
+			Neighborhood: nb,
+			Factor:       0.05 + rng.Float64()*0.9,
+		}
+		if rng.Intn(2) == 0 {
+			f.RestoreAt = f.At + randomDuration(rng)
+		}
+		return f
+	default:
+		min := units.ByteSize(1+rng.Intn(8)) * units.GB
+		return adversity.HeteroCache{
+			At:           randomDuration(rng),
+			Neighborhood: nb,
+			Min:          min,
+			Max:          min + units.ByteSize(rng.Intn(8))*units.GB,
+			Seed:         rng.Uint64() >> 1,
 		}
 	}
 }
@@ -163,6 +203,9 @@ func randomFile(rng *rand.Rand) *File {
 		for j, m := 0, 1+rng.Intn(3); j < m; j++ {
 			ph.Modulators = append(ph.Modulators, randomModulator(rng))
 		}
+		for j, m := 0, rng.Intn(3); j < m; j++ {
+			ph.Faults = append(ph.Faults, randomFault(rng))
+		}
 		f.Phases = append(f.Phases, ph)
 		start = from
 	}
@@ -196,7 +239,7 @@ func TestSpecRoundTripProperty(t *testing.T) {
 // TestCheckedInSpecsRoundTrip re-encodes each checked-in spec and
 // proves the canonical form still parses to the same File.
 func TestCheckedInSpecsRoundTrip(t *testing.T) {
-	for _, name := range specNames {
+	for _, name := range allSpecNames() {
 		f := loadSpec(t, name)
 		got, err := Parse(f.MarshalYAML())
 		if err != nil {

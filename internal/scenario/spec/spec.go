@@ -133,11 +133,13 @@ type Engine struct {
 }
 
 // PhaseSpec is one named [From, To) window of the timeline with the
-// modulators it stacks onto the base workload.
+// modulators it stacks onto the base workload and the plant faults it
+// injects (see internal/adversity for the fault models).
 type PhaseSpec struct {
 	Name       string
 	From, To   time.Duration
 	Modulators []scenario.Modulator
+	Faults     []scenario.Fault
 }
 
 // Window is a closed virtual-time interval [From, To] a threshold
@@ -277,6 +279,7 @@ func (f *File) ScenarioSpec() scenario.Spec {
 			From:       ph.From,
 			To:         ph.To,
 			Modulators: ph.Modulators,
+			Faults:     ph.Faults,
 		})
 	}
 	return s

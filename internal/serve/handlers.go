@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 
+	"cablevod/internal/adversity"
+	"cablevod/internal/core"
 	"cablevod/internal/trace"
 )
 
@@ -22,6 +24,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("GET /scenario/status", s.handleScenarioStatus)
+	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
+	mux.HandleFunc("POST /fork", s.handleForkStart)
+	mux.HandleFunc("GET /fork/status", s.handleForkStatus)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.httpRequests.Inc()
 		mux.ServeHTTP(w, r)
@@ -164,6 +169,165 @@ func (s *Server) handleScenarioStatus(w http.ResponseWriter, r *http.Request) {
 		st.Assertions = as
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// exportState snapshots the ingest-mode engine under the submit mutex.
+// In scenario/spec modes the drive loop owns the engine, so a live
+// export would race it; those runs snapshot through the driver instead
+// (vodsim -snapshot-out).
+func (s *Server) exportState() (*core.SystemState, error, int) {
+	if s.mode != "ingest" {
+		return nil, fmt.Errorf("daemon is driving a %s workload; state export is ingest-mode only (snapshot scenario runs with vodsim -snapshot-out)", s.mode), http.StatusConflict
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("engine closed"), http.StatusServiceUnavailable
+	}
+	st, err := s.sys.ExportState()
+	if err != nil {
+		return nil, err, http.StatusInternalServerError
+	}
+	return st, nil, http.StatusOK
+}
+
+// snapshotSaveRequest is the POST /snapshot/save wire format.
+type snapshotSaveRequest struct {
+	// Path is the server-side file the state is written to.
+	Path string `json:"path"`
+}
+
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	var req snapshotSaveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode: " + err.Error()})
+		return
+	}
+	if req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing path"})
+		return
+	}
+	st, err, code := s.exportState()
+	if err != nil {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := core.SaveStateFile(req.Path, st); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":              req.Path,
+		"at_hours":          st.At().Hours(),
+		"submitted_records": st.Submitted,
+		"strategy":          st.Strategy(),
+	})
+}
+
+// forkRequest is the POST /fork wire format: the strategies to race
+// from the engine's current warm state through the rest of its
+// workload.
+type forkRequest struct {
+	Strategies []string `json:"strategies"`
+}
+
+func (s *Server) handleForkStart(w http.ResponseWriter, r *http.Request) {
+	var req forkRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode: " + err.Error()})
+		return
+	}
+	if len(req.Strategies) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing strategies"})
+		return
+	}
+	st, err, code := s.exportState()
+	if err != nil {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	if st.Submitted >= len(st.Future) {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": "engine workload has no future records left to replay; a fork needs an incident ahead of the fork point",
+		})
+		return
+	}
+	tail := st.Future[st.Submitted:]
+
+	s.forkMu.Lock()
+	defer s.forkMu.Unlock()
+	if s.forkState == "running" {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "a fork comparison is already running"})
+		return
+	}
+	s.forkState, s.forkArms, s.forkReport, s.forkErr = "running", req.Strategies, nil, nil
+	go s.runFork(st, req.Strategies, tail)
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"state":          "running",
+		"strategies":     req.Strategies,
+		"at_hours":       st.At().Hours(),
+		"replay_records": len(tail),
+	})
+}
+
+// runFork drives the comparison in the background over restored copies
+// of the exported state; the live engine keeps serving submits.
+func (s *Server) runFork(st *core.SystemState, strategies []string, tail []trace.Record) {
+	rep, err := adversity.RunForks(st, strategies, tail, adversity.ForkOptions{})
+	s.forkMu.Lock()
+	defer s.forkMu.Unlock()
+	s.forkReport, s.forkErr = rep, err
+	if err != nil {
+		s.forkState = "failed"
+		s.opts.Logf("fork comparison failed: %v", err)
+	} else {
+		s.forkState = "done"
+		s.opts.Logf("fork comparison done: best post-fork savings %s", rep.BestArm().Strategy)
+	}
+}
+
+// forkArmStatus is one arm's row in the GET /fork/status report.
+type forkArmStatus struct {
+	Strategy    string  `json:"strategy"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Savings     float64 `json:"savings"`
+	CoaxP95Mbps float64 `json:"coax_p95_mbps"`
+}
+
+func (s *Server) handleForkStatus(w http.ResponseWriter, r *http.Request) {
+	s.forkMu.Lock()
+	defer s.forkMu.Unlock()
+	if s.forkState == "" {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no fork comparison started (POST /fork)"})
+		return
+	}
+	payload := map[string]any{
+		"state":      s.forkState,
+		"strategies": s.forkArms,
+	}
+	if s.forkErr != nil {
+		payload["error"] = s.forkErr.Error()
+	}
+	if rep := s.forkReport; rep != nil {
+		arms := make([]forkArmStatus, len(rep.Arms))
+		for i, a := range rep.Arms {
+			arms[i] = forkArmStatus{
+				Strategy:    a.Strategy,
+				HitRatio:    a.HitRatio,
+				Savings:     a.Savings,
+				CoaxP95Mbps: a.CoaxP95.Mbps(),
+			}
+		}
+		payload["at_hours"] = rep.At.Hours()
+		payload["arms"] = arms
+		payload["best"] = rep.BestArm().Strategy
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

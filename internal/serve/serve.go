@@ -8,6 +8,9 @@
 //	GET  /healthz          liveness + mode/state
 //	POST /submit           JSON record batches (ingest mode)
 //	GET  /scenario/status  drive-loop progress and assertion verdicts
+//	POST /snapshot/save    serialize the warm engine state to a server-side file (ingest mode)
+//	POST /fork             race caching strategies from the warm state (ingest mode)
+//	GET  /fork/status      fork comparison progress and the comparative report
 //
 // Concurrency model: the engine stays single-driver. In scenario and
 // spec modes one goroutine owns the System (the scenario.Driver loop);
@@ -37,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cablevod/internal/adversity"
 	"cablevod/internal/core"
 	"cablevod/internal/scenario"
 	"cablevod/internal/scenario/spec"
@@ -132,6 +136,15 @@ type Server struct {
 	mu     sync.Mutex
 	sys    *core.System
 	closed bool
+
+	// Fork comparison (ingest mode): one background run at a time,
+	// launched by POST /fork over restored copies of the engine state —
+	// never the live engine itself.
+	forkMu     sync.Mutex
+	forkState  string // "", "running", "done", "failed"
+	forkArms   []string
+	forkReport *adversity.ForkReport
+	forkErr    error
 
 	submits      telemetry.Counter
 	httpRequests telemetry.Counter

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -400,5 +401,128 @@ func TestServeTelemetryMatchesOffline(t *testing.T) {
 	}
 	if sum.P50 <= 0 || sum.P99 < sum.P50 {
 		t.Errorf("implausible latency summary: %+v", sum)
+	}
+}
+
+// TestServeSnapshotFork exercises the adversity surface of the ingest
+// daemon: half the trace goes in through /submit, /snapshot/save
+// serializes the warm state to a server-side file, and POST /fork races
+// two strategies through the remaining records, with the comparative
+// report surfacing on /fork/status.
+func TestServeSnapshotFork(t *testing.T) {
+	tr, err := synth.Generate(synth.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Addr:   ":0",
+		Engine: testEngine(),
+		Workload: core.Workload{
+			Users:   tr.Users(),
+			Lengths: core.TraceLengths(tr),
+			Future:  tr.Records,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServer(t, s)
+
+	if code := getJSON(t, base+"/fork/status", nil); code != http.StatusNotFound {
+		t.Errorf("/fork/status before any fork = %d, want 404", code)
+	}
+
+	half := tr.Records[:len(tr.Records)/2]
+	body, _ := json.Marshal(submitRequest{Records: half})
+	resp, err := http.Post(base+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/submit = %d", resp.StatusCode)
+	}
+
+	path := filepath.Join(t.TempDir(), "state.snap")
+	saveBody, _ := json.Marshal(snapshotSaveRequest{Path: path})
+	resp, err = http.Post(base+"/snapshot/save", "application/json", bytes.NewReader(saveBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot/save = %d: %v", resp.StatusCode, saved)
+	}
+	st, err := core.LoadStateFile(path)
+	if err != nil {
+		t.Fatalf("saved state does not load: %v", err)
+	}
+	if st.Submitted != len(half) {
+		t.Errorf("saved state holds %d submitted records, want %d", st.Submitted, len(half))
+	}
+
+	forkBody, _ := json.Marshal(forkRequest{Strategies: []string{"lfu", "lru"}})
+	resp, err = http.Post(base+"/fork", "application/json", bytes.NewReader(forkBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/fork = %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var status struct {
+		State string          `json:"state"`
+		Error string          `json:"error"`
+		Best  string          `json:"best"`
+		Arms  []forkArmStatus `json:"arms"`
+	}
+	for {
+		getJSON(t, base+"/fork/status", &status)
+		if status.State == "done" || status.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fork never finished (state %q)", status.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status.State != "done" {
+		t.Fatalf("fork failed: %s", status.Error)
+	}
+	if len(status.Arms) != 2 {
+		t.Fatalf("report has %d arms, want 2", len(status.Arms))
+	}
+	for i, want := range []string{"lfu", "lru"} {
+		arm := status.Arms[i]
+		if arm.Strategy != want {
+			t.Errorf("arm %d strategy %q, want %q", i, arm.Strategy, want)
+		}
+		if arm.HitRatio <= 0 || arm.HitRatio > 1 {
+			t.Errorf("arm %s hit ratio %v out of range", arm.Strategy, arm.HitRatio)
+		}
+	}
+	if status.Best != "lfu" && status.Best != "lru" {
+		t.Errorf("best arm %q not among the raced strategies", status.Best)
+	}
+
+	// The live engine kept its own run: it still accepts the tail and
+	// closes cleanly, unaffected by the fork's restored copies.
+	rest, _ := json.Marshal(submitRequest{Records: tr.Records[len(half):]})
+	resp, err = http.Post(base+"/submit", "application/json", bytes.NewReader(rest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/submit after fork = %d", resp.StatusCode)
 	}
 }

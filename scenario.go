@@ -62,6 +62,21 @@ type ScenarioOptions struct {
 	// virtual seconds per wall-clock second (0 = as fast as the
 	// hardware allows). 86400 plays one simulated day per real second.
 	Acceleration float64
+
+	// SnapshotAt requests one mid-run state export at the first hour
+	// boundary at or after this virtual time (0 = none) — the warm
+	// state fork comparisons branch from. Requires OnSnapshot.
+	SnapshotAt time.Duration
+
+	// OnSnapshot receives the mid-run export; an error aborts the run.
+	OnSnapshot func(*SystemState) error
+
+	// SnapshotFuture embeds the scenario's complete materialized record
+	// stream in the snapshot, making the saved state self-contained:
+	// FutureTail then yields exactly the records still to come, so
+	// RunForks can replay the rest of the scenario from the snapshot
+	// alone.
+	SnapshotFuture bool
 }
 
 // RunScenario streams a registered scenario's lazily generated live
@@ -90,10 +105,13 @@ func RunScenario(name string, cfg Config, opts ScenarioOptions) (*Result, []Scen
 		return nil, nil, fmt.Errorf("cablevod: RunScenario derives Subscribers/Catalog from the scenario; leave them unset")
 	}
 	d, err := scenario.NewDriver(cfg.internal(), b.Build(base), scenario.Options{
-		Chunk:        opts.Chunk,
-		Checkpoint:   opts.Checkpoint,
-		OnCheckpoint: opts.OnCheckpoint,
-		Acceleration: opts.Acceleration,
+		Chunk:          opts.Chunk,
+		Checkpoint:     opts.Checkpoint,
+		OnCheckpoint:   opts.OnCheckpoint,
+		Acceleration:   opts.Acceleration,
+		SnapshotAt:     opts.SnapshotAt,
+		OnSnapshot:     opts.OnSnapshot,
+		SnapshotFuture: opts.SnapshotFuture,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -130,6 +148,12 @@ type SpecRunOptions struct {
 	// Acceleration rate-limits the virtual clock, exactly as in
 	// ScenarioOptions.
 	Acceleration float64
+
+	// SnapshotAt, OnSnapshot and SnapshotFuture request a mid-run state
+	// export, exactly as in ScenarioOptions.
+	SnapshotAt     time.Duration
+	OnSnapshot     func(*SystemState) error
+	SnapshotFuture bool
 }
 
 // RunSpecFile loads a declarative scenario spec (YAML or JSON; see
@@ -148,11 +172,14 @@ func RunSpecFile(path string, cfg Config, opts SpecRunOptions) (*SpecReport, err
 		return nil, fmt.Errorf("cablevod: RunSpecFile derives Subscribers/Catalog from the spec; leave them unset")
 	}
 	return spec.RunFile(path, spec.RunOptions{
-		Engine:       cfg.internal(),
-		Checkpoint:   opts.Checkpoint,
-		Chunk:        opts.Chunk,
-		OnCheckpoint: opts.OnCheckpoint,
-		Acceleration: opts.Acceleration,
+		Engine:         cfg.internal(),
+		Checkpoint:     opts.Checkpoint,
+		Chunk:          opts.Chunk,
+		OnCheckpoint:   opts.OnCheckpoint,
+		Acceleration:   opts.Acceleration,
+		SnapshotAt:     opts.SnapshotAt,
+		OnSnapshot:     opts.OnSnapshot,
+		SnapshotFuture: opts.SnapshotFuture,
 	})
 }
 
