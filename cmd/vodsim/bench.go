@@ -12,6 +12,7 @@ import (
 	"cablevod/internal/hfc"
 	"cablevod/internal/telemetry"
 	"cablevod/internal/units"
+	"cablevod/internal/universe"
 )
 
 // benchReport is the -bench-json payload: throughput of the Submit
@@ -20,10 +21,16 @@ import (
 // cost of attaching the telemetry collector. Committed snapshots of
 // this report (BENCH_*.json) track performance across PRs.
 type benchReport struct {
-	Workload  benchWorkload  `json:"workload"`
-	Serial    benchRun       `json:"serial"`
-	Sharded   benchRun       `json:"sharded"`
-	Telemetry benchTelemetry `json:"telemetry"`
+	Workload benchWorkload `json:"workload"`
+	// Memory is the universe memory probe: steady-state engine heap on
+	// a 100k-subscriber plant, normalized per 100k subscribers so the
+	// mega tier's footprint can be projected from a committed report.
+	// Measured before the throughput runs so the peak-RSS reading is
+	// not inflated by their garbage.
+	Memory    *universe.MemReport `json:"memory,omitempty"`
+	Serial    benchRun            `json:"serial"`
+	Sharded   benchRun            `json:"sharded"`
+	Telemetry benchTelemetry      `json:"telemetry"`
 }
 
 type benchWorkload struct {
@@ -100,10 +107,17 @@ func benchOnce(tr *cablevod.Trace, parallelism int, collect bool) (benchRun, err
 	}, nil
 }
 
-// runBenchJSON measures the Submit path serial, sharded, and sharded
-// with the telemetry collector attached, and prints one JSON report.
-func runBenchJSON(tr *cablevod.Trace, w benchWorkload) error {
+// runBenchJSON measures the memory footprint and the Submit path
+// (serial, sharded, sharded with the telemetry collector attached) and
+// prints one JSON report. When baseline names a committed report, the
+// run becomes a gate: a >10% bytes/record regression is an error.
+func runBenchJSON(tr *cablevod.Trace, w benchWorkload, baseline string) error {
 	w.Records = len(tr.Records)
+	fmt.Fprintf(os.Stderr, "vodsim: probing memory on the %s plant\n", universe.ProbeTier().Name)
+	mem, err := universe.MemoryProbe(universe.ProbeTier(), benchConfig(0))
+	if err != nil {
+		return fmt.Errorf("memory probe: %w", err)
+	}
 	fmt.Fprintf(os.Stderr, "vodsim: benchmarking %d records (serial, sharded, sharded+telemetry)\n", w.Records)
 
 	serial, err := benchOnce(tr, 1, false)
@@ -121,6 +135,7 @@ func runBenchJSON(tr *cablevod.Trace, w benchWorkload) error {
 
 	report := benchReport{
 		Workload: w,
+		Memory:   mem,
 		Serial:   serial,
 		Sharded:  sharded,
 		Telemetry: benchTelemetry{
@@ -134,5 +149,58 @@ func runBenchJSON(tr *cablevod.Trace, w benchWorkload) error {
 		return err
 	}
 	fmt.Println(string(out))
+	if baseline != "" {
+		return checkBenchBaseline(report, baseline)
+	}
+	return nil
+}
+
+// benchBudgetPct is the allowed bytes/record growth over a committed
+// baseline report before -bench-baseline fails the run.
+const benchBudgetPct = 10
+
+// checkBenchBaseline enforces the memory budget: each measured
+// bytes/record figure may exceed the committed baseline's by at most
+// benchBudgetPct. Throughput is tracked but not gated here — wall
+// clock varies with the machine; allocation volume does not.
+func checkBenchBaseline(report benchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if base.Workload != report.Workload {
+		return fmt.Errorf("bench baseline %s measures workload %+v, this run measured %+v — regenerate the baseline or match the -synth flags",
+			path, base.Workload, report.Workload)
+	}
+	check := func(name string, got, want float64) error {
+		if want <= 0 {
+			return nil // baseline predates this metric
+		}
+		limit := want * (1 + benchBudgetPct/100.0)
+		if got > limit {
+			return fmt.Errorf("memory budget exceeded: %s bytes/record %.1f is %.1f%% over the %s baseline %.1f (budget %d%%)",
+				name, got, 100*(got/want-1), path, want, benchBudgetPct)
+		}
+		return nil
+	}
+	if err := check("serial", report.Serial.BytesPerRecord, base.Serial.BytesPerRecord); err != nil {
+		return err
+	}
+	if err := check("sharded", report.Sharded.BytesPerRecord, base.Sharded.BytesPerRecord); err != nil {
+		return err
+	}
+	if report.Memory != nil && base.Memory != nil {
+		if err := check("probe", report.Memory.BytesPerRecord, base.Memory.BytesPerRecord); err != nil {
+			return err
+		}
+		if err := check("probe heap/100k", report.Memory.HeapPer100k, base.Memory.HeapPer100k); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vodsim: memory budget ok against %s (within %d%%)\n", path, benchBudgetPct)
 	return nil
 }

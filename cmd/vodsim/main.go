@@ -32,6 +32,7 @@ import (
 	"cablevod"
 	"cablevod/internal/core"
 	"cablevod/internal/units"
+	"cablevod/internal/universe"
 )
 
 func main() {
@@ -65,18 +66,26 @@ func run(args []string) error {
 		live         = fs.Int("live", 0, "drive the online engine, printing a snapshot every N simulated days")
 		parallel     = fs.Int("parallel", 0, "worker pool for concurrent neighborhood shards (0 = GOMAXPROCS, 1 = serial)")
 
-		serveAddr    = fs.String("serve", "", "run as a live service daemon on ADDR (e.g. :8080): /metrics, /snapshot, /healthz, /submit, /scenario/status; composes with -scenario, -scenario-file, or a -synth/-trace ingest plant (add -live N to self-feed it in N-day batches)")
-		scenarioName = fs.String("scenario", "", "drive a registered live-workload scenario (see -scenario-list); sized by the -synth-* flags")
-		scenarioFile = fs.String("scenario-file", "", "run a declarative scenario spec (YAML/JSON, see SCENARIOS.md) and gate on its assertions")
-		scenarioList = fs.Bool("scenario-list", false, "list registered scenarios and exit")
-		checkpoint   = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none; a -scenario-file spec with assertions must then set its own cadence — assertions never pass over zero checkpoints)")
-		accel        = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
-		snapJSON     = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
-		snapOut      = fs.String("snapshot-out", "", "save the engine state to FILE mid-run at -snapshot-at (with -scenario or -scenario-file); the file embeds the remaining workload, so it resumes or forks standalone")
-		snapAt       = fs.Int("snapshot-at", 0, "simulated hour of the -snapshot-out state export")
-		snapIn       = fs.String("snapshot-in", "", "load a state file saved by -snapshot-out and resume the run to the end (or race strategies from it: -fork)")
-		forkList     = fs.String("fork", "", "comma-separated caching strategies to fork from the -snapshot-in state and race through the same incident, printing a comparative report")
-		benchJSON    = fs.Bool("bench-json", false, "benchmark the Submit path (serial, sharded, sharded+telemetry) on the fixed bench plant and print one JSON report")
+		serveAddr     = fs.String("serve", "", "run as a live service daemon on ADDR (e.g. :8080): /metrics, /snapshot, /healthz, /submit, /scenario/status; composes with -scenario, -scenario-file, or a -synth/-trace ingest plant (add -live N to self-feed it in N-day batches)")
+		scenarioName  = fs.String("scenario", "", "drive a registered live-workload scenario (see -scenario-list); sized by the -synth-* flags")
+		scenarioFile  = fs.String("scenario-file", "", "run a declarative scenario spec (YAML/JSON, see SCENARIOS.md) and gate on its assertions")
+		scenarioList  = fs.Bool("scenario-list", false, "list registered scenarios and exit")
+		checkpoint    = fs.Int("checkpoint", 24, "simulated hours between scenario checkpoints (0 = none; a -scenario-file spec with assertions must then set its own cadence — assertions never pass over zero checkpoints)")
+		accel         = fs.Float64("accel", 0, "cap scenario virtual time at N seconds per wall second (0 = unthrottled)")
+		snapJSON      = fs.Bool("snapshot-json", false, "print snapshots and checkpoints as JSON lines")
+		snapOut       = fs.String("snapshot-out", "", "save the engine state to FILE mid-run at -snapshot-at (with -scenario or -scenario-file); the file embeds the remaining workload, so it resumes or forks standalone")
+		snapAt        = fs.Int("snapshot-at", 0, "simulated hour of the -snapshot-out state export")
+		snapIn        = fs.String("snapshot-in", "", "load a state file saved by -snapshot-out and resume the run to the end (or race strategies from it: -fork)")
+		forkList      = fs.String("fork", "", "comma-separated caching strategies to fork from the -snapshot-in state and race through the same incident, printing a comparative report")
+		benchJSON     = fs.Bool("bench-json", false, "benchmark the Submit path (serial, sharded, sharded+telemetry) on the fixed bench plant and print one JSON report")
+		benchBaseline = fs.String("bench-baseline", "", "with -bench-json: compare against a committed BENCH_*.json and fail on a >10% bytes/record regression")
+
+		scale      = fs.String("scale", "", "run a universe scale tier (see -scale-list); the tier sizes the plant and workload, engine flags (-strategy, -storage, ...) still apply, and explicit -seed/-synth-days override the tier")
+		scaleList  = fs.Bool("scale-list", false, "list universe scale tiers and exit")
+		longrun    = fs.Bool("longrun", false, "with -scale: split the run into resumable checkpointed legs; re-run the same command to resume")
+		longrunDir = fs.String("longrun-dir", "", "checkpoint directory for -longrun (default .longrun-<tier>)")
+		legHours   = fs.Int("leg", 24, "simulated hours per -longrun leg (checkpoint cadence)")
+		maxLegs    = fs.Int("legs", 0, "with -longrun: stop after N legs this invocation (0 = run to completion)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +102,20 @@ func run(args []string) error {
 			fmt.Printf("%-12s %s\n", info.Name, info.Description)
 		}
 		return nil
+	}
+	if *scaleList {
+		for _, t := range universe.Tiers() {
+			fmt.Printf("%-10s %s\n", t.Name, t.Description)
+		}
+		return nil
+	}
+	if *longrun && *scale == "" {
+		return fmt.Errorf("-longrun splits a universe run into legs; it needs -scale TIER")
+	}
+	if *scale != "" {
+		if *synth || *path != "" || *scenarioName != "" || *scenarioFile != "" || *serveAddr != "" || *live > 0 || *benchJSON || *snapIn != "" || *snapOut != "" {
+			return fmt.Errorf("-scale builds its own plant and workload; it does not compose with -trace, -synth, -scenario, -scenario-file, -serve, -live, -bench-json, or the snapshot flags")
+		}
 	}
 
 	if *snapIn != "" {
@@ -121,6 +144,8 @@ func run(args []string) error {
 	switch {
 	case *scenarioName != "" && *scenarioFile != "":
 		return fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	case *scale != "":
+		// The universe tier generates its own workload lazily; no trace.
 	case *scenarioName != "", *scenarioFile != "":
 		// The scenario generates its own workload lazily; no trace.
 	case *synth:
@@ -148,7 +173,7 @@ func run(args []string) error {
 		}
 		return runBenchJSON(tr, benchWorkload{
 			Users: *users, Programs: *programs, Days: *days, Seed: *seed,
-		})
+		}, *benchBaseline)
 	}
 
 	// Built-in names parse to the enum; anything else must be a
@@ -191,6 +216,37 @@ func run(args []string) error {
 		WarmupDays:        *warmup,
 		Parallelism:       *parallel,
 	}
+	if *scale != "" {
+		tier, err := universe.Tier(*scale)
+		if err != nil {
+			return err
+		}
+		// Explicitly-passed -seed and -synth-days override the tier's
+		// workload values; plant flags do not — the tier defines the
+		// plant, that being its point.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				tier.Seed = *seed
+			case "synth-days":
+				tier.Days = *days
+			}
+		})
+		if err := tier.Validate(); err != nil {
+			return err
+		}
+		if *longrun {
+			return runScaleLongRun(tier, cfg, *longrunDir, *legHours, *maxLegs)
+		}
+		start := time.Now()
+		res, err := runScale(tier, cfg)
+		if err != nil {
+			return err
+		}
+		printResult(res, time.Since(start))
+		return nil
+	}
+
 	if *serveAddr != "" {
 		return runServe(cfg, serveRunOptions{
 			addr: *serveAddr, scenario: *scenarioName, specFile: *scenarioFile,

@@ -55,19 +55,25 @@ type shardEvent struct {
 	peer *hfc.SetTopBox
 }
 
-// Execute runs the event at its scheduled time.
+// Execute runs the event at its scheduled time, then recycles the event
+// record (and, at a session end, the session record — segment events
+// are scheduled strictly before the end, so nothing references the
+// session afterwards) into the shard's slabs.
 func (e *shardEvent) Execute(now time.Duration) {
+	sh := e.sh
 	switch e.kind {
 	case evSessionEnd:
 		e.sess.viewer.CloseStream()
-		e.sh.active--
+		sh.active--
+		sh.freeSession(e.sess)
 	case evCoaxRelease:
-		e.sh.nb.Coax().Release(units.StreamRate)
+		sh.nb.Coax().Release(units.StreamRate)
 	case evPeerClose:
 		e.peer.CloseStream()
 	case evSegment:
-		e.sh.processSegment(e.sess, now)
+		sh.processSegment(e.sess, now)
 	default:
 		panic(fmt.Sprintf("core: executing unknown event kind %d", e.kind))
 	}
+	sh.freeEvent(e)
 }

@@ -47,6 +47,68 @@ type shard struct {
 	// distinguish "unset" from "cached zero" once rates are nonzero).
 	obsHour       int64
 	obsServerRate units.BitRate
+
+	// Hot per-session state lives in shard-owned slabs — dense arrays
+	// carved into records and recycled through freelists — instead of
+	// one heap allocation per session and per event. A paper-scale day
+	// churns hundreds of thousands of each; at the mega tier the
+	// difference is what keeps a million-subscriber run inside
+	// laptop-class memory. Slabs are safe because a shard is
+	// single-goroutine and both lifetimes are closed: a session dies at
+	// its end event (segment events are strictly earlier), an event dies
+	// when Execute returns.
+	sessSlab []session
+	sessFree []*session
+	evSlab   []shardEvent
+	evFree   []*shardEvent
+}
+
+// slabBlock is how many session/event records a slab grows by at a time.
+const slabBlock = 256
+
+// newSession returns a zeroed session record from the shard's slab.
+func (sh *shard) newSession() *session {
+	if n := len(sh.sessFree); n > 0 {
+		s := sh.sessFree[n-1]
+		sh.sessFree = sh.sessFree[:n-1]
+		*s = session{}
+		return s
+	}
+	if len(sh.sessSlab) == 0 {
+		sh.sessSlab = make([]session, slabBlock)
+	}
+	s := &sh.sessSlab[0]
+	sh.sessSlab = sh.sessSlab[1:]
+	return s
+}
+
+// freeSession recycles a session record once nothing references it (its
+// end event has executed).
+func (sh *shard) freeSession(s *session) {
+	sh.sessFree = append(sh.sessFree, s)
+}
+
+// newEvent returns a shard event from the slab, ready to schedule.
+func (sh *shard) newEvent(kind eventKind, sess *session, peer *hfc.SetTopBox) *shardEvent {
+	var e *shardEvent
+	if n := len(sh.evFree); n > 0 {
+		e = sh.evFree[n-1]
+		sh.evFree = sh.evFree[:n-1]
+	} else {
+		if len(sh.evSlab) == 0 {
+			sh.evSlab = make([]shardEvent, slabBlock)
+		}
+		e = &sh.evSlab[0]
+		sh.evSlab = sh.evSlab[1:]
+	}
+	e.sh, e.kind, e.sess, e.peer = sh, kind, sess, peer
+	return e
+}
+
+// freeEvent recycles an executed event record.
+func (sh *shard) freeEvent(e *shardEvent) {
+	e.sess, e.peer = nil, nil
+	sh.evFree = append(sh.evFree, e)
 }
 
 // submit ingests one session record, advancing the shard's virtual time
@@ -104,16 +166,15 @@ func (sh *shard) startSession(rec trace.Record, now time.Duration) {
 	// The session value exists before its end event is scheduled so the
 	// event can carry it; firstFetch is resolved below, after the index
 	// server has seen the request.
-	sess := &session{
-		rec:    rec,
-		sh:     sh,
-		viewer: viewer,
-		length: sh.sys.lengths(rec.Program),
-	}
+	sess := sh.newSession()
+	sess.rec = rec
+	sess.sh = sh
+	sess.viewer = viewer
+	sess.length = sh.sys.lengths(rec.Program)
 
 	// The viewer's box holds a receive stream for the whole session.
 	viewer.ForceOpenStream()
-	sh.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evSessionEnd, sess: sess})
+	sh.queue.Schedule(rec.End(), eventq.PrioritySessionEnd, sh.newEvent(evSessionEnd, sess, nil))
 
 	// The index server observes the request and updates the cache.
 	res := sh.is.OnSessionStart(rec.Program, now)
@@ -155,7 +216,7 @@ func (sh *shard) processSegment(sess *session, now time.Duration) {
 	sh.serveSegment(sess, idx, now, watchEnd, complete)
 
 	if sess.rec.End() > segEndAbs && (sess.length == 0 || segEndPos < sess.length) {
-		sh.queue.Schedule(segEndAbs, eventq.PrioritySegment, &shardEvent{sh: sh, kind: evSegment, sess: sess})
+		sh.queue.Schedule(segEndAbs, eventq.PrioritySegment, sh.newEvent(evSegment, sess, nil))
 	}
 }
 
@@ -176,7 +237,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	coax := sh.nb.Coax()
 	coaxBusy := coax.Rate() // channel load before this broadcast, for telemetry
 	if coax.Admit(units.StreamRate) {
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evCoaxRelease})
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evCoaxRelease, nil, nil))
 	} else {
 		sh.counters.CoaxOverloads++
 	}
@@ -192,7 +253,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	switch outcome {
 	case ServedByPeer:
 		sh.counters.Hits++
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evPeerClose, peer: server})
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evPeerClose, nil, server))
 		sh.observe(p, from, outcome, false, coaxBusy)
 		return
 	case MissNotCached:
@@ -211,7 +272,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	if complete {
 		if filler := sh.is.TryFill(p, idx); filler != nil {
 			sh.counters.Fills++
-			sh.queue.Schedule(to, eventq.PrioritySessionEnd, &shardEvent{sh: sh, kind: evPeerClose, peer: filler})
+			sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evPeerClose, nil, filler))
 		}
 	}
 	sh.observe(p, from, outcome, false, coaxBusy)

@@ -14,8 +14,11 @@ import (
 )
 
 // SnapshotVersion is the serialized engine-state format version. Bump it
-// on any change to the state structs below; ReadState rejects mismatches.
-const SnapshotVersion = 1
+// on any change to the state structs below or to WriteState's framing;
+// ReadState rejects mismatches. v2 split the gob body into a head
+// message plus one message per shard, bounding the encoder's in-memory
+// buffer at mega scale.
+const SnapshotVersion = 2
 
 // SystemState is the complete serialized state of a running System: the
 // workload and configuration to rebuild the plant and strategies, plus

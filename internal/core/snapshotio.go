@@ -26,7 +26,12 @@ type snapshotHeader struct {
 }
 
 // WriteState serializes a SystemState to w: one JSON header line, then
-// the gob-encoded state.
+// a gob stream — the state with Shards elided, followed by one message
+// per shard. Gob buffers each top-level message wholly in memory before
+// emitting it, so encoding a mega-scale state as a single message would
+// materialize a multi-gigabyte buffer at exactly the moment the
+// engine's own footprint peaks; per-shard messages bound the buffer to
+// the largest neighborhood.
 func WriteState(w io.Writer, st *SystemState) error {
 	if st == nil {
 		return fmt.Errorf("core: nil system state")
@@ -46,8 +51,16 @@ func WriteState(w io.Writer, st *SystemState) error {
 	if _, err := w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("core: write snapshot header: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	enc := gob.NewEncoder(w)
+	head := *st
+	head.Shards = nil
+	if err := enc.Encode(&head); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	for i := range st.Shards {
+		if err := enc.Encode(&st.Shards[i]); err != nil {
+			return fmt.Errorf("core: encode snapshot shard %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -70,12 +83,19 @@ func ReadState(r io.Reader) (*SystemState, error) {
 	if hdr.Version != SnapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d, this build reads %d", hdr.Version, SnapshotVersion)
 	}
+	dec := gob.NewDecoder(br)
 	var st SystemState
-	if err := gob.NewDecoder(br).Decode(&st); err != nil {
+	if err := dec.Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
 	if st.Version != hdr.Version {
 		return nil, fmt.Errorf("core: snapshot body version %d disagrees with header %d", st.Version, hdr.Version)
+	}
+	st.Shards = make([]ShardState, hdr.Shards)
+	for i := range st.Shards {
+		if err := dec.Decode(&st.Shards[i]); err != nil {
+			return nil, fmt.Errorf("core: decode snapshot shard %d/%d: %w", i, hdr.Shards, err)
+		}
 	}
 	return &st, nil
 }

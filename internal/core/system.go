@@ -64,6 +64,23 @@ func TraceLengths(tr *trace.Trace) map[trace.ProgramID]time.Duration {
 	return lengths
 }
 
+// denseLengths converts a length table whose program IDs are exactly
+// 0..n-1 into a slice, or reports that the catalog is sparse. Absent
+// IDs inside the range keep the map's zero-value semantics.
+func denseLengths(m map[trace.ProgramID]time.Duration) ([]time.Duration, bool) {
+	if len(m) == 0 {
+		return nil, false
+	}
+	table := make([]time.Duration, len(m))
+	for p, l := range m {
+		if p < 0 || int(p) >= len(table) {
+			return nil, false
+		}
+		table[p] = l
+	}
+	return table, true
+}
+
 // shardMode classifies how a run's shards may execute, decided once at
 // construction from the strategy's declared coupling.
 type shardMode int
@@ -129,6 +146,13 @@ type System struct {
 	// Collector). Strictly observational: never read by the engine.
 	collector Collector
 
+	// routedBuf and touchedBuf are SubmitBatch's routing scratch,
+	// reused across calls: a long-running driver submits thousands of
+	// batches, and per-call slices of len(recs) pointers were a
+	// measurable share of ingest allocations at mega scale.
+	routedBuf  []*shard
+	touchedBuf []*shard
+
 	submitted int
 	lastStart time.Duration
 	closed    bool
@@ -170,7 +194,20 @@ func NewSystem(cfg Config, w Workload) (*System, error) {
 	if lengths == nil {
 		lengths = map[trace.ProgramID]time.Duration{}
 	}
-	s.lengths = func(p trace.ProgramID) time.Duration { return lengths[p] }
+	// Dense catalogs (IDs 0..n-1, what synth streams and universe tiers
+	// generate) resolve lengths through a slice instead of a map: the
+	// lookup runs once per session, and at the mega tier that is
+	// millions of map probes a simulated day.
+	if table, ok := denseLengths(lengths); ok {
+		s.lengths = func(p trace.ProgramID) time.Duration {
+			if int(p) < len(table) && p >= 0 {
+				return table[p]
+			}
+			return 0
+		}
+	} else {
+		s.lengths = func(p trace.ProgramID) time.Duration { return lengths[p] }
+	}
 	s.users = append([]trace.UserID(nil), w.Users...)
 	s.lengthTable = lengths
 	s.future = w.Future
@@ -311,7 +348,10 @@ func (s *System) SubmitBatch(recs []trace.Record) error {
 	if s.closed {
 		return fmt.Errorf("core: submit on closed system")
 	}
-	routed := make([]*shard, len(recs))
+	if cap(s.routedBuf) < len(recs) {
+		s.routedBuf = make([]*shard, len(recs))
+	}
+	routed := s.routedBuf[:len(recs)]
 	lastStart := s.lastStart
 	for i, rec := range recs {
 		sh, err := s.route(rec, lastStart)
@@ -366,7 +406,7 @@ func (s *System) dispatch(recs []trace.Record, routed []*shard) {
 	if len(recs) == 0 {
 		return
 	}
-	var touched []*shard
+	touched := s.touchedBuf[:0]
 	for i, rec := range recs {
 		sh := routed[i]
 		if len(sh.pending) == 0 {
@@ -375,6 +415,7 @@ func (s *System) dispatch(recs []trace.Record, routed []*shard) {
 		sh.pending = append(sh.pending, rec)
 	}
 	s.forShards(touched, (*shard).drainPending)
+	s.touchedBuf = touched[:0]
 }
 
 // forShards runs fn once per shard across the bounded worker pool. fn

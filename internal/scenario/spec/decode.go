@@ -39,9 +39,10 @@ func Parse(data []byte) (*File, error) {
 	d := &decoder{}
 	root := d.mapping(tree, "spec")
 	f := &File{}
-	d.allowed(root, "spec", "name", "description", "checkpoint", "chunk", "base", "engine", "phases", "assert")
+	d.allowed(root, "spec", "name", "description", "scale", "checkpoint", "chunk", "base", "engine", "phases", "assert")
 	f.Name = d.str(root, "name", "spec")
 	f.Description = d.str(root, "description", "spec")
+	f.Scale = d.str(root, "scale", "spec")
 	f.Checkpoint = d.dur(root, "checkpoint", "spec")
 	f.Chunk = d.dur(root, "chunk", "spec")
 	if v, ok := root["base"]; ok {

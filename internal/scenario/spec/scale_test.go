@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"cablevod/internal/core"
+	"cablevod/internal/universe"
+)
+
+// TestScaleKnob pins the scale: precedence chain — explicit spec
+// fields > tier > caller configuration — and the tier's fault
+// contribution.
+func TestScaleKnob(t *testing.T) {
+	f, err := Parse([]byte(`
+name: scaled
+scale: mega-lite
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := universe.Tier("mega-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bc := f.BaseConfig()
+	if bc.Users != tier.Subscribers || bc.Programs != tier.Catalog || bc.Days != tier.Days {
+		t.Fatalf("tier workload not applied: users=%d programs=%d days=%d", bc.Users, bc.Programs, bc.Days)
+	}
+
+	cfg, err := f.EngineConfig(core.Config{Topology: core.Config{}.Topology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cfg.Topology.NeighborhoodSize, tier.NeighborhoodSize(); got != want {
+		t.Fatalf("tier neighborhood size not applied: got %d, want %d", got, want)
+	}
+
+	ss := f.ScenarioSpec()
+	if len(ss.Phases) != 1 || len(ss.Phases[0].Faults) != 1 || ss.Phases[0].Faults[0].Kind() != "hetero_cache" {
+		t.Fatalf("heterogeneous tier's fault not contributed: %+v", ss.Phases)
+	}
+	if err := f.Validate(cfg.Topology.NeighborhoodSize); err != nil {
+		t.Fatalf("scaled spec does not validate: %v", err)
+	}
+}
+
+func TestScaleOverrides(t *testing.T) {
+	f, err := Parse([]byte(`
+name: scaled-over
+scale: quick
+base:
+  subscribers: 900
+  days: 1
+engine:
+  neighborhood: 300
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := f.BaseConfig()
+	if bc.Users != 900 || bc.Days != 1 {
+		t.Fatalf("explicit base fields should beat the tier: users=%d days=%d", bc.Users, bc.Days)
+	}
+	tier, _ := universe.Tier("quick")
+	if bc.Programs != tier.Catalog {
+		t.Fatalf("unset base fields should keep the tier: programs=%d want %d", bc.Programs, tier.Catalog)
+	}
+	cfg, err := f.EngineConfig(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NeighborhoodSize != 300 {
+		t.Fatalf("engine.neighborhood should beat the tier: got %d", cfg.Topology.NeighborhoodSize)
+	}
+}
+
+func TestScaleUnknownTier(t *testing.T) {
+	f, err := Parse([]byte(`
+name: bad-scale
+scale: galactic
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EngineConfig(core.Config{}); err == nil {
+		t.Fatal("unknown tier accepted by EngineConfig")
+	} else if !strings.Contains(err.Error(), "galactic") {
+		t.Fatalf("error does not name the tier: %v", err)
+	}
+	if err := f.Validate(1000); err == nil {
+		t.Fatal("unknown tier accepted by Validate")
+	}
+}

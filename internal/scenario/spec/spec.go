@@ -23,6 +23,7 @@ import (
 	"cablevod/internal/scenario"
 	"cablevod/internal/synth"
 	"cablevod/internal/units"
+	"cablevod/internal/universe"
 )
 
 // File is one parsed scenario spec document. The zero value is not
@@ -35,6 +36,15 @@ type File struct {
 
 	// Description says what question the scenario answers.
 	Description string
+
+	// Scale names a universe tier ("paper", "quick", "mega-lite",
+	// "mega") whose plant and workload sizes become the spec's
+	// defaults: population, catalog, days, seed, neighborhood size, and
+	// — for heterogeneous tiers — the t=0 storage-spread fault.
+	// Explicit base: fields and engine.neighborhood override the tier;
+	// the tier overrides the caller's configuration, keeping a scaled
+	// spec self-contained.
+	Scale string
 
 	// Checkpoint is the cadence of the Driver's checkpoint series. Any
 	// spec with assertions needs one (temporal predicates are evaluated
@@ -229,11 +239,31 @@ func (p Predicate) describe() string {
 	return fmt.Sprintf("%s %s %g%s", p.Metric, p.Op, p.Value, scope)
 }
 
-// BaseConfig resolves the spec's base workload: synth.DefaultConfig
-// with the spec's overrides applied. A registry twin built with the
-// same synth.Config generates the identical record stream.
+// scaleTier resolves the scale: tier, if any. Unknown names surface
+// through EngineConfig and Validate (both run before any generation);
+// BaseConfig and ScenarioSpec treat an unresolvable tier as absent
+// because their signatures predate the knob and every path into them
+// validates first.
+func (f *File) scaleTier() (universe.Config, bool, error) {
+	if f.Scale == "" {
+		return universe.Config{}, false, nil
+	}
+	tier, err := universe.Tier(f.Scale)
+	if err != nil {
+		return universe.Config{}, false, fmt.Errorf("spec %s: scale: %w", f.Name, err)
+	}
+	return tier, true, nil
+}
+
+// BaseConfig resolves the spec's base workload: synth.DefaultConfig —
+// or the scale: tier's workload — with the spec's overrides applied. A
+// registry twin built with the same synth.Config generates the
+// identical record stream.
 func (f *File) BaseConfig() synth.Config {
 	c := synth.DefaultConfig()
+	if tier, ok, _ := f.scaleTier(); ok {
+		c = tier.SynthConfig()
+	}
 	b := f.Base
 	if b.Subscribers > 0 {
 		c.Users = b.Subscribers
@@ -273,6 +303,11 @@ func (f *File) ScenarioSpec() scenario.Spec {
 		Description: f.Description,
 		Base:        f.BaseConfig(),
 	}
+	// A heterogeneous tier contributes its storage-spread fault as a
+	// leading phase, exactly as universe.Config.Spec builds it.
+	if tier, ok, _ := f.scaleTier(); ok && tier.Heterogeneous() {
+		s.Phases = append(s.Phases, tier.Spec().Phases...)
+	}
 	for _, ph := range f.Phases {
 		s.Phases = append(s.Phases, scenario.Phase{
 			Name:       ph.Name,
@@ -291,6 +326,13 @@ func (f *File) ScenarioSpec() scenario.Spec {
 func (f *File) EngineConfig(base core.Config) (core.Config, error) {
 	e := f.Engine
 	cfg := base
+	tier, scaled, err := f.scaleTier()
+	if err != nil {
+		return cfg, err
+	}
+	if scaled && e.Neighborhood == 0 {
+		cfg.Topology.NeighborhoodSize = tier.NeighborhoodSize()
+	}
 	if e.Strategy != "" {
 		if s, err := core.ParseStrategy(e.Strategy); err == nil {
 			cfg.Strategy, cfg.StrategyName = s, ""

@@ -1,0 +1,27 @@
+package scenario
+
+import (
+	"cablevod/internal/hfc"
+	"cablevod/internal/synth"
+	"cablevod/internal/trace"
+)
+
+// NewStream compiles the spec against the plant topology and returns
+// its lazy record stream plus the full population the engine must be
+// provisioned for (base subscribers and churn joiners). This is the
+// Driver's own generation path, exported so orchestrators that manage
+// the engine themselves — universe.LongRun resuming a checkpointed run
+// from a saved state — can regenerate the identical record sequence:
+// two streams from the same spec and topology emit the same records
+// hour for hour.
+func NewStream(spec Spec, topo hfc.Config) (*synth.Stream, []trace.UserID, error) {
+	comp, err := spec.compile(topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream, err := synth.NewStream(comp.streamConfig(), comp.hooks())
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, comp.population, nil
+}

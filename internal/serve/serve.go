@@ -36,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"cablevod/internal/scenario/spec"
 	"cablevod/internal/synth"
 	"cablevod/internal/telemetry"
+	"cablevod/internal/universe"
 )
 
 // DefaultCheckpoint is the snapshot-publication cadence (virtual time)
@@ -452,4 +454,17 @@ func (s *Server) writeDaemonMetrics(w *telemetry.Writer) {
 	w.Counter("vodsim_daemon_submits_total", "POST /submit batches accepted (ingest mode).", float64(s.submits.Load()))
 	w.Counter("vodsim_daemon_http_requests_total", "HTTP requests served.", float64(s.httpRequests.Load()))
 	w.Counter("vodsim_daemon_scrapes_total", "Completed /metrics renders.", float64(s.reg.Scrapes()))
+
+	// Process memory, for watching a mega-scale engine's footprint from
+	// the outside. HeapAlloc here is the instantaneous live+uncollected
+	// heap (no forced GC on the scrape path — scrapes must stay cheap);
+	// the peak-RSS gauge is the kernel's high-water mark.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Gauge("vodsim_daemon_heap_alloc_bytes", "Heap bytes allocated and not yet collected.", float64(ms.HeapAlloc))
+	w.Gauge("vodsim_daemon_heap_sys_bytes", "Heap bytes held from the OS.", float64(ms.HeapSys))
+	w.Counter("vodsim_daemon_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	if peak := universe.PeakRSS(); peak > 0 {
+		w.Gauge("vodsim_daemon_peak_rss_bytes", "Process peak resident set (VmHWM).", float64(peak))
+	}
 }

@@ -128,6 +128,16 @@ type Stream struct {
 	nextRebuild time.Duration
 	activeShare float64
 
+	// Rebuild scratch, reused across rebuilds: a modulated stream
+	// rebuilds every hour, and fresh weight/id slices per rebuild are
+	// megabytes an hour at the mega tier (1M users, ~200k programs).
+	// Safe to reuse because randdist.NewAlias copies its input and
+	// pickable is fully rewritten before each reassignment.
+	weightsBuf []float64
+	idsBuf     []trace.ProgramID
+	regionBuf  []float64
+	userBuf    []float64
+
 	day, hour int
 	dayFactor float64
 }
@@ -282,8 +292,12 @@ func (s *Stream) nextHourRaw() ([]trace.Record, HourInfo, error) {
 // the user picker for the hour. It consumes no randomness.
 func (s *Stream) rebuild(info HourInfo) error {
 	t := info.Start
-	weights := make([]float64, 0, len(s.cat.base))
-	ids := make([]trace.ProgramID, 0, len(s.cat.base))
+	if cap(s.weightsBuf) < len(s.cat.base) {
+		s.weightsBuf = make([]float64, 0, len(s.cat.base))
+		s.idsBuf = make([]trace.ProgramID, 0, len(s.cat.base))
+	}
+	weights := s.weightsBuf[:0]
+	ids := s.idsBuf[:0]
 	for p := range s.cat.base {
 		if s.cat.intro[p] > t {
 			continue
@@ -316,7 +330,10 @@ func (s *Stream) rebuild(info HourInfo) error {
 		}
 		pickers[0] = picker
 	} else {
-		rw := make([]float64, len(weights))
+		if cap(s.regionBuf) < len(weights) {
+			s.regionBuf = make([]float64, len(weights))
+		}
+		rw := s.regionBuf[:len(weights)]
 		for r := range pickers {
 			for i, w := range weights {
 				v := s.hooks.RegionProgramWeight(info, r, ids[i], w)
@@ -334,9 +351,14 @@ func (s *Stream) rebuild(info HourInfo) error {
 	}
 	s.pickers = pickers
 	s.pickable = ids
+	s.weightsBuf = weights
+	s.idsBuf = ids
 
 	if s.hooks.UserWeight != nil {
-		uw := make([]float64, len(s.userBase))
+		if cap(s.userBuf) < len(s.userBase) {
+			s.userBuf = make([]float64, len(s.userBase))
+		}
+		uw := s.userBuf[:len(s.userBase)]
 		sum := 0.0
 		for i, w := range s.userBase {
 			v := s.hooks.UserWeight(info, trace.UserID(i), w)

@@ -1,0 +1,41 @@
+package universe
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"cablevod/internal/core"
+)
+
+// StateDigest canonically hashes an exported engine state. Two runs of
+// the same universe are bit-identical exactly when their digests match,
+// regardless of engine parallelism (the one knob that may legitimately
+// differ across equivalent runs, so it is zeroed before hashing) and of
+// how many checkpoint/resume legs each run was split into.
+//
+// The canonical form is encoding/json: it serializes maps in sorted key
+// order, unlike gob, whose map encoding follows Go's randomized
+// iteration — which is why comparing raw snapshot files would produce
+// false mismatches. Every SystemState field is plain data (no
+// functions, no interfaces beyond JSON-able Disruptions), so the JSON
+// form is total.
+//
+// The encoder streams straight into the hash: a mega-scale state's
+// JSON text runs to gigabytes, and materializing it as one buffer
+// would dominate the process's peak memory at exactly the moment the
+// engine's own footprint peaks (a checkpoint).
+func StateDigest(st *core.SystemState) (string, error) {
+	c := *st
+	c.Config.Parallelism = 0
+	// Future is the unconsumed workload tail, not engine state: LongRun
+	// regenerates it from the spec and never materializes it, so two
+	// equivalent states may differ here legitimately.
+	c.Future = nil
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(&c); err != nil {
+		return "", fmt.Errorf("universe: canonicalizing state: %w", err)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,69 @@
+package universe
+
+import "fmt"
+
+// Interner assigns compact dense indices to values of any comparable ID
+// type: the first Intern of a value returns 0, the next new value 1,
+// and so on, with repeats returning the original index. Mega-scale
+// state wants dense indices — a slice indexed by int32 instead of a
+// map keyed by a wide ID costs a fraction of the memory and no hash per
+// touch — and the universe's contract is that its populations and
+// catalogs are dense. The Interner is both the bridge for external ID
+// spaces (trace files, live submissions) and the verifier of that
+// contract: interning an already-dense sequence must reproduce it
+// (VerifyDense).
+type Interner[K comparable] struct {
+	index map[K]int32
+	ids   []K
+}
+
+// NewInterner returns an Interner sized for about n distinct values.
+func NewInterner[K comparable](n int) *Interner[K] {
+	if n < 0 {
+		n = 0
+	}
+	return &Interner[K]{index: make(map[K]int32, n), ids: make([]K, 0, n)}
+}
+
+// Intern returns the dense index for k, assigning the next free index
+// on first sight.
+func (in *Interner[K]) Intern(k K) int32 {
+	if i, ok := in.index[k]; ok {
+		return i
+	}
+	i := int32(len(in.ids))
+	in.index[k] = i
+	in.ids = append(in.ids, k)
+	return i
+}
+
+// Index returns k's dense index without assigning one.
+func (in *Interner[K]) Index(k K) (int32, bool) {
+	i, ok := in.index[k]
+	return i, ok
+}
+
+// At returns the value interned at index i. It panics if i was never
+// assigned, mirroring slice indexing.
+func (in *Interner[K]) At(i int32) K { return in.ids[i] }
+
+// Len is the number of distinct values interned.
+func (in *Interner[K]) Len() int { return len(in.ids) }
+
+// VerifyDense interns every value of seq in order and reports whether
+// the sequence was already dense — value i landed at index i with no
+// repeats. Universe populations are dense by construction; a snapshot
+// that fails this check was not produced by a universe tier.
+func VerifyDense[K comparable](seq []K, want func(i int) K) error {
+	in := NewInterner[K](len(seq))
+	for i, k := range seq {
+		idx := in.Intern(k)
+		if int(idx) != i {
+			return fmt.Errorf("value %v at position %d interned to index %d (duplicate of an earlier value)", k, i, idx)
+		}
+		if want != nil && k != want(i) {
+			return fmt.Errorf("position %d holds %v, want %v", i, k, want(i))
+		}
+	}
+	return nil
+}

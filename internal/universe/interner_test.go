@@ -1,0 +1,65 @@
+package universe
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cablevod/internal/trace"
+)
+
+// TestInternerRoundTrip is the dense-index property test: for random
+// ID sequences with repeats, Intern assigns first-sight order indices,
+// Index finds them without assigning, and At inverts Intern exactly.
+func TestInternerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		in := NewInterner[trace.UserID](0)
+		seen := map[trace.UserID]int32{}
+		var order []trace.UserID
+		for i := 0; i < 500; i++ {
+			// Draw from a small domain so repeats are common.
+			k := trace.UserID(rng.Int64N(120))
+			want, old := seen[k]
+			got := in.Intern(k)
+			if old {
+				if got != want {
+					t.Fatalf("trial %d: repeat %v interned to %d, first sight was %d", trial, k, got, want)
+				}
+				continue
+			}
+			if int(got) != len(order) {
+				t.Fatalf("trial %d: new %v interned to %d, want next dense index %d", trial, k, got, len(order))
+			}
+			seen[k] = got
+			order = append(order, k)
+		}
+		if in.Len() != len(order) {
+			t.Fatalf("trial %d: Len() = %d, want %d distinct", trial, in.Len(), len(order))
+		}
+		for i, k := range order {
+			if got := in.At(int32(i)); got != k {
+				t.Fatalf("trial %d: At(%d) = %v, want %v", trial, i, got, k)
+			}
+			idx, ok := in.Index(k)
+			if !ok || int(idx) != i {
+				t.Fatalf("trial %d: Index(%v) = (%d, %v), want (%d, true)", trial, k, idx, ok, i)
+			}
+		}
+		if _, ok := in.Index(trace.UserID(10_000)); ok {
+			t.Fatalf("trial %d: Index found a never-interned value", trial)
+		}
+	}
+}
+
+func TestVerifyDense(t *testing.T) {
+	dense := []trace.UserID{0, 1, 2, 3}
+	if err := VerifyDense(dense, func(i int) trace.UserID { return trace.UserID(i) }); err != nil {
+		t.Fatalf("dense sequence rejected: %v", err)
+	}
+	if err := VerifyDense([]trace.UserID{0, 1, 1, 2}, nil); err == nil {
+		t.Fatal("duplicate value accepted")
+	}
+	if err := VerifyDense([]trace.UserID{0, 2, 1}, func(i int) trace.UserID { return trace.UserID(i) }); err == nil {
+		t.Fatal("out-of-order sequence accepted")
+	}
+}

@@ -1,0 +1,347 @@
+package universe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+
+	"cablevod/internal/core"
+	"cablevod/internal/scenario"
+	"cablevod/internal/trace"
+)
+
+// LongRunOptions controls a checkpointed run.
+type LongRunOptions struct {
+	// Dir is the checkpoint directory (required). A long run leaves two
+	// files there: state.snap (the engine snapshot) and longrun.json
+	// (the run ledger: tier, progress, digest). Re-invoking LongRun on
+	// a directory with a ledger resumes the run from its last leg.
+	Dir string
+
+	// Leg is the simulated time per leg — the checkpoint cadence.
+	// Default 24h; must be a positive multiple of an hour.
+	Leg time.Duration
+
+	// MaxLegs stops this invocation after completing that many legs,
+	// leaving the run resumable. Zero runs to completion.
+	MaxLegs int
+
+	// OnLeg observes each completed leg.
+	OnLeg func(LegInfo)
+}
+
+// LegInfo describes one completed leg.
+type LegInfo struct {
+	// Leg is the 1-based leg index across the whole run, counting legs
+	// from earlier invocations.
+	Leg int
+	// At is the virtual time of the checkpoint.
+	At time.Duration
+	// Submitted is the cumulative record count at the checkpoint.
+	Submitted int
+	// Digest is the canonical state digest at the checkpoint.
+	Digest string
+}
+
+// LongRunResult reports an invocation's outcome.
+type LongRunResult struct {
+	Tier      Config
+	Resumed   bool
+	Done      bool
+	LegsRun   int // legs completed by this invocation
+	LegsTotal int // legs completed across all invocations
+	At        time.Duration
+	Submitted int
+	// Digest is the canonical digest of the last checkpointed state —
+	// the final state when Done. Equivalent runs (any parallelism, any
+	// leg split) produce the same digest.
+	Digest    string
+	StatePath string
+	// Result is the closed engine's full metrics, set only when Done.
+	Result *core.Result
+}
+
+// runMeta is the longrun.json ledger. The tier config is embedded
+// whole so a resume can verify the checkpoint and the request describe
+// the same universe — the engine snapshot alone cannot carry this
+// (the workload seed, for one, is not recoverable from it).
+type runMeta struct {
+	Tier      Config        `json:"tier"`
+	Strategy  string        `json:"strategy"`
+	Leg       time.Duration `json:"leg_ns"`
+	HoursDone int           `json:"hours_done"`
+	Legs      int           `json:"legs"`
+	Submitted int           `json:"submitted"`
+	At        time.Duration `json:"at_ns"`
+	Digest    string        `json:"digest"`
+}
+
+const (
+	stateFileName = "state.snap"
+	metaFileName  = "longrun.json"
+)
+
+// LongRun executes (or resumes) a universe run split into resumable
+// legs. Each leg streams Leg of simulated time into the engine, then
+// checkpoints atomically: the run survives interruption at any point
+// with at most one leg of lost work. base supplies engine policy
+// (strategy, fill, warmup, parallelism); the tier dictates plant and
+// workload. The run is bit-identical to an uninterrupted one at any
+// parallelism and any leg split — StateDigest pins this.
+func LongRun(tier Config, base core.Config, opts LongRunOptions) (*LongRunResult, error) {
+	if err := tier.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("universe: LongRun needs a checkpoint directory")
+	}
+	leg := opts.Leg
+	if leg == 0 {
+		leg = 24 * time.Hour
+	}
+	if leg <= 0 || leg%time.Hour != 0 {
+		return nil, fmt.Errorf("universe: leg %v must be a positive multiple of an hour", leg)
+	}
+	if opts.MaxLegs < 0 {
+		return nil, fmt.Errorf("universe: MaxLegs must be non-negative (got %d)", opts.MaxLegs)
+	}
+	// Resolve the default strategy up front so the ledger records the
+	// real name and a resume that names it explicitly still matches.
+	if base.Strategy == 0 && base.StrategyName == "" {
+		base.Strategy = core.StrategyLFU
+	}
+	cfg := tier.EngineConfig(base)
+	statePath := filepath.Join(opts.Dir, stateFileName)
+	metaPath := filepath.Join(opts.Dir, metaFileName)
+
+	stream, population, err := scenario.NewStream(tier.Spec(), cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+
+	meta, resumed, err := loadMeta(metaPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var sys *core.System
+	if resumed {
+		if err := verifyMeta(meta, tier, cfg, leg); err != nil {
+			return nil, err
+		}
+		st, err := core.LoadStateFile(statePath)
+		if err != nil {
+			return nil, fmt.Errorf("universe: ledger %s exists but its snapshot is unreadable: %w", metaPath, err)
+		}
+		if err := verifySnapshot(st, tier, meta); err != nil {
+			return nil, err
+		}
+		// Regenerate the workload up to the checkpoint: the stream is
+		// deterministic, so skipping the checkpointed hours replays the
+		// exact record sequence the snapshot consumed. The count cross-
+		// check catches a divergent workload (wrong seed, edited spec)
+		// that the ledger comparison could not.
+		skipped := 0
+		for h := 0; h < meta.HoursDone; h++ {
+			if stream.Done() {
+				return nil, fmt.Errorf("universe: checkpoint claims %d hours but the %s workload ends after %d", meta.HoursDone, tier.Name, h)
+			}
+			recs, _, err := stream.NextHour()
+			if err != nil {
+				return nil, err
+			}
+			skipped += len(recs)
+		}
+		if skipped != meta.Submitted {
+			return nil, fmt.Errorf("universe: regenerated %s workload diverges from checkpoint %s: %d records in %d hours, ledger says %d — was the snapshot created with a different seed?",
+				tier.Name, statePath, skipped, meta.HoursDone, meta.Submitted)
+		}
+		sys, err = core.RestoreSystem(st, core.RestoreOptions{Parallelism: cfg.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("universe: creating checkpoint directory: %w", err)
+		}
+		sys, err = core.NewSystem(cfg, core.Workload{Users: population, Lengths: stream.Lengths()})
+		if err != nil {
+			return nil, err
+		}
+		// Arm the tier's faults (the heterogeneous-fleet storage spread)
+		// exactly as the scenario driver would. On resume the snapshot
+		// carries the not-yet-applied schedule, so arming happens only
+		// on a fresh run.
+		spec := tier.Spec()
+		for _, ph := range spec.Phases {
+			for i, f := range ph.Faults {
+				if err := sys.Disrupt(f); err != nil {
+					return nil, fmt.Errorf("universe %s: phase %q fault %d (%s): %w", tier.Name, ph.Name, i, f.Kind(), err)
+				}
+			}
+		}
+		meta = runMeta{Tier: tier, Strategy: cfg.StrategyLabel(), Leg: leg}
+	}
+
+	res := &LongRunResult{Tier: tier, Resumed: resumed, StatePath: statePath, LegsTotal: meta.Legs, Digest: meta.Digest, At: meta.At, Submitted: meta.Submitted}
+	submitted := meta.Submitted
+	hours := meta.HoursDone
+
+	checkpoint := func() error {
+		st, err := sys.ExportState()
+		if err != nil {
+			return err
+		}
+		digest, err := StateDigest(st)
+		if err != nil {
+			return err
+		}
+		err = core.SaveStateFile(statePath, st)
+		// The exported copy is the process's largest transient — at mega
+		// scale it rivals the engine itself. Drop it and hand the pages
+		// back before the next leg, or each checkpoint ratchets the GC
+		// heap target (and the run's peak RSS) a copy higher.
+		st = nil
+		debug.FreeOSMemory()
+		if err != nil {
+			return err
+		}
+		meta.HoursDone = hours
+		meta.Legs++
+		meta.Submitted = submitted
+		meta.At = time.Duration(hours) * time.Hour
+		meta.Digest = digest
+		if err := saveMeta(metaPath, meta); err != nil {
+			return err
+		}
+		res.LegsRun++
+		res.LegsTotal = meta.Legs
+		res.At = meta.At
+		res.Submitted = submitted
+		res.Digest = digest
+		if opts.OnLeg != nil {
+			opts.OnLeg(LegInfo{Leg: meta.Legs, At: meta.At, Submitted: submitted, Digest: digest})
+		}
+		return nil
+	}
+
+	for !stream.Done() {
+		recs, _, err := stream.NextHour()
+		if err != nil {
+			return nil, err
+		}
+		hours++
+		if len(recs) > 0 {
+			if err := sys.SubmitBatch(recs); err != nil {
+				return nil, err
+			}
+			submitted += len(recs)
+		}
+		if time.Duration(hours)*time.Hour%leg == 0 || stream.Done() {
+			if err := checkpoint(); err != nil {
+				return nil, err
+			}
+			if opts.MaxLegs > 0 && res.LegsRun >= opts.MaxLegs && !stream.Done() {
+				return res, nil // resumable: state and ledger are on disk
+			}
+		}
+	}
+
+	final, err := sys.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Done = true
+	res.Result = final
+	return res, nil
+}
+
+// loadMeta reads the run ledger; absent means a fresh run.
+func loadMeta(path string) (runMeta, bool, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return runMeta{}, false, nil
+	}
+	if err != nil {
+		return runMeta{}, false, fmt.Errorf("universe: reading run ledger: %w", err)
+	}
+	var m runMeta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return runMeta{}, false, fmt.Errorf("universe: run ledger %s is corrupt: %w", path, err)
+	}
+	return m, true, nil
+}
+
+// saveMeta writes the ledger atomically (temp file + rename), matching
+// the snapshot writer's crash discipline.
+func saveMeta(path string, m runMeta) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".longrun-*")
+	if err != nil {
+		return fmt.Errorf("universe: save run ledger: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("universe: save run ledger: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("universe: save run ledger: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("universe: save run ledger: %w", err)
+	}
+	return nil
+}
+
+// verifyMeta rejects a resume whose request does not describe the
+// universe the checkpoint was created from, with an error that says
+// which knob differs.
+func verifyMeta(m runMeta, tier Config, cfg core.Config, leg time.Duration) error {
+	if m.Tier != tier {
+		return fmt.Errorf("universe: checkpoint was created by tier %s; requested %s — resume with the original tier or point the run at a fresh directory",
+			describeTier(m.Tier), describeTier(tier))
+	}
+	if m.Strategy != cfg.StrategyLabel() {
+		return fmt.Errorf("universe: checkpoint was created with strategy %q; requested %q — a long run cannot change strategy mid-flight (fork the snapshot instead)",
+			m.Strategy, cfg.StrategyLabel())
+	}
+	if m.Leg != leg {
+		return fmt.Errorf("universe: checkpoint uses %v legs; requested %v — leg length must stay fixed so leg boundaries align", m.Leg, leg)
+	}
+	return nil
+}
+
+// describeTier renders a tier's identity for mismatch errors.
+func describeTier(c Config) string {
+	return fmt.Sprintf("%q (%d subscribers / %d neighborhoods / %d programs / %d days, seed %d)",
+		c.Name, c.Subscribers, c.Neighborhoods, c.Catalog, c.Days, c.Seed)
+}
+
+// verifySnapshot cross-checks the engine snapshot against the tier:
+// the ledger names the universe, the snapshot must actually hold its
+// plant. The population check uses the dense-ID contract (VerifyDense)
+// universe tiers guarantee.
+func verifySnapshot(st *core.SystemState, tier Config, m runMeta) error {
+	if got := len(st.Users); got != tier.Subscribers {
+		return fmt.Errorf("universe: snapshot holds %d subscribers, tier %q builds %d", got, tier.Name, tier.Subscribers)
+	}
+	if got, want := st.Config.Topology.NeighborhoodSize, tier.NeighborhoodSize(); got != want {
+		return fmt.Errorf("universe: snapshot plant has %d-subscriber neighborhoods, tier %q builds %d", got, tier.Name, want)
+	}
+	if err := VerifyDense(st.Users, func(i int) trace.UserID { return trace.UserID(i) }); err != nil {
+		return fmt.Errorf("universe: snapshot population is not a universe population: %w", err)
+	}
+	if st.Submitted != m.Submitted {
+		return fmt.Errorf("universe: snapshot has %d submitted records, ledger says %d — the two files are from different runs", st.Submitted, m.Submitted)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package universe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cablevod/internal/units"
+)
+
+// Named scale tiers. Each is a complete Config; Tier returns a copy so
+// callers can override fields (seed, days) without touching the
+// registry.
+//
+//   - paper:     the PowerInfo population the paper evaluates on —
+//     41,698 subscribers in 42 neighborhoods, uniform 10 GB
+//     boxes, a two-week span.
+//   - quick:     a seconds-scale smoke plant for demos and tests.
+//   - mega-lite: a CI-affordable proxy of mega — heterogeneous fleet,
+//     many neighborhoods — sized so the checkpoint/resume
+//     equivalence tests can run it repeatedly. This tier
+//     pins the determinism contract the mega tier relies on.
+//   - mega:      a million-subscriber metro in ~1,000 heterogeneous
+//     neighborhoods with a proportionally scaled catalog
+//     (~198k programs). Run it through LongRun; the workload
+//     (~13 M session records over a week) streams lazily and
+//     is never materialized.
+var tiers = []Config{
+	{
+		Name:          "paper",
+		Description:   "PowerInfo scale: 41,698 subscribers, 42 neighborhoods, 14 days",
+		Subscribers:   paperUsers,
+		Neighborhoods: 42,
+		Catalog:       paperPrograms,
+		Days:          14,
+		Seed:          1,
+	},
+	{
+		Name:          "quick",
+		Description:   "smoke scale: 2,000 subscribers, 4 neighborhoods, 3 days",
+		Subscribers:   2_000,
+		Neighborhoods: 4,
+		Catalog:       ScaledCatalog(2_000),
+		Days:          3,
+		Seed:          1,
+	},
+	{
+		Name:          "mega-lite",
+		Description:   "CI proxy of mega: 6,000 subscribers, 12 heterogeneous neighborhoods, 3 days",
+		Subscribers:   6_000,
+		Neighborhoods: 12,
+		Catalog:       ScaledCatalog(6_000),
+		Days:          3,
+		Seed:          1,
+		HeteroMin:     4 * units.GB,
+		HeteroMax:     16 * units.GB,
+	},
+	{
+		Name:          "mega",
+		Description:   "metro scale: 1,000,000 subscribers, 1,000 heterogeneous neighborhoods, 7 days",
+		Subscribers:   1_000_000,
+		Neighborhoods: 1_000,
+		Catalog:       ScaledCatalog(1_000_000),
+		Days:          7,
+		Seed:          1,
+		HeteroMin:     4 * units.GB,
+		HeteroMax:     16 * units.GB,
+	},
+}
+
+// Tier returns the named scale tier.
+func Tier(name string) (Config, error) {
+	for _, t := range tiers {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Config{}, fmt.Errorf("universe: unknown scale tier %q (have %s)", name, strings.Join(TierNames(), ", "))
+}
+
+// Tiers returns every registered tier, smallest population first.
+func Tiers() []Config {
+	out := make([]Config, len(tiers))
+	copy(out, tiers)
+	sort.Slice(out, func(i, j int) bool { return out[i].Subscribers < out[j].Subscribers })
+	return out
+}
+
+// TierNames lists the registered tier names in registry order.
+func TierNames() []string {
+	names := make([]string, len(tiers))
+	for i, t := range tiers {
+		names[i] = t.Name
+	}
+	return names
+}

@@ -1,0 +1,109 @@
+package universe
+
+import (
+	"strings"
+	"testing"
+
+	"cablevod/internal/units"
+)
+
+func TestTierRegistry(t *testing.T) {
+	for _, name := range TierNames() {
+		tier, err := Tier(name)
+		if err != nil {
+			t.Fatalf("Tier(%q): %v", name, err)
+		}
+		if err := tier.Validate(); err != nil {
+			t.Errorf("tier %s does not validate: %v", name, err)
+		}
+		if tier.NeighborhoodSize() <= 0 {
+			t.Errorf("tier %s: non-positive neighborhood size", name)
+		}
+	}
+	if _, err := Tier("galactic"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+
+	mega, err := Tier("mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mega.Subscribers != 1_000_000 || mega.Neighborhoods != 1_000 {
+		t.Fatalf("mega = %d subscribers / %d neighborhoods, want 1M / 1000", mega.Subscribers, mega.Neighborhoods)
+	}
+	if mega.NeighborhoodSize() != 1000 {
+		t.Fatalf("mega neighborhood size = %d, want 1000", mega.NeighborhoodSize())
+	}
+	if !mega.Heterogeneous() {
+		t.Fatal("mega tier should spread box storage")
+	}
+	// The catalog scales proportionally to the paper's ratio.
+	if got, want := mega.Catalog, ScaledCatalog(1_000_000); got != want {
+		t.Fatalf("mega catalog = %d, want %d", got, want)
+	}
+
+	paper, err := Tier("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.Subscribers != 41_698 || paper.Catalog != 8_278 || paper.Heterogeneous() {
+		t.Fatalf("paper tier drifted from the PowerInfo anchors: %+v", paper)
+	}
+}
+
+func TestScaledCatalog(t *testing.T) {
+	if got := ScaledCatalog(41_698); got != 8_278 {
+		t.Fatalf("ScaledCatalog at paper scale = %d, want 8278", got)
+	}
+	if got := ScaledCatalog(1); got != 1 {
+		t.Fatalf("ScaledCatalog(1) = %d, want floor of 1", got)
+	}
+}
+
+// TestValidateRejectsOverpartitionedPlant pins the guard from the
+// issue: a neighborhood count exceeding the population is a config
+// error, not a zero-box plant.
+func TestValidateRejectsOverpartitionedPlant(t *testing.T) {
+	c := Config{Name: "bad", Subscribers: 10, Neighborhoods: 11, Catalog: 5, Days: 1}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("11 neighborhoods over 10 subscribers accepted")
+	}
+	if !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("error does not explain the overpartition: %v", err)
+	}
+
+	good := Config{Name: "edge", Subscribers: 10, Neighborhoods: 10, Catalog: 5, Days: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("one box per neighborhood should be legal: %v", err)
+	}
+}
+
+func TestValidateHeteroRange(t *testing.T) {
+	c := Config{Name: "h", Subscribers: 100, Neighborhoods: 2, Catalog: 5, Days: 1,
+		HeteroMin: 16 * units.GB, HeteroMax: 4 * units.GB}
+	if err := c.Validate(); err == nil {
+		t.Fatal("inverted hetero range accepted")
+	}
+	c.HeteroMax = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("half-set hetero range accepted")
+	}
+}
+
+func TestSpecCarriesHeteroFault(t *testing.T) {
+	lite, err := Tier("mega-lite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := lite.Spec()
+	if len(spec.Phases) != 1 || len(spec.Phases[0].Faults) != 1 {
+		t.Fatalf("mega-lite spec should carry exactly one hetero fault, got %+v", spec.Phases)
+	}
+	if kind := spec.Phases[0].Faults[0].Kind(); kind != "hetero_cache" {
+		t.Fatalf("fault kind = %q, want hetero_cache", kind)
+	}
+	if sc := lite.SynthConfig(); sc.Users != lite.Subscribers || sc.Programs != lite.Catalog || sc.Days != lite.Days {
+		t.Fatalf("SynthConfig drifted from tier: %+v", sc)
+	}
+}
