@@ -10,6 +10,7 @@ import (
 	"cablevod"
 	"cablevod/internal/core"
 	"cablevod/internal/hfc"
+	"cablevod/internal/perf"
 	"cablevod/internal/telemetry"
 	"cablevod/internal/units"
 	"cablevod/internal/universe"
@@ -51,12 +52,26 @@ type benchRun struct {
 type benchTelemetry struct {
 	Seconds       float64 `json:"seconds"`
 	RecordsPerSec float64 `json:"records_per_sec"`
-	// OverheadPct compares the collected run against the sharded run
-	// that preceded it (adjacent in time, so machine drift mostly
-	// cancels). The CI gate for the 5% budget is the interleaved
-	// BenchmarkSubmitWithTelemetry, not this single-shot figure.
+	// OverheadPct is the collector's cost over the bare sharded engine,
+	// measured as the best ratio across benchOverheadPairs interleaved
+	// sharded/collected pairs (legs alternate order across pairs, so
+	// machine frequency drift hits both legs about equally and the
+	// per-pair ratio survives it; noise only ever adds time, so the
+	// least-disturbed pair bounds the true cost). The CI gate for the
+	// 5% budget is the same scheme in BenchmarkSubmitWithTelemetry.
 	OverheadPct float64 `json:"overhead_pct"`
 }
+
+// benchOverheadPairs is how many interleaved sharded/collected pairs
+// the -bench-json telemetry overhead estimate runs.
+const benchOverheadPairs = 3
+
+// benchSerialRuns is how many serial passes -bench-json takes; the
+// reported serial figure is the fastest. Scheduler and frequency noise
+// on a shared machine only ever add time, so the least-disturbed pass
+// is the noise-robust estimate of the engine's true speed (the same
+// judgment the interleaved benchmarks in bench_test.go apply).
+const benchSerialRuns = 3
 
 // benchConfig is the fixed plant every benchmark run uses, so
 // committed reports are comparable across PRs.
@@ -109,28 +124,71 @@ func benchOnce(tr *cablevod.Trace, parallelism int, collect bool) (benchRun, err
 
 // runBenchJSON measures the memory footprint and the Submit path
 // (serial, sharded, sharded with the telemetry collector attached) and
-// prints one JSON report. When baseline names a committed report, the
-// run becomes a gate: a >10% bytes/record regression is an error.
-func runBenchJSON(tr *cablevod.Trace, w benchWorkload, baseline string) error {
+// prints one JSON report, followed by a one-line comparison against
+// the newest committed BENCH_*.json in the working directory. When
+// baseline names a committed report, the run becomes a gate: a >10%
+// bytes/record regression is an error. floorPct > 0 additionally gates
+// throughput: serial records/s more than floorPct percent below the
+// best committed snapshot is an error. profileDir captures CPU/heap
+// profiles spanning just the three throughput runs (not the memory
+// probe, whose GC churn would drown the Submit path).
+func runBenchJSON(tr *cablevod.Trace, w benchWorkload, baseline, profileDir string, floorPct float64) error {
 	w.Records = len(tr.Records)
 	fmt.Fprintf(os.Stderr, "vodsim: probing memory on the %s plant\n", universe.ProbeTier().Name)
 	mem, err := universe.MemoryProbe(universe.ProbeTier(), benchConfig(0))
 	if err != nil {
 		return fmt.Errorf("memory probe: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "vodsim: benchmarking %d records (serial, sharded, sharded+telemetry)\n", w.Records)
+	fmt.Fprintf(os.Stderr, "vodsim: benchmarking %d records (best of %d serial, then %d interleaved sharded/telemetry pairs)\n",
+		w.Records, benchSerialRuns, benchOverheadPairs)
 
-	serial, err := benchOnce(tr, 1, false)
-	if err != nil {
-		return fmt.Errorf("serial bench: %w", err)
+	stopProfile := func() error { return nil }
+	if profileDir != "" {
+		if stopProfile, err = startProfile(profileDir); err != nil {
+			return err
+		}
 	}
-	sharded, err := benchOnce(tr, 0, false)
-	if err != nil {
-		return fmt.Errorf("sharded bench: %w", err)
+	var serial benchRun
+	for run := 0; run < benchSerialRuns; run++ {
+		s, err := benchOnce(tr, 1, false)
+		if err != nil {
+			return fmt.Errorf("serial bench: %w", err)
+		}
+		if run == 0 || s.Seconds < serial.Seconds {
+			serial = s
+		}
 	}
-	collected, err := benchOnce(tr, 0, true)
-	if err != nil {
-		return fmt.Errorf("telemetry bench: %w", err)
+	// Interleaved sharded/collected pairs: the reported sharded and
+	// telemetry runs are each leg's fastest, and the overhead is the
+	// best per-pair ratio (see benchTelemetry.OverheadPct).
+	var sharded, collected benchRun
+	bestRatio := 0.0
+	for pair := 0; pair < benchOverheadPairs; pair++ {
+		var bare, teled benchRun
+		if pair%2 == 0 {
+			if bare, err = benchOnce(tr, 0, false); err == nil {
+				teled, err = benchOnce(tr, 0, true)
+			}
+		} else {
+			if teled, err = benchOnce(tr, 0, true); err == nil {
+				bare, err = benchOnce(tr, 0, false)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry bench pair %d: %w", pair, err)
+		}
+		if pair == 0 || bare.Seconds < sharded.Seconds {
+			sharded = bare
+		}
+		if pair == 0 || teled.Seconds < collected.Seconds {
+			collected = teled
+		}
+		if r := teled.Seconds / bare.Seconds; pair == 0 || r < bestRatio {
+			bestRatio = r
+		}
+	}
+	if err := stopProfile(); err != nil {
+		return err
 	}
 
 	report := benchReport{
@@ -141,7 +199,7 @@ func runBenchJSON(tr *cablevod.Trace, w benchWorkload, baseline string) error {
 		Telemetry: benchTelemetry{
 			Seconds:       collected.Seconds,
 			RecordsPerSec: collected.RecordsPerSec,
-			OverheadPct:   100 * (collected.Seconds - sharded.Seconds) / sharded.Seconds,
+			OverheadPct:   100 * (bestRatio - 1),
 		},
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
@@ -149,8 +207,37 @@ func runBenchJSON(tr *cablevod.Trace, w benchWorkload, baseline string) error {
 		return err
 	}
 	fmt.Println(string(out))
+	if err := benchTrajectory(out, floorPct); err != nil {
+		return err
+	}
 	if baseline != "" {
 		return checkBenchBaseline(report, baseline)
+	}
+	return nil
+}
+
+// benchTrajectory compares the just-printed report (its marshaled
+// bytes, so the perf ledger and this command can never disagree on the
+// schema) against the committed BENCH_*.json series in the working
+// directory: a one-line delta summary always, and the throughput floor
+// gate when floorPct > 0.
+func benchTrajectory(reportJSON []byte, floorPct float64) error {
+	var pr perf.Report
+	if err := json.Unmarshal(reportJSON, &pr); err != nil {
+		return err
+	}
+	traj, err := perf.LoadTrajectory(".")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "vodsim: "+traj.SummaryLine(pr))
+	if floorPct > 0 {
+		if err := traj.CheckFloor(pr, floorPct); err != nil {
+			return err
+		}
+		if best := traj.Best(); best != nil {
+			fmt.Fprintf(os.Stderr, "vodsim: throughput floor ok against %s (within %.0f%%)\n", best.Name, floorPct)
+		}
 	}
 	return nil
 }

@@ -42,7 +42,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (runErr error) {
 	fs := flag.NewFlagSet("vodsim", flag.ContinueOnError)
 	var (
 		path     = fs.String("trace", "", "trace file (.csv or .gob)")
@@ -79,6 +79,10 @@ func run(args []string) error {
 		forkList      = fs.String("fork", "", "comma-separated caching strategies to fork from the -snapshot-in state and race through the same incident, printing a comparative report")
 		benchJSON     = fs.Bool("bench-json", false, "benchmark the Submit path (serial, sharded, sharded+telemetry) on the fixed bench plant and print one JSON report")
 		benchBaseline = fs.String("bench-baseline", "", "with -bench-json: compare against a committed BENCH_*.json and fail on a >10% bytes/record regression")
+		benchFloor    = fs.Float64("bench-floor", 0, "with -bench-json: fail if serial records/s falls more than PCT percent below the best committed BENCH_*.json in the working directory (0 = no gate)")
+
+		profileDir = fs.String("profile-dir", "", "capture cpu.pprof and heap.pprof for the run into DIR and print the top-10 hot symbols (bounded runs only; with -serve use -pprof)")
+		pprofFlag  = fs.Bool("pprof", false, "with -serve: expose Go's /debug/pprof endpoints on the daemon for live profiling")
 
 		scale      = fs.String("scale", "", "run a universe scale tier (see -scale-list); the tier sizes the plant and workload, engine flags (-strategy, -storage, ...) still apply, and explicit -seed/-synth-days override the tier")
 		scaleList  = fs.Bool("scale-list", false, "list universe scale tiers and exit")
@@ -90,6 +94,20 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *pprofFlag && *serveAddr == "" {
+		return fmt.Errorf("-pprof exposes live profiles on the daemon; it needs -serve ADDR")
+	}
+	if *profileDir != "" && *serveAddr != "" {
+		return fmt.Errorf("-profile-dir captures a bounded run; profile a daemon live via -pprof instead")
+	}
+	// stopProfile finalizes a -profile-dir capture; the deferred call
+	// covers every run path's return.
+	stopProfile := func() error { return nil }
+	defer func() {
+		if perr := stopProfile(); perr != nil && runErr == nil {
+			runErr = perr
+		}
+	}()
 
 	if *scenarioList {
 		for _, info := range cablevod.ListScenarios() {
@@ -173,7 +191,7 @@ func run(args []string) error {
 		}
 		return runBenchJSON(tr, benchWorkload{
 			Users: *users, Programs: *programs, Days: *days, Seed: *seed,
-		}, *benchBaseline)
+		}, *benchBaseline, *profileDir, *benchFloor)
 	}
 
 	// Built-in names parse to the enum; anything else must be a
@@ -216,6 +234,15 @@ func run(args []string) error {
 		WarmupDays:        *warmup,
 		Parallelism:       *parallel,
 	}
+	// The capture starts after workload synthesis so trace generation
+	// does not drown the Submit path in the CPU profile.
+	if *profileDir != "" {
+		stopProfile, err = startProfile(*profileDir)
+		if err != nil {
+			return err
+		}
+	}
+
 	if *scale != "" {
 		tier, err := universe.Tier(*scale)
 		if err != nil {
@@ -253,6 +280,7 @@ func run(args []string) error {
 			trace: tr, feedDays: *live,
 			users: *users, programs: *programs, days: *days, seed: *seed,
 			checkpointHours: *checkpoint, accel: *accel, json: *snapJSON,
+			pprof: *pprofFlag,
 		})
 	}
 

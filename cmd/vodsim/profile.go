@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cablevod/internal/perf"
+)
+
+// profileTopN is how many flat symbols a finished -profile-dir capture
+// prints — the same table depth EXPERIMENTS.md commits.
+const profileTopN = 10
+
+// startProfile begins a CPU+heap capture into dir and returns the stop
+// function that finalizes both profiles and prints their top flat
+// symbols to stderr, so a profiling run ends with the hot-spot table
+// already extracted.
+func startProfile(dir string) (func() error, error) {
+	cap_, err := perf.Start(dir)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "vodsim: profiling into %s\n", dir)
+	return func() error {
+		if err := cap_.Stop(); err != nil {
+			return err
+		}
+		for _, path := range []string{cap_.CPUPath(), cap_.HeapPath()} {
+			table, err := perf.TopTable(path, profileTopN)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "\nvodsim: top %d by flat weight (%s):\n%s", profileTopN, path, table)
+		}
+		return nil
+	}, nil
+}

@@ -32,6 +32,7 @@ type serveRunOptions struct {
 	checkpointHours       int
 	accel                 float64
 	json                  bool
+	pprof                 bool
 }
 
 // runServe runs the live service daemon until SIGINT/SIGTERM, then
@@ -52,6 +53,7 @@ func runServe(cfg cablevod.Config, o serveRunOptions) error {
 		Acceleration: o.accel,
 		OnCheckpoint: func(cp cablevod.ScenarioCheckpoint) { printCheckpoint(cp, o.json) },
 		FinalOut:     os.Stdout,
+		EnablePprof:  o.pprof,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "vodsim: "+format+"\n", args...)
 		},

@@ -15,6 +15,11 @@ import (
 type bucketSet struct {
 	first *bucket
 	nodes map[trace.ProgramID]*entryNode
+	// freeNodes/freeBuckets recycle detached records through their next
+	// pointers: admission/eviction churn runs for the whole simulation,
+	// and allocating a fresh node per admission was measurable garbage.
+	freeNodes   *entryNode
+	freeBuckets *bucket
 }
 
 type bucket struct {
@@ -40,6 +45,13 @@ func (s *bucketSet) contains(p trace.ProgramID) bool {
 	return ok
 }
 
+// node returns p's entry, or nil when untracked. The request hot path
+// resolves the entry once and drives the node-based operations below,
+// instead of paying one map lookup per contains/touch/setCount call.
+func (s *bucketSet) node(p trace.ProgramID) *entryNode {
+	return s.nodes[p]
+}
+
 // count returns the bucket count of a tracked program; it panics for
 // untracked programs (callers check contains first).
 func (s *bucketSet) count(p trace.ProgramID) int {
@@ -56,7 +68,7 @@ func (s *bucketSet) add(p trace.ProgramID, count int) {
 	if _, ok := s.nodes[p]; ok {
 		panic(fmt.Sprintf("cache: program %d already tracked", p))
 	}
-	n := &entryNode{program: p}
+	n := s.newNode(p)
 	s.nodes[p] = n
 	s.attach(n, count, true)
 }
@@ -69,6 +81,7 @@ func (s *bucketSet) remove(p trace.ProgramID) {
 	}
 	s.detach(n)
 	delete(s.nodes, p)
+	s.freeNode(n)
 }
 
 // touch marks p most recently used within its current bucket.
@@ -76,6 +89,14 @@ func (s *bucketSet) touch(p trace.ProgramID) {
 	n, ok := s.nodes[p]
 	if !ok {
 		panic(fmt.Sprintf("cache: program %d not tracked", p))
+	}
+	s.touchNode(n)
+}
+
+// touchNode is touch on an already-resolved entry.
+func (s *bucketSet) touchNode(n *entryNode) {
+	if n.bucket.tail == n {
+		return // already most recently used
 	}
 	count := n.bucket.count
 	s.detach(n)
@@ -90,6 +111,11 @@ func (s *bucketSet) setCount(p trace.ProgramID, count int) {
 	if !ok {
 		panic(fmt.Sprintf("cache: program %d not tracked", p))
 	}
+	s.setCountNode(n, count)
+}
+
+// setCountNode is setCount on an already-resolved entry.
+func (s *bucketSet) setCountNode(n *entryNode, count int) {
 	old := n.bucket.count
 	if old == count {
 		return
@@ -130,7 +156,7 @@ func (s *bucketSet) attach(n *entryNode, count int, mru bool) {
 		b = b.next
 	}
 	if b == nil || b.count != count {
-		nb := &bucket{count: count, prev: prev, next: b}
+		nb := s.newBucket(count, prev, b)
 		if prev != nil {
 			prev.next = nb
 		} else {
@@ -184,5 +210,40 @@ func (s *bucketSet) detach(n *entryNode) {
 		if b.next != nil {
 			b.next.prev = b.prev
 		}
+		s.freeBucket(b)
 	}
+}
+
+// newNode pops a recycled entry or allocates one.
+func (s *bucketSet) newNode(p trace.ProgramID) *entryNode {
+	if n := s.freeNodes; n != nil {
+		s.freeNodes = n.next
+		n.program = p
+		n.next = nil
+		return n
+	}
+	return &entryNode{program: p}
+}
+
+// freeNode pushes a detached entry onto the recycle list.
+func (s *bucketSet) freeNode(n *entryNode) {
+	n.next = s.freeNodes
+	s.freeNodes = n
+}
+
+// newBucket pops a recycled bucket or allocates one.
+func (s *bucketSet) newBucket(count int, prev, next *bucket) *bucket {
+	if b := s.freeBuckets; b != nil {
+		s.freeBuckets = b.next
+		b.count, b.prev, b.next = count, prev, next
+		return b
+	}
+	return &bucket{count: count, prev: prev, next: next}
+}
+
+// freeBucket pushes an unlinked empty bucket onto the recycle list.
+func (s *bucketSet) freeBucket(b *bucket) {
+	b.head, b.tail, b.prev = nil, nil, nil
+	b.next = s.freeBuckets
+	s.freeBuckets = b
 }

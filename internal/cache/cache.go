@@ -143,7 +143,7 @@ func (c *Cache) Access(p trace.ProgramID, size units.ByteSize, now time.Duration
 	c.policy.Advance(now)
 	c.policy.OnRequest(p, now)
 
-	if c.Contains(p) {
+	if _, cached := c.sizes[p]; cached {
 		c.hits++
 		return AccessResult{Hit: true}
 	}
@@ -174,20 +174,23 @@ func (c *Cache) Access(p trace.ProgramID, size units.ByteSize, now time.Duration
 	var victims []trace.ProgramID
 	var freed units.ByteSize
 	ok := true
+	var victimSizes []units.ByteSize
 	c.policy.EvictionOrder(func(v trace.ProgramID, value int) bool {
 		if value > candidate {
 			ok = false
 			return false
 		}
+		size := c.sizes[v]
 		victims = append(victims, v)
-		freed += c.sizes[v]
+		victimSizes = append(victimSizes, size)
+		freed += size
 		return freed < need
 	})
 	if !ok || freed < need {
 		return AccessResult{}
 	}
-	for _, v := range victims {
-		c.evict(v)
+	for i, v := range victims {
+		c.evictSized(v, victimSizes[i])
 	}
 	c.admit(p, size, now)
 	return AccessResult{Admitted: true, Evicted: victims}
@@ -244,7 +247,13 @@ func (c *Cache) admit(p trace.ProgramID, size units.ByteSize, now time.Duration)
 }
 
 func (c *Cache) evict(p trace.ProgramID) {
-	c.used -= c.sizes[p]
+	c.evictSized(p, c.sizes[p])
+}
+
+// evictSized is evict with the charged size already resolved, so the
+// eviction loop's size scan is not repeated per victim.
+func (c *Cache) evictSized(p trace.ProgramID, size units.ByteSize) {
+	c.used -= size
 	delete(c.sizes, p)
 	c.policy.OnEvict(p)
 }

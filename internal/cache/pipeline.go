@@ -255,16 +255,18 @@ func (pl *Pipeline) Scorer() Scorer { return pl.scorer }
 func (pl *Pipeline) Advance(now time.Duration) { pl.scorer.Advance(now) }
 
 // OnRequest records the request with every stage, then refreshes the
-// cached entry's score and (under TiebreakLRU) recency.
+// cached entry's score and (under TiebreakLRU) recency. The entry is
+// resolved once and the node-based bucket operations reuse it — this
+// runs for every submitted record.
 func (pl *Pipeline) OnRequest(p trace.ProgramID, now time.Duration) {
 	pl.scorer.OnRequest(p, now)
 	if pl.admission != nil {
 		pl.admission.OnRequest(p, now)
 	}
-	if pl.set.contains(p) {
-		pl.set.setCount(p, pl.scoreAt(p, now))
+	if n := pl.set.node(p); n != nil {
+		pl.set.setCountNode(n, pl.scoreAt(p, now))
 		if pl.tiebreak == TiebreakLRU {
-			pl.set.touch(p)
+			pl.set.touchNode(n)
 		}
 	}
 }
@@ -314,6 +316,21 @@ func (pl *Pipeline) Contains(p trace.ProgramID) bool { return pl.set.contains(p)
 
 // Update implements ScoreSink.
 func (pl *Pipeline) Update(p trace.ProgramID, score int) { pl.set.setCount(p, score) }
+
+// cachedUpdater is an optional ScoreSink fast path: the fused
+// Contains-then-Update sequence as one lookup. Scorers resolve it once
+// at Bind time; sinks without it get the two-call sequence.
+type cachedUpdater interface {
+	UpdateIfCached(p trace.ProgramID, score int)
+}
+
+// UpdateIfCached implements cachedUpdater: re-score p when cached, no-op
+// otherwise.
+func (pl *Pipeline) UpdateIfCached(p trace.ProgramID, score int) {
+	if n := pl.set.node(p); n != nil {
+		pl.set.setCountNode(n, score)
+	}
+}
 
 // Rescore implements ScoreSink: scores are collected in current victim
 // order first, then applied in that order, exactly like the fused

@@ -47,6 +47,7 @@ type frequencyScorer struct {
 
 	counts map[trace.ProgramID]int
 	sink   ScoreSink
+	up     cachedUpdater // sink's fused fast path, nil if none
 
 	// expiry is a FIFO of recorded accesses; times are monotone, so a
 	// plain queue suffices to decay counts as the window slides.
@@ -66,8 +67,11 @@ func NewFrequencyScorer(history time.Duration) (Scorer, error) {
 	}, nil
 }
 
-func (f *frequencyScorer) Name() string        { return "freq" }
-func (f *frequencyScorer) Bind(sink ScoreSink) { f.sink = sink }
+func (f *frequencyScorer) Name() string { return "freq" }
+func (f *frequencyScorer) Bind(sink ScoreSink) {
+	f.sink = sink
+	f.up, _ = sink.(cachedUpdater)
+}
 
 // Advance slides the history window to end at now, decaying counts and
 // pushing changed scores of cached programs into the sink.
@@ -79,12 +83,17 @@ func (f *frequencyScorer) Advance(now time.Duration) {
 	for f.head < len(f.expiry) && f.expiry[f.head].at <= now {
 		e := f.expiry[f.head]
 		f.head++
-		f.counts[e.program]--
-		if f.counts[e.program] <= 0 {
+		c := f.counts[e.program] - 1
+		if c <= 0 {
 			delete(f.counts, e.program)
+			c = 0
+		} else {
+			f.counts[e.program] = c
 		}
-		if f.sink.Contains(e.program) {
-			f.sink.Update(e.program, f.counts[e.program])
+		if f.up != nil {
+			f.up.UpdateIfCached(e.program, c)
+		} else if f.sink.Contains(e.program) {
+			f.sink.Update(e.program, c)
 		}
 	}
 	if f.head > 1024 && f.head*2 > len(f.expiry) {
@@ -120,6 +129,7 @@ type oracleScorer struct {
 
 	counts map[trace.ProgramID]int
 	sink   ScoreSink
+	up     cachedUpdater // sink's fused fast path, nil if none
 
 	incs    []futureAccess
 	decs    []futureAccess
@@ -149,8 +159,11 @@ func NewOracleScorer(idx *FutureIndex, lookahead time.Duration) (Scorer, error) 
 	return o, nil
 }
 
-func (o *oracleScorer) Name() string        { return "future" }
-func (o *oracleScorer) Bind(sink ScoreSink) { o.sink = sink }
+func (o *oracleScorer) Name() string { return "future" }
+func (o *oracleScorer) Bind(sink ScoreSink) {
+	o.sink = sink
+	o.up, _ = sink.(cachedUpdater)
+}
 
 // Advance slides the future window to [now, now+lookahead), pushing
 // changed scores of cached programs into the sink.
@@ -163,20 +176,28 @@ func (o *oracleScorer) Advance(now time.Duration) {
 	for o.incHead < len(o.incs) && o.incs[o.incHead].at <= now {
 		p := o.incs[o.incHead].program
 		o.incHead++
-		o.counts[p]++
-		if o.sink.Contains(p) {
-			o.sink.Update(p, o.counts[p])
+		c := o.counts[p] + 1
+		o.counts[p] = c
+		if o.up != nil {
+			o.up.UpdateIfCached(p, c)
+		} else if o.sink.Contains(p) {
+			o.sink.Update(p, c)
 		}
 	}
 	for o.decHead < len(o.decs) && o.decs[o.decHead].at <= now {
 		p := o.decs[o.decHead].program
 		o.decHead++
-		o.counts[p]--
-		if o.counts[p] <= 0 {
+		c := o.counts[p] - 1
+		if c <= 0 {
 			delete(o.counts, p)
+			c = 0
+		} else {
+			o.counts[p] = c
 		}
-		if o.sink.Contains(p) {
-			o.sink.Update(p, o.counts[p])
+		if o.up != nil {
+			o.up.UpdateIfCached(p, c)
+		} else if o.sink.Contains(p) {
+			o.sink.Update(p, c)
 		}
 	}
 }
@@ -285,7 +306,9 @@ func (s *sizeFrequencyScorer) Name() string { return "size-freq" }
 // Bind interposes a rescaling sink: the inner frequency scorer pushes
 // raw count decays, which are translated to scaled scores.
 func (s *sizeFrequencyScorer) Bind(sink ScoreSink) {
-	s.freq.Bind(&rescaleSink{scorer: s, sink: sink})
+	rs := &rescaleSink{scorer: s, sink: sink}
+	rs.up, _ = sink.(cachedUpdater)
+	s.freq.Bind(rs)
 }
 
 func (s *sizeFrequencyScorer) Advance(now time.Duration) { s.freq.Advance(now) }
@@ -303,11 +326,22 @@ func (s *sizeFrequencyScorer) OnEvict(trace.ProgramID)                {}
 type rescaleSink struct {
 	scorer *sizeFrequencyScorer
 	sink   ScoreSink
+	up     cachedUpdater // outer sink's fused fast path, nil if none
 }
 
 func (r *rescaleSink) Contains(p trace.ProgramID) bool { return r.sink.Contains(p) }
 func (r *rescaleSink) Update(p trace.ProgramID, count int) {
 	r.sink.Update(p, r.scorer.value(p, count))
+}
+func (r *rescaleSink) UpdateIfCached(p trace.ProgramID, count int) {
+	v := r.scorer.value(p, count)
+	if r.up != nil {
+		r.up.UpdateIfCached(p, v)
+		return
+	}
+	if r.sink.Contains(p) {
+		r.sink.Update(p, v)
+	}
 }
 func (r *rescaleSink) Rescore(score func(p trace.ProgramID) int) { r.sink.Rescore(score) }
 

@@ -218,6 +218,9 @@ func (is *IndexServer) ApplyPeerCapacities(caps []units.ByteSize) int {
 			panic(err) // validated at schedule time
 		}
 	}
+	// Re-provisioning can grow free space on any box; failed-placement
+	// memos no longer apply.
+	is.fillSpaceFreed()
 
 	// Shrink the pooled cache first: whole-program evictions release
 	// their placements and may already bring shrunken boxes back under
@@ -247,13 +250,14 @@ func (is *IndexServer) ApplyPeerCapacities(caps []units.ByteSize) int {
 			for idx := range pp.slots {
 				size := segment.SizeOf(length, idx)
 				kept := pp.slots[idx][:0]
-				for _, peer := range pp.slots[idx] {
+				for _, pi := range pp.slots[idx] {
+					peer := peers[pi]
 					if peer.StorageUsed() > peer.StorageCapacity() {
 						peer.Release(size)
 						shed = true
 						continue
 					}
-					kept = append(kept, peer)
+					kept = append(kept, pi)
 				}
 				pp.slots[idx] = kept
 			}

@@ -26,6 +26,13 @@ const (
 	evPeerClose
 	// evSegment advances a session to its next segment.
 	evSegment
+	// evBroadcastEnd ends a peer-sourced broadcast: it returns the
+	// bandwidth to the coax channel and closes the serving peer's stream
+	// in one event. The two releases commute with every other event at
+	// their instant (nothing at PrioritySessionEnd reads stream or
+	// channel state), so fusing them halves the queue traffic of a cache
+	// hit without changing any result.
+	evBroadcastEnd
 )
 
 // String names the kind for diagnostics.
@@ -39,6 +46,8 @@ func (k eventKind) String() string {
 		return "peer-close"
 	case evSegment:
 		return "segment"
+	case evBroadcastEnd:
+		return "broadcast-end"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -72,6 +81,9 @@ func (e *shardEvent) Execute(now time.Duration) {
 		e.peer.CloseStream()
 	case evSegment:
 		sh.processSegment(e.sess, now)
+	case evBroadcastEnd:
+		sh.nb.Coax().Release(units.StreamRate)
+		e.peer.CloseStream()
 	default:
 		panic(fmt.Sprintf("core: executing unknown event kind %d", e.kind))
 	}

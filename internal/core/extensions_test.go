@@ -29,7 +29,7 @@ func TestReplicationPlacesMultipleCopies(t *testing.T) {
 		if len(copies) != 3 {
 			t.Errorf("segment %d has %d copies, want 3", idx, len(copies))
 		}
-		seen := map[*hfc.SetTopBox]bool{}
+		seen := map[int32]bool{}
 		for _, p := range copies {
 			if seen[p] {
 				t.Errorf("segment %d placed twice on the same peer", idx)

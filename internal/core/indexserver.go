@@ -92,14 +92,28 @@ type IndexServer struct {
 	// contributions, round-robin keeps storage balanced without
 	// scanning the whole neighborhood per fill.
 	fillCursor int
+
+	// fillFailSize memoizes a failed whole-neighborhood placement scan:
+	// no peer had fillFailSize bytes free, so any placement needing at
+	// least that much fails without rescanning. Valid while
+	// fillFailValid holds; every path that can grow a peer's free space
+	// (eviction releases, capacity re-provisioning) clears it. In a
+	// saturated cache this turns placeAll's per-segment O(peers) failure
+	// scans into O(1).
+	fillFailSize  units.ByteSize
+	fillFailValid bool
 }
 
 // programPlacement is the per-program placement state: the plan the
 // program was admitted under and the peers holding each cached segment.
 type programPlacement struct {
-	// slots holds the peers storing each cached segment, one entry per
-	// placed replica; empty slots are not yet filled.
-	slots [][]*hfc.SetTopBox
+	// slots holds, per cached segment, the neighborhood peer indexes
+	// (positions in Neighborhood.Peers, equal to box ID.Index) storing a
+	// copy — one entry per placed replica; empty slots are not yet
+	// filled. Indexes instead of pointers keep the placement tables out
+	// of the garbage collector's pointer scan: at scale they are the
+	// largest live structure in a shard.
+	slots [][]int32
 	// replicas is the plan's copy count per segment.
 	replicas int
 	// rejectedSegs/rejectedReps/rejectedGen memoize the last rejected
@@ -190,9 +204,18 @@ func (is *IndexServer) cachedSegments(p trace.ProgramID, plan cache.Plan) int {
 // under the given plan: the cached prefix, once per replica.
 func (is *IndexServer) admissionSize(p trace.ProgramID, plan cache.Plan) units.ByteSize {
 	length := is.lengths(p)
-	var size units.ByteSize
-	for idx := 0; idx < is.cachedSegments(p, plan); idx++ {
-		size += segment.SizeOf(length, idx)
+	segs := is.cachedSegments(p, plan)
+	if segs == 0 {
+		return 0
+	}
+	// Closed form: every segment but a full program's last is exactly
+	// segment.Size. This runs once per session request, so the per-segment
+	// loop it replaces was measurable.
+	size := units.ByteSize(segs-1) * segment.Size
+	if segs == segment.Count(length) {
+		size += segment.SizeOf(length, segs-1)
+	} else {
+		size += segment.Size
 	}
 	return size * units.ByteSize(plan.Replicas)
 }
@@ -215,7 +238,7 @@ func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cach
 	planSegs := 0
 	upgrade := false
 	var rollbackSize units.ByteSize
-	if pp, ok := is.placement[p]; ok && is.planner != nil {
+	if pp, ok := plannedPlacement(is, p); ok {
 		planSegs = is.cachedSegments(p, plan)
 		deeper := planSegs > len(pp.slots) || plan.Replicas > pp.replicas
 		retried := planSegs == pp.rejectedSegs && plan.Replicas == pp.rejectedReps &&
@@ -237,7 +260,7 @@ func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cach
 			is.releasePlacement(p) // the deeper plan supersedes the old copies
 		}
 		pp := &programPlacement{
-			slots:    make([][]*hfc.SetTopBox, is.cachedSegments(p, plan)),
+			slots:    make([][]int32, is.cachedSegments(p, plan)),
 			replicas: plan.Replicas,
 		}
 		is.placement[p] = pp
@@ -257,23 +280,41 @@ func (is *IndexServer) OnSessionStart(p trace.ProgramID, now time.Duration) cach
 	return res
 }
 
+// plannedPlacement resolves p's placement for the plan-upgrade check.
+// Strategies without a planner stage never upgrade, so the common LFU/
+// LRU/oracle session path skips the placement lookup entirely.
+func plannedPlacement(is *IndexServer, p trace.ProgramID) (*programPlacement, bool) {
+	if is.planner == nil {
+		return nil, false
+	}
+	pp, ok := is.placement[p]
+	return pp, ok
+}
+
 // placeAll reserves storage for every cached segment of a newly admitted
 // program, one copy per replica (the FillImmediate model). Segments that
 // find no peer with space stay unplaced and miss until churn frees room.
+// Every slot's copy list is carved from one backing array: admissions
+// run constantly at scale, and per-slot allocations were a measurable
+// share of ingest garbage.
 func (is *IndexServer) placeAll(p trace.ProgramID, pp *programPlacement) {
 	length := is.lengths(p)
+	peers := is.nb.Peers()
+	backing := make([]int32, len(pp.slots)*pp.replicas)
 	for idx := range pp.slots {
+		slot := backing[idx*pp.replicas : idx*pp.replicas : (idx+1)*pp.replicas]
 		size := segment.SizeOf(length, idx)
 		for r := 0; r < pp.replicas; r++ {
-			peer := is.pickFillPeer(size, false, pp.slots[idx])
-			if peer == nil {
+			pi := is.pickFillPeer(size, false, slot)
+			if pi < 0 {
 				break
 			}
-			if !peer.Reserve(size) {
+			if !peers[pi].Reserve(size) {
 				break
 			}
-			pp.slots[idx] = append(pp.slots[idx], peer)
+			slot = append(slot, pi)
 		}
+		pp.slots[idx] = slot
 	}
 }
 
@@ -327,7 +368,9 @@ func (is *IndexServer) ServeSegment(p trace.ProgramID, idx int) (ServeOutcome, *
 	if idx < 0 || idx >= len(pp.slots) || len(pp.slots[idx]) == 0 {
 		return MissUnplaced, nil
 	}
-	for _, peer := range pp.slots[idx] {
+	peers := is.nb.Peers()
+	for _, pi := range pp.slots[idx] {
+		peer := peers[pi]
 		if !is.opts.EnforceStreamLimit {
 			peer.ForceOpenStream()
 			return ServedByPeer, peer
@@ -352,10 +395,11 @@ func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
 		return nil
 	}
 	size := segment.SizeOf(is.lengths(p), idx)
-	peer := is.pickFillPeer(size, true, pp.slots[idx])
-	if peer == nil {
+	pi := is.pickFillPeer(size, true, pp.slots[idx])
+	if pi < 0 {
 		return nil
 	}
+	peer := is.nb.Peers()[pi]
 	if !peer.Reserve(size) {
 		return nil
 	}
@@ -367,7 +411,7 @@ func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
 	} else {
 		peer.ForceOpenStream()
 	}
-	pp.slots[idx] = append(pp.slots[idx], peer)
+	pp.slots[idx] = append(pp.slots[idx], pi)
 	return peer
 }
 
@@ -377,30 +421,50 @@ func (is *IndexServer) TryFill(p trace.ProgramID, idx int) *hfc.SetTopBox {
 // storage across equal contributions in O(1) amortized instead of a full
 // most-free-space scan per fill. needStream additionally requires a free
 // stream slot (broadcast-fill absorbs the segment off the wire); exclude
-// lists peers already holding a copy.
-func (is *IndexServer) pickFillPeer(size units.ByteSize, needStream bool, exclude []*hfc.SetTopBox) *hfc.SetTopBox {
+// lists peer indexes already holding a copy. It returns the chosen
+// peer's index in the neighborhood, or -1 when no peer qualifies.
+func (is *IndexServer) pickFillPeer(size units.ByteSize, needStream bool, exclude []int32) int32 {
+	// A memoized storage failure rules this placement out up front: if
+	// no peer at all had that much free space, no subset of peers has it
+	// for an equal or larger segment, whatever the stream constraint.
+	if is.fillFailValid && size >= is.fillFailSize {
+		return -1
+	}
 	peers := is.nb.Peers()
 	n := len(peers)
 	for i := 0; i < n; i++ {
-		peer := peers[(is.fillCursor+i)%n]
+		pi := int32((is.fillCursor + i) % n)
+		peer := peers[pi]
 		if peer.StorageFree() < size {
 			continue
 		}
 		if needStream && is.opts.EnforceStreamLimit && !peer.CanStream() {
 			continue
 		}
-		if contains(exclude, peer) {
+		if containsIdx(exclude, pi) {
 			continue
 		}
 		is.fillCursor = (is.fillCursor + i + 1) % n
-		return peer
+		return pi
 	}
-	return nil
+	// Memoize only unconditional storage failures: with exclusions or a
+	// stream requirement a peer may have had the space and been skipped.
+	if !needStream && len(exclude) == 0 && (!is.fillFailValid || size < is.fillFailSize) {
+		is.fillFailSize = size
+		is.fillFailValid = true
+	}
+	return -1
 }
 
-func contains(peers []*hfc.SetTopBox, p *hfc.SetTopBox) bool {
-	for _, e := range peers {
-		if e == p {
+// fillSpaceFreed clears the placement-failure memo: a peer's free space
+// grew, so earlier failed scans say nothing about the next one.
+func (is *IndexServer) fillSpaceFreed() {
+	is.fillFailValid = false
+}
+
+func containsIdx(s []int32, v int32) bool {
+	for _, e := range s {
+		if e == v {
 			return true
 		}
 	}
@@ -414,11 +478,17 @@ func (is *IndexServer) releasePlacement(p trace.ProgramID) {
 		return
 	}
 	length := is.lengths(p)
+	peers := is.nb.Peers()
+	freed := false
 	for idx, copies := range pp.slots {
 		size := segment.SizeOf(length, idx)
-		for _, peer := range copies {
-			peer.Release(size)
+		for _, pi := range copies {
+			peers[pi].Release(size)
+			freed = freed || size > 0
 		}
+	}
+	if freed {
+		is.fillSpaceFreed()
 	}
 	delete(is.placement, p)
 }

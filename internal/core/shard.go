@@ -236,15 +236,20 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	sh.coaxMeter.AddTransfer(from, to, units.StreamRate)
 	coax := sh.nb.Coax()
 	coaxBusy := coax.Rate() // channel load before this broadcast, for telemetry
-	if coax.Admit(units.StreamRate) {
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evCoaxRelease, nil, nil))
-	} else {
+	admitted := coax.Admit(units.StreamRate)
+	if !admitted {
 		sh.counters.CoaxOverloads++
 	}
+	// The bandwidth release is scheduled once the serving side is known:
+	// when a peer stream closes at the same instant, both releases ride
+	// one fused evBroadcastEnd instead of two queue entries.
 
 	if sess.firstFetch {
 		sh.counters.MissFirstFetch++
 		sh.serverMeter.AddTransfer(from, to, units.StreamRate)
+		if admitted {
+			sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evCoaxRelease, nil, nil))
+		}
 		sh.observe(p, from, 0, true, coaxBusy)
 		return
 	}
@@ -253,7 +258,7 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 	switch outcome {
 	case ServedByPeer:
 		sh.counters.Hits++
-		sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evPeerClose, nil, server))
+		sh.scheduleBroadcastEnd(to, admitted, server)
 		sh.observe(p, from, outcome, false, coaxBusy)
 		return
 	case MissNotCached:
@@ -264,18 +269,34 @@ func (sh *shard) serveSegment(sess *session, idx int, from, to time.Duration, co
 		sh.counters.MissPeerBusy++
 	}
 
-	// Miss: the central media server streams the segment over fiber and
+	// Miss: the central media server streams the segment out over fiber and
 	// the headend broadcasts it (Figure 4).
 	sh.serverMeter.AddTransfer(from, to, units.StreamRate)
 
 	// A complete miss broadcast can fill the cache at a storing peer.
+	filler := (*hfc.SetTopBox)(nil)
 	if complete {
-		if filler := sh.is.TryFill(p, idx); filler != nil {
+		if filler = sh.is.TryFill(p, idx); filler != nil {
 			sh.counters.Fills++
-			sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evPeerClose, nil, filler))
 		}
 	}
+	if filler != nil {
+		sh.scheduleBroadcastEnd(to, admitted, filler)
+	} else if admitted {
+		sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(evCoaxRelease, nil, nil))
+	}
 	sh.observe(p, from, outcome, false, coaxBusy)
+}
+
+// scheduleBroadcastEnd schedules the end of a broadcast with a peer
+// stream to close: the coax release (if the channel admitted the
+// broadcast) and the stream close fuse into one event.
+func (sh *shard) scheduleBroadcastEnd(to time.Duration, admitted bool, peer *hfc.SetTopBox) {
+	kind := evPeerClose
+	if admitted {
+		kind = evBroadcastEnd
+	}
+	sh.queue.Schedule(to, eventq.PrioritySessionEnd, sh.newEvent(kind, nil, peer))
 }
 
 // observe emits one resolved segment request to the attached collector.

@@ -7,7 +7,6 @@ import (
 
 	"cablevod/internal/cache"
 	"cablevod/internal/eventq"
-	"cablevod/internal/hfc"
 	"cablevod/internal/metrics"
 	"cablevod/internal/trace"
 	"cablevod/internal/units"
@@ -17,8 +16,9 @@ import (
 // on any change to the state structs below or to WriteState's framing;
 // ReadState rejects mismatches. v2 split the gob body into a head
 // message plus one message per shard, bounding the encoder's in-memory
-// buffer at mega scale.
-const SnapshotVersion = 2
+// buffer at mega scale. v3 added the fused broadcast-end event kind to
+// the pending-event encoding.
+const SnapshotVersion = 3
 
 // SystemState is the complete serialized state of a running System: the
 // workload and configuration to rebuild the plant and strategies, plus
@@ -320,8 +320,8 @@ func (is *IndexServer) exportState() (IndexState, error) {
 			RejectedGen:  pp.rejectedGen,
 		}
 		for idx, copies := range pp.slots {
-			for _, peer := range copies {
-				ps.Slots[idx] = append(ps.Slots[idx], peer.ID().Index)
+			for _, pi := range copies {
+				ps.Slots[idx] = append(ps.Slots[idx], int(pi))
 			}
 		}
 		st.Placements = append(st.Placements, ps)
@@ -461,7 +461,7 @@ func (sh *shard) restoreState(st ShardState, now time.Duration, seed bool) error
 				ends++
 			}
 		case evCoaxRelease:
-		case evPeerClose:
+		case evPeerClose, evBroadcastEnd:
 			if es.Peer < 0 || es.Peer >= len(peers) {
 				return fmt.Errorf("event %d references box %d of %d", i, es.Peer, len(peers))
 			}
@@ -528,7 +528,7 @@ func (is *IndexServer) restoreState(st IndexState, now time.Duration, seed bool)
 			return fmt.Errorf("program %d placed with %d replicas", ps.Program, ps.Replicas)
 		}
 		pp := &programPlacement{
-			slots:        make([][]*hfc.SetTopBox, len(ps.Slots)),
+			slots:        make([][]int32, len(ps.Slots)),
 			replicas:     ps.Replicas,
 			rejectedSegs: ps.RejectedSegs,
 			rejectedReps: ps.RejectedReps,
@@ -539,7 +539,7 @@ func (is *IndexServer) restoreState(st IndexState, now time.Duration, seed bool)
 				if pi < 0 || pi >= len(peers) {
 					return fmt.Errorf("program %d segment %d placed on box %d of %d", ps.Program, idx, pi, len(peers))
 				}
-				pp.slots[idx] = append(pp.slots[idx], peers[pi])
+				pp.slots[idx] = append(pp.slots[idx], int32(pi))
 			}
 		}
 		is.placement[ps.Program] = pp

@@ -1,15 +1,24 @@
 // Package eventq implements the discrete-event simulation engine that
-// drives trace playback: a future-event list backed by a binary heap, a
-// virtual clock, and a run loop with cancellation.
+// drives trace playback: a future-event list backed by a two-level
+// calendar queue, a virtual clock, and a run loop with cancellation.
 //
 // Events at the same timestamp are delivered in (priority, insertion order)
 // so simulations are fully deterministic regardless of map iteration or
 // scheduling jitter.
+//
+// The calendar layout exploits the simulation's schedule shape: almost
+// every event lands within minutes of the clock, a thin tail (session
+// ends, control timers) within hours. Events bucket by hour in a ring
+// of ringHours slots (a spillover list holds the far tail), the
+// current hour splits into one-minute buckets, and only the current
+// minute is kept sorted — so Schedule is an append for all but the
+// current minute, and nothing pays the O(log n) sift of a binary heap
+// on the Submit hot path.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -25,6 +34,10 @@ const (
 	PrioritySegment
 	PrioritySessionStart
 )
+
+// maxPriority sorts after every real priority; RunUntil's deadline is
+// a threshold at this priority so every event at the deadline runs.
+const maxPriority = Priority(1 << 30)
 
 // Event is a scheduled simulation action.
 type Event interface {
@@ -53,68 +66,95 @@ func (h Handle) Cancelled() bool {
 	return h.item != nil && h.item.gen == h.gen && h.item.cancelled
 }
 
+// Item locations within the calendar.
+const (
+	locNone   = uint8(iota) // freelist or draining: not in any bucket
+	locCur                  // the sorted current-minute slice
+	locMinute               // a minute bucket of the current hour
+	locHour                 // an hour-ring bucket
+	locFar                  // the far spillover (≥ ringHours hours out)
+)
+
 type item struct {
-	at        time.Duration
-	prio      Priority
+	at   time.Duration
+	prio Priority
+	// key is (at, prio) packed into one word — at<<3 | prio — so the
+	// hottest comparisons (cur-slice ordering, deadline probes) are a
+	// single integer compare. Item priorities fit in 3 bits; probe keys
+	// clamp maxPriority to 7, which preserves its sorts-after-everything
+	// meaning.
+	key       uint64
 	seq       uint64
 	ev        Event
 	cancelled bool
-	index     int
+	// loc/slot/pos locate the item inside the calendar so Cancel can
+	// remove it eagerly (unsorted buckets) or mark it (sorted cur).
+	loc  uint8
+	slot int32
+	pos  int32
 	// gen counts reuses of this item slot, invalidating stale Handles.
+	// It is bumped when a freelist slot is reused, not when released,
+	// so a handle still reports Cancelled() until the slot is reused.
 	gen uint64
 }
 
-type itemHeap []*item
-
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h itemHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *itemHeap) Push(x any) {
-	it, ok := x.(*item)
-	if !ok {
-		panic(fmt.Sprintf("eventq: pushed %T, want *item", x))
-	}
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
+// Calendar geometry. ringHours is a power of two so the slot modulo
+// compiles to a mask; the ring covers hours cursor+1 .. cursor+63,
+// everything further lives in the far spillover.
+const (
+	ringHours      = 64
+	minutesPerHour = 60
+)
 
 // Queue is a discrete-event future-event list with a virtual clock.
 // The zero value is not usable; construct with New.
 type Queue struct {
-	heap     itemHeap
 	now      time.Duration
 	seq      uint64
 	executed uint64
 
-	// free recycles executed item slots: the queue schedules and pops
-	// millions of events per simulated day, and without the freelist
-	// every Schedule is one heap allocation (the dominant entry in
-	// Submit-path profiles).
+	// The calendar cursor: curHour is the hour the minute buckets
+	// cover, curMin the minute-of-hour the sorted cur slice covers.
+	// Only the run loop moves the cursor (never a peek), and an
+	// executed event leaves the clock inside the cursor minute — so
+	// the cursor never sits ahead of now, and Schedule (which requires
+	// at >= now) can never need a bucket behind it. curMin is -1
+	// transiently while an hour spills into its minute buckets.
+	curHour int64
+	curMin  int
+
+	// cur is the current minute, sorted by (at, prio, seq) and drained
+	// from head. Cancelled entries are skipped at drain (the one lazy
+	// spot: removal would break sortedness); curLive counts the live
+	// ones so emptiness checks stay O(1).
+	cur     []*item
+	head    int
+	curLive int
+
+	// minutes buckets the current hour's not-yet-current minutes;
+	// hours rings the next ringHours-1 hours; far holds the rest.
+	// All three are unsorted and, thanks to eager cancellation, hold
+	// only live items — which makes their bucket-granular emptiness
+	// and range checks exact.
+	minutes   [minutesPerHour][]*item
+	minuteCnt int
+	hours     [ringHours][]*item
+	ringCnt   int
+	far       []*item
+	// farMin is a lower bound on the earliest hour in far (meaningful
+	// only when far is non-empty; Cancel may leave it stale-low, which
+	// costs at most one needless sweep). Every cursor advance sweeps
+	// far items the window now reaches into the ring, preserving the
+	// invariant that far holds only hours >= curHour+ringHours — which
+	// is what lets hasBefore and advanceHour consult the ring first.
+	farMin int64
+
+	// live counts pending non-cancelled events (Len is O(1)).
+	live int
+
+	// free recycles item slots: the queue schedules and pops millions
+	// of events per simulated day, and without the freelist every
+	// Schedule is one heap allocation.
 	free []*item
 }
 
@@ -126,21 +166,35 @@ func New() *Queue {
 // Now returns the current virtual time.
 func (q *Queue) Now() time.Duration { return q.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled
-// events still occupy heap slots until popped, so this is O(n); it is
-// intended for tests and diagnostics.
-func (q *Queue) Len() int {
-	n := 0
-	for _, it := range q.heap {
-		if !it.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int { return q.live }
 
 // Executed returns how many events have been executed so far.
 func (q *Queue) Executed() uint64 { return q.executed }
+
+// less orders items by the queue's total order (time, priority,
+// insertion sequence). Sequences are unique, so it is a strict order.
+func less(a, b *item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// packKey builds an item or probe ordering key from (at, prio).
+func packKey(at time.Duration, prio Priority) uint64 {
+	p := uint64(prio)
+	if p > 7 {
+		p = 7
+	}
+	return uint64(at)<<3 | p
+}
+
+// before reports whether it sorts strictly before a hypothetical event
+// at (at, prio) with an infinite sequence number.
+func (it *item) before(at time.Duration, prio Priority) bool {
+	return it.key < packKey(at, prio)
+}
 
 // Schedule enqueues ev at absolute time at. Scheduling in the past (before
 // the current clock) panics: it is always a simulation bug.
@@ -154,13 +208,17 @@ func (q *Queue) Schedule(at time.Duration, prio Priority, ev Event) Handle {
 	var it *item
 	if n := len(q.free); n > 0 {
 		it = q.free[n-1]
+		q.free[n-1] = nil
 		q.free = q.free[:n-1]
+		it.gen++
 		it.at, it.prio, it.seq, it.ev, it.cancelled = at, prio, q.seq, ev, false
 	} else {
 		it = &item{at: at, prio: prio, seq: q.seq, ev: ev}
 	}
+	it.key = packKey(at, prio)
 	q.seq++
-	heap.Push(&q.heap, it)
+	q.live++
+	q.place(it)
 	return Handle{item: it, gen: it.gen}
 }
 
@@ -172,43 +230,327 @@ func (q *Queue) ScheduleAfter(delay time.Duration, prio Priority, ev Event) Hand
 	return q.Schedule(q.now+delay, prio, ev)
 }
 
+// place files an item into the calendar by its hour/minute distance
+// from the cursor.
+func (q *Queue) place(it *item) {
+	h := int64(it.at / time.Hour)
+	switch {
+	case h == q.curHour:
+		m := int(it.at % time.Hour / time.Minute)
+		if m <= q.curMin {
+			q.insertCur(it)
+			return
+		}
+		it.loc, it.slot, it.pos = locMinute, int32(m), int32(len(q.minutes[m]))
+		q.minutes[m] = append(q.minutes[m], it)
+		q.minuteCnt++
+	case h-q.curHour < ringHours:
+		s := h % ringHours
+		it.loc, it.slot, it.pos = locHour, int32(s), int32(len(q.hours[s]))
+		q.hours[s] = append(q.hours[s], it)
+		q.ringCnt++
+	default:
+		it.loc, it.pos = locFar, int32(len(q.far))
+		if len(q.far) == 0 || h < q.farMin {
+			q.farMin = h
+		}
+		q.far = append(q.far, it)
+	}
+}
+
+// insertCur inserts into the sorted current-minute slice at the item's
+// ordered position (binary search over the undrained tail).
+func (q *Queue) insertCur(it *item) {
+	it.loc = locCur
+	lo, hi := q.head, len(q.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(q.cur[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.cur = append(q.cur, nil)
+	copy(q.cur[lo+1:], q.cur[lo:])
+	q.cur[lo] = it
+	q.curLive++
+}
+
 // Cancel marks the handle's event as cancelled. Cancelling an already
 // executed or already cancelled event is a no-op (a stale handle's item
 // slot may since have been reused; the generation check catches it).
 func (q *Queue) Cancel(h Handle) {
-	if h.item != nil && h.item.gen == h.gen {
-		h.item.cancelled = true
+	it := h.item
+	if it == nil || it.gen != h.gen || it.cancelled || it.loc == locNone {
+		return
+	}
+	it.cancelled = true
+	q.live--
+	switch it.loc {
+	case locCur:
+		// Removal would break sortedness; the drain skips it.
+		q.curLive--
+	case locMinute:
+		removeFromBucket(&q.minutes[it.slot], it)
+		q.minuteCnt--
+		q.release(it)
+	case locHour:
+		removeFromBucket(&q.hours[it.slot], it)
+		q.ringCnt--
+		q.release(it)
+	case locFar:
+		removeFromBucket(&q.far, it)
+		q.release(it)
 	}
 }
 
-// recycle returns a popped item slot to the freelist, bumping its
-// generation so outstanding Handles to it become stale.
-func (q *Queue) recycle(it *item) {
-	it.gen++
+// removeFromBucket swap-removes an item from an unsorted bucket,
+// keeping the moved item's position current.
+func removeFromBucket(b *[]*item, it *item) {
+	s := *b
+	last := len(s) - 1
+	moved := s[last]
+	s[it.pos] = moved
+	moved.pos = it.pos
+	s[last] = nil
+	*b = s[:last]
+}
+
+// release returns an item slot to the freelist. The generation bumps
+// on reuse, not here, so outstanding handles still answer Cancelled.
+func (q *Queue) release(it *item) {
+	it.loc = locNone
 	it.ev = nil
 	q.free = append(q.free, it)
+}
+
+// next drains the calendar to the next live item, advancing the cursor
+// through minute and hour buckets as they empty. It returns nil only
+// when nothing is pending.
+func (q *Queue) next() *item {
+	for {
+		for q.head < len(q.cur) {
+			it := q.cur[q.head]
+			q.cur[q.head] = nil
+			q.head++
+			if it.cancelled {
+				q.release(it)
+				continue
+			}
+			q.curLive--
+			it.loc = locNone
+			return it
+		}
+		q.cur = q.cur[:0]
+		q.head = 0
+		if q.minuteCnt > 0 {
+			m := q.curMin + 1
+			for ; m < minutesPerHour; m++ {
+				if len(q.minutes[m]) > 0 {
+					q.curMin = m
+					q.loadMinute(m)
+					break
+				}
+			}
+			if m == minutesPerHour {
+				panic("eventq: calendar counters out of sync")
+			}
+			continue
+		}
+		if q.ringCnt > 0 || len(q.far) > 0 {
+			q.advanceHour()
+			continue
+		}
+		return nil
+	}
+}
+
+// loadMinute sorts minute bucket m into the cur slice.
+func (q *Queue) loadMinute(m int) {
+	b := q.minutes[m]
+	q.cur = append(q.cur[:0], b...)
+	for i, it := range b {
+		b[i] = nil
+		it.loc = locCur
+	}
+	q.minutes[m] = b[:0]
+	q.minuteCnt -= len(q.cur)
+	slices.SortFunc(q.cur, func(a, b *item) int {
+		if less(a, b) {
+			return -1
+		}
+		return 1
+	})
+	q.head = 0
+	q.curLive = len(q.cur)
+}
+
+// advanceHour moves the cursor to the next non-empty hour — from the
+// ring if one is within reach (the far invariant guarantees nothing in
+// far can be earlier), else jumping to the earliest far hour — then
+// sweeps far items the shifted window now reaches and spills the new
+// current hour into its minute buckets.
+func (q *Queue) advanceHour() {
+	next := int64(-1)
+	for d := int64(1); d < ringHours; d++ {
+		if len(q.hours[(q.curHour+d)%ringHours]) > 0 {
+			next = q.curHour + d
+			break
+		}
+	}
+	if next < 0 {
+		// The ring is empty: jump to the earliest far hour (farMin may
+		// be stale-low after cancellations, so recompute exactly).
+		for _, it := range q.far {
+			if h := int64(it.at / time.Hour); next < 0 || h < next {
+				next = h
+			}
+		}
+		if next < 0 {
+			panic("eventq: calendar counters out of sync")
+		}
+	}
+	q.curHour = next
+	q.curMin = -1
+	if len(q.far) > 0 && q.farMin < q.curHour+ringHours {
+		q.sweepFar()
+	}
+	q.spillHour(next % ringHours)
+}
+
+// sweepFar pulls far items the cursor's ring window now covers into
+// the hour ring (or straight into minute buckets for the current
+// hour), restoring the far invariant after a cursor advance.
+func (q *Queue) sweepFar() {
+	kept := q.far[:0]
+	minKept := int64(-1)
+	for _, it := range q.far {
+		h := int64(it.at / time.Hour)
+		switch {
+		case h == q.curHour:
+			m := int(it.at % time.Hour / time.Minute)
+			it.loc, it.slot, it.pos = locMinute, int32(m), int32(len(q.minutes[m]))
+			q.minutes[m] = append(q.minutes[m], it)
+			q.minuteCnt++
+		case h-q.curHour < ringHours:
+			s := h % ringHours
+			it.loc, it.slot, it.pos = locHour, int32(s), int32(len(q.hours[s]))
+			q.hours[s] = append(q.hours[s], it)
+			q.ringCnt++
+		default:
+			it.pos = int32(len(kept))
+			kept = append(kept, it)
+			if minKept < 0 || h < minKept {
+				minKept = h
+			}
+		}
+	}
+	for i := len(kept); i < len(q.far); i++ {
+		q.far[i] = nil
+	}
+	q.far = kept
+	q.farMin = minKept
+}
+
+// spillHour distributes an hour-ring bucket into the minute buckets.
+func (q *Queue) spillHour(s int64) {
+	b := q.hours[s]
+	for i, it := range b {
+		b[i] = nil
+		m := int(it.at % time.Hour / time.Minute)
+		it.loc, it.slot, it.pos = locMinute, int32(m), int32(len(q.minutes[m]))
+		q.minutes[m] = append(q.minutes[m], it)
+	}
+	q.ringCnt -= len(b)
+	q.minuteCnt += len(b)
+	q.hours[s] = b[:0]
+}
+
+// hasBefore reports whether a live event sorts strictly before a
+// hypothetical event at (at, prio). It never moves the cursor: bucket
+// ranges answer most queries, and only a bucket straddling the
+// threshold is scanned.
+func (q *Queue) hasBefore(at time.Duration, prio Priority) bool {
+	if q.live == 0 {
+		return false
+	}
+	if q.curLive > 0 {
+		for q.head < len(q.cur) {
+			it := q.cur[q.head]
+			if it.cancelled {
+				q.cur[q.head] = nil
+				q.head++
+				q.release(it)
+				continue
+			}
+			return it.before(at, prio)
+		}
+	}
+	if q.minuteCnt > 0 {
+		for m := q.curMin + 1; m < minutesPerHour; m++ {
+			b := q.minutes[m]
+			if len(b) == 0 {
+				continue
+			}
+			start := time.Duration(q.curHour)*time.Hour + time.Duration(m)*time.Minute
+			return bucketBefore(b, start, time.Minute, at, prio)
+		}
+	}
+	if q.ringCnt > 0 {
+		for d := int64(1); d < ringHours; d++ {
+			h := q.curHour + d
+			b := q.hours[h%ringHours]
+			if len(b) == 0 {
+				continue
+			}
+			return bucketBefore(b, time.Duration(h)*time.Hour, time.Hour, at, prio)
+		}
+	}
+	for _, it := range q.far {
+		if it.before(at, prio) {
+			return true
+		}
+	}
+	return false
+}
+
+// bucketBefore answers hasBefore for the earliest non-empty bucket:
+// wholly before the threshold, wholly after, or scanned when the
+// threshold falls inside its range. Buckets hold only live items, so
+// the range checks are exact.
+func bucketBefore(b []*item, start, width time.Duration, at time.Duration, prio Priority) bool {
+	if start > at {
+		return false
+	}
+	if start+width <= at {
+		return true
+	}
+	for _, it := range b {
+		if it.before(at, prio) {
+			return true
+		}
+	}
+	return false
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (q *Queue) Step() bool {
-	for q.heap.Len() > 0 {
-		popped, ok := heap.Pop(&q.heap).(*item)
-		if !ok {
-			panic("eventq: heap contained non-item")
-		}
-		if popped.cancelled {
-			q.recycle(popped)
-			continue
-		}
-		q.now = popped.at
-		q.executed++
-		ev := popped.ev
-		q.recycle(popped)
-		ev.Execute(q.now)
-		return true
+	if q.live == 0 {
+		return false
 	}
-	return false
+	it := q.next()
+	if it == nil {
+		panic("eventq: calendar counters out of sync")
+	}
+	q.live--
+	q.now = it.at
+	q.executed++
+	ev := it.ev
+	q.release(it)
+	ev.Execute(q.now)
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -224,11 +566,7 @@ func (q *Queue) Run() {
 // drain: before an externally injected event at (at, prio) runs, the
 // queue reaches exactly the state the batch run loop would have.
 func (q *Queue) RunBefore(at time.Duration, prio Priority) {
-	for {
-		next, ok := q.peek()
-		if !ok || next.at > at || (next.at == at && next.prio >= prio) {
-			break
-		}
+	for q.hasBefore(at, prio) {
 		q.Step()
 	}
 	if q.now < at {
@@ -239,28 +577,10 @@ func (q *Queue) RunBefore(at time.Duration, prio Priority) {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled later remain pending.
 func (q *Queue) RunUntil(deadline time.Duration) {
-	for {
-		next, ok := q.peek()
-		if !ok || next.at > deadline {
-			break
-		}
+	for q.hasBefore(deadline, maxPriority) {
 		q.Step()
 	}
 	if q.now < deadline {
 		q.now = deadline
 	}
-}
-
-func (q *Queue) peek() (*item, bool) {
-	for q.heap.Len() > 0 {
-		top := q.heap[0]
-		if top.cancelled {
-			if it, ok := heap.Pop(&q.heap).(*item); ok {
-				q.recycle(it)
-			}
-			continue
-		}
-		return top, true
-	}
-	return nil, false
 }

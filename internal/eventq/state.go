@@ -1,7 +1,6 @@
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -22,12 +21,27 @@ type PendingEvent struct {
 // (time, priority, sequence). Together with State it captures everything
 // Restore needs to rebuild the queue exactly.
 func (q *Queue) Export() []PendingEvent {
-	out := make([]PendingEvent, 0, len(q.heap))
-	for _, it := range q.heap {
-		if it.cancelled {
-			continue
+	out := make([]PendingEvent, 0, q.live)
+	add := func(it *item) {
+		if !it.cancelled {
+			out = append(out, PendingEvent{At: it.at, Prio: it.prio, Seq: it.seq, Ev: it.ev})
 		}
-		out = append(out, PendingEvent{At: it.at, Prio: it.prio, Seq: it.seq, Ev: it.ev})
+	}
+	for _, it := range q.cur[q.head:] {
+		add(it)
+	}
+	for m := range q.minutes {
+		for _, it := range q.minutes[m] {
+			add(it)
+		}
+	}
+	for s := range q.hours {
+		for _, it := range q.hours[s] {
+			add(it)
+		}
+	}
+	for _, it := range q.far {
+		add(it)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].At != out[j].At {
@@ -53,7 +67,16 @@ func (q *Queue) State() (now time.Duration, nextSeq, executed uint64) {
 // save/restore cycle is identical to the uninterrupted run — the
 // property the engine's snapshot determinism contract rests on.
 func Restore(now time.Duration, nextSeq, executed uint64, events []PendingEvent) (*Queue, error) {
-	q := &Queue{now: now, seq: nextSeq, executed: executed}
+	q := &Queue{
+		now:      now,
+		seq:      nextSeq,
+		executed: executed,
+		// The cursor starts at the clock's own minute, exactly where an
+		// uninterrupted run's cursor can be at most — every pending
+		// event is at or after now, so each files at or ahead of it.
+		curHour: int64(now / time.Hour),
+		curMin:  int(now % time.Hour / time.Minute),
+	}
 	for i, pe := range events {
 		if pe.Ev == nil {
 			return nil, fmt.Errorf("eventq: restore: event %d is nil", i)
@@ -64,8 +87,9 @@ func Restore(now time.Duration, nextSeq, executed uint64, events []PendingEvent)
 		if pe.Seq >= nextSeq {
 			return nil, fmt.Errorf("eventq: restore: event %d sequence %d not below next %d", i, pe.Seq, nextSeq)
 		}
-		q.heap = append(q.heap, &item{at: pe.At, prio: pe.Prio, seq: pe.Seq, ev: pe.Ev, index: i})
+		it := &item{at: pe.At, prio: pe.Prio, key: packKey(pe.At, pe.Prio), seq: pe.Seq, ev: pe.Ev}
+		q.live++
+		q.place(it)
 	}
-	heap.Init(&q.heap)
 	return q, nil
 }

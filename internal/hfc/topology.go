@@ -88,6 +88,11 @@ type Neighborhood struct {
 	coax  *Coax
 	// users maps each subscriber (trace user) to their box index.
 	users map[trace.UserID]int
+	// homeIdx/peerIdx are the topology-wide dense lookup tables (shared
+	// across neighborhoods), present only for dense subscriber
+	// populations — see Topology.homeIdx.
+	homeIdx []int32
+	peerIdx []int32
 }
 
 // ID returns the neighborhood index.
@@ -107,6 +112,12 @@ func (n *Neighborhood) Peers() []*SetTopBox { return n.peers }
 
 // PeerOf returns the box of the given subscriber.
 func (n *Neighborhood) PeerOf(u trace.UserID) (*SetTopBox, bool) {
+	if n.homeIdx != nil {
+		if u < 0 || int(u) >= len(n.homeIdx) || n.homeIdx[u] != int32(n.id) {
+			return nil, false
+		}
+		return n.peers[n.peerIdx[u]], true
+	}
 	i, ok := n.users[u]
 	if !ok {
 		return nil, false
@@ -139,6 +150,14 @@ type Topology struct {
 	cfg           Config
 	neighborhoods []*Neighborhood
 	home          map[trace.UserID]int
+	// homeIdx/peerIdx are dense homing tables, built when the subscriber
+	// population is exactly 0..n-1 (what synth traces and universe tiers
+	// generate): homeIdx[u] is u's neighborhood and peerIdx[u] the box
+	// index within it. Homing runs three times per submitted record, so
+	// the dense path replaces the hottest map lookups of the ingest loop
+	// with two array reads. nil for sparse populations.
+	homeIdx []int32
+	peerIdx []int32
 }
 
 // Build constructs the plant for the given subscriber population,
@@ -196,7 +215,41 @@ func Build(cfg Config, usersList []trace.UserID) (*Topology, error) {
 		}
 		topo.neighborhoods = append(topo.neighborhoods, nb)
 	}
+	topo.buildDenseHoming()
 	return topo, nil
+}
+
+// buildDenseHoming flattens the homing maps into arrays when subscriber
+// IDs are small non-negative integers (synth traces and universe tiers
+// number users from zero; real traces may be sparse within that range).
+// Absent IDs hold -1. The tables are shared by the topology and every
+// neighborhood, so the cost is eight bytes per ID once, not per shard.
+// Populations with IDs far beyond their count keep the map path rather
+// than pay for mostly-empty tables.
+func (t *Topology) buildDenseHoming() {
+	n := len(t.home)
+	max := trace.UserID(-1)
+	for u := range t.home {
+		if u < 0 || int64(u) >= 4*int64(n) {
+			return
+		}
+		if u > max {
+			max = u
+		}
+	}
+	t.homeIdx = make([]int32, int(max)+1)
+	t.peerIdx = make([]int32, int(max)+1)
+	for i := range t.homeIdx {
+		t.homeIdx[i] = -1
+	}
+	for _, nb := range t.neighborhoods {
+		for u, pi := range nb.users {
+			t.homeIdx[u] = int32(nb.id)
+			t.peerIdx[u] = int32(pi)
+		}
+		nb.homeIdx = t.homeIdx
+		nb.peerIdx = t.peerIdx
+	}
 }
 
 // Config returns the (defaulted) configuration the plant was built with.
@@ -210,6 +263,12 @@ func (t *Topology) NeighborhoodCount() int { return len(t.neighborhoods) }
 
 // Home returns the neighborhood of a subscriber.
 func (t *Topology) Home(u trace.UserID) (*Neighborhood, bool) {
+	if t.homeIdx != nil {
+		if u < 0 || int(u) >= len(t.homeIdx) || t.homeIdx[u] < 0 {
+			return nil, false
+		}
+		return t.neighborhoods[t.homeIdx[u]], true
+	}
 	ni, ok := t.home[u]
 	if !ok {
 		return nil, false

@@ -16,13 +16,33 @@ import (
 // RateMeter accumulates transferred bits into absolute-hour buckets so
 // average data rates can be reported per hour of day, per day, or over the
 // 7-11 PM peak window.
+//
+// Buckets live in a dense slice indexed by absolute hour: hour indexes
+// are small non-negative integers (a month-long mega run spans ~720),
+// and the accounting runs three times per served segment, where a map
+// bucket lookup was a measurable slice of the Submit hot path.
 type RateMeter struct {
-	bits map[int64]int64 // absolute hour index -> bits transferred
+	bits []int64 // absolute hour index -> bits transferred
 }
 
 // NewRateMeter returns an empty meter.
 func NewRateMeter() *RateMeter {
-	return &RateMeter{bits: make(map[int64]int64)}
+	return &RateMeter{}
+}
+
+// bucket returns a pointer to the bucket for hour idx, growing the
+// backing slice as the clock advances.
+func (m *RateMeter) bucket(idx int64) *int64 {
+	if idx >= int64(len(m.bits)) {
+		if idx < int64(cap(m.bits)) {
+			m.bits = m.bits[:idx+1]
+		} else {
+			grown := make([]int64, idx+1, 2*(idx+1))
+			copy(grown, m.bits)
+			m.bits = grown
+		}
+	}
+	return &m.bits[idx]
 }
 
 // AddTransfer accounts a transfer at the given rate during [from, to),
@@ -40,7 +60,7 @@ func (m *RateMeter) AddTransfer(from, to time.Duration, rate units.BitRate) {
 			hourEnd = to
 		}
 		idx := int64(from / time.Hour)
-		m.bits[idx] += int64(rate.BytesIn(hourEnd-from)) * 8
+		*m.bucket(idx) += int64(rate.BytesIn(hourEnd-from)) * 8
 		from = hourEnd
 	}
 }
@@ -50,7 +70,7 @@ func (m *RateMeter) AddBits(t time.Duration, bits int64) {
 	if bits < 0 {
 		panic(fmt.Sprintf("metrics: negative bits %d", bits))
 	}
-	m.bits[int64(t/time.Hour)] += bits
+	*m.bucket(int64(t / time.Hour)) += bits
 }
 
 // Merge folds every bit accumulated by other into m, hour bucket by hour
@@ -64,7 +84,9 @@ func (m *RateMeter) Merge(other *RateMeter) {
 		return
 	}
 	for idx, b := range other.bits {
-		m.bits[idx] += b
+		if b != 0 {
+			*m.bucket(int64(idx)) += b
+		}
 	}
 }
 
@@ -73,10 +95,18 @@ func (m *RateMeter) Merge(other *RateMeter) {
 // or with no traffic read as zero. This is the load-meter reading the
 // telemetry latency model keys on.
 func (m *RateMeter) RateInHour(idx int64) units.BitRate {
-	if idx < 0 {
+	if idx < 0 || idx >= int64(len(m.bits)) {
 		return 0
 	}
 	return units.BitRate(float64(m.bits[idx]) / 3600)
+}
+
+// at reads a bucket, treating out-of-range hours as zero.
+func (m *RateMeter) at(idx int64) int64 {
+	if idx < 0 || idx >= int64(len(m.bits)) {
+		return 0
+	}
+	return m.bits[idx]
 }
 
 // TotalBits returns all accumulated bits.
@@ -97,9 +127,8 @@ func (m *RateMeter) HourOfDayAverage(days int) [24]units.BitRate {
 	}
 	var sums [24]int64
 	for idx, b := range m.bits {
-		day := int(idx / 24)
-		if day >= days {
-			continue
+		if idx/24 >= days {
+			break
 		}
 		sums[idx%24] += b
 	}
@@ -128,8 +157,7 @@ func (m *RateMeter) HourSamplesRange(fromDay, toDay int, keep func(hour int) boo
 			if keep != nil && !keep(h) {
 				continue
 			}
-			bits := m.bits[int64(day*24+h)]
-			out = append(out, units.BitRate(float64(bits)/3600))
+			out = append(out, units.BitRate(float64(m.at(int64(day*24+h)))/3600))
 		}
 	}
 	return out

@@ -3,11 +3,15 @@ package metrics
 import "cablevod/internal/units"
 
 // Buckets returns a copy of the meter's absolute-hour bit buckets — the
-// meter's complete serializable state.
+// meter's complete serializable state. Untouched hours are omitted, so
+// the serialized form is sparse regardless of the dense in-memory
+// layout.
 func (m *RateMeter) Buckets() map[int64]int64 {
 	out := make(map[int64]int64, len(m.bits))
 	for idx, b := range m.bits {
-		out[idx] = b
+		if b != 0 {
+			out[int64(idx)] = b
+		}
 	}
 	return out
 }
@@ -15,9 +19,11 @@ func (m *RateMeter) Buckets() map[int64]int64 {
 // RestoreBuckets replaces the meter's contents with the given buckets
 // (copied, so the caller's map stays independent).
 func (m *RateMeter) RestoreBuckets(buckets map[int64]int64) {
-	m.bits = make(map[int64]int64, len(buckets))
+	m.bits = nil
 	for idx, b := range buckets {
-		m.bits[idx] = b
+		if idx >= 0 && b != 0 {
+			*m.bucket(idx) = b
+		}
 	}
 }
 
@@ -38,7 +44,7 @@ func (m *RateMeter) HourWindowSamples(fromHour, toHour int64, keep func(hour int
 		if keep != nil && !keep(int(h%24)) {
 			continue
 		}
-		out = append(out, units.BitRate(float64(m.bits[h])/3600))
+		out = append(out, units.BitRate(float64(m.at(h))/3600))
 	}
 	return out
 }

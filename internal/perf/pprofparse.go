@@ -1,0 +1,397 @@
+package perf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A minimal reader for the pprof profile.proto wire format — just
+// enough to turn a Go runtime profile (CPU or heap) into flat/cum
+// symbol tables. The repo deliberately has no external dependencies,
+// so instead of importing github.com/google/pprof this decodes the
+// handful of protobuf fields the extractor needs: sample types,
+// samples (location stacks + values), locations, lines, functions,
+// and the string table.
+
+// ValueType is one sample value dimension: ("cpu", "nanoseconds"),
+// ("alloc_space", "bytes"), ...
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Profile is a decoded pprof profile, reduced to what symbol
+// extraction needs.
+type Profile struct {
+	// SampleTypes describes the per-sample value columns, in order.
+	SampleTypes []ValueType
+	// DurationNanos is the profile's wall-clock span (CPU profiles).
+	DurationNanos int64
+
+	samples   []sample
+	locations map[uint64][]string // location id -> function names, innermost first
+}
+
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// ParseFile decodes a pprof profile from disk.
+func ParseFile(path string) (*Profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	p, err := Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes a pprof profile (gzipped or raw protobuf).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile gzip: %w", err)
+		}
+		defer zr.Close()
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile gzip: %w", err)
+		}
+		data = raw
+	}
+	return decodeProfile(data)
+}
+
+// decoder walks one protobuf message.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("perf: truncated varint")
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("perf: varint overflow")
+}
+
+// field reads the next field tag and, for length-delimited fields, the
+// payload. For varint fields the value is returned directly.
+func (d *decoder) field() (num int, val uint64, payload []byte, err error) {
+	key, err := d.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	num = int(key >> 3)
+	switch key & 7 {
+	case 0: // varint
+		val, err = d.varint()
+		return num, val, nil, err
+	case 1: // fixed64
+		if d.pos+8 > len(d.buf) {
+			return 0, 0, nil, fmt.Errorf("perf: truncated fixed64")
+		}
+		d.pos += 8
+		return num, 0, nil, nil
+	case 2: // length-delimited
+		n, err := d.varint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(d.pos)+n > uint64(len(d.buf)) {
+			return 0, 0, nil, fmt.Errorf("perf: truncated field %d", num)
+		}
+		payload = d.buf[d.pos : d.pos+int(n)]
+		d.pos += int(n)
+		return num, 0, payload, nil
+	case 5: // fixed32
+		if d.pos+4 > len(d.buf) {
+			return 0, 0, nil, fmt.Errorf("perf: truncated fixed32")
+		}
+		d.pos += 4
+		return num, 0, nil, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("perf: unsupported wire type %d", key&7)
+	}
+}
+
+// packedUint64 decodes a packed repeated varint payload.
+func packedUint64(payload []byte) ([]uint64, error) {
+	d := &decoder{buf: payload}
+	var out []uint64
+	for !d.done() {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func decodeProfile(data []byte) (*Profile, error) {
+	type rawLine struct {
+		functionID uint64
+	}
+	type rawLocation struct {
+		id      uint64
+		address uint64
+		lines   []rawLine
+	}
+	var (
+		strings   []string
+		sampleTys [][2]uint64 // (type idx, unit idx)
+		samples   []sample
+		locs      []rawLocation
+		funcs     = map[uint64]uint64{} // function id -> name idx
+		duration  int64
+	)
+
+	d := &decoder{buf: data}
+	for !d.done() {
+		num, val, payload, err := d.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type: ValueType
+			vd := &decoder{buf: payload}
+			var ty [2]uint64
+			for !vd.done() {
+				n, v, _, err := vd.field()
+				if err != nil {
+					return nil, err
+				}
+				if n == 1 {
+					ty[0] = v
+				} else if n == 2 {
+					ty[1] = v
+				}
+			}
+			sampleTys = append(sampleTys, ty)
+		case 2: // sample
+			sd := &decoder{buf: payload}
+			var s sample
+			for !sd.done() {
+				n, v, p, err := sd.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1: // location ids
+					if p != nil {
+						ids, err := packedUint64(p)
+						if err != nil {
+							return nil, err
+						}
+						s.locs = append(s.locs, ids...)
+					} else {
+						s.locs = append(s.locs, v)
+					}
+				case 2: // values
+					if p != nil {
+						vals, err := packedUint64(p)
+						if err != nil {
+							return nil, err
+						}
+						for _, u := range vals {
+							s.values = append(s.values, int64(u))
+						}
+					} else {
+						s.values = append(s.values, int64(v))
+					}
+				}
+			}
+			samples = append(samples, s)
+		case 4: // location
+			ld := &decoder{buf: payload}
+			var loc rawLocation
+			for !ld.done() {
+				n, v, p, err := ld.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					loc.id = v
+				case 3:
+					loc.address = v
+				case 4: // line
+					lld := &decoder{buf: p}
+					var ln rawLine
+					for !lld.done() {
+						n2, v2, _, err := lld.field()
+						if err != nil {
+							return nil, err
+						}
+						if n2 == 1 {
+							ln.functionID = v2
+						}
+					}
+					loc.lines = append(loc.lines, ln)
+				}
+			}
+			locs = append(locs, loc)
+		case 5: // function
+			fd := &decoder{buf: payload}
+			var id, name uint64
+			for !fd.done() {
+				n, v, _, err := fd.field()
+				if err != nil {
+					return nil, err
+				}
+				if n == 1 {
+					id = v
+				} else if n == 2 {
+					name = v
+				}
+			}
+			funcs[id] = name
+		case 6: // string_table
+			strings = append(strings, string(payload))
+		case 10: // duration_nanos
+			duration = int64(val)
+		}
+	}
+
+	str := func(idx uint64) string {
+		if idx < uint64(len(strings)) {
+			return strings[idx]
+		}
+		return ""
+	}
+
+	p := &Profile{
+		DurationNanos: duration,
+		locations:     make(map[uint64][]string, len(locs)),
+	}
+	for _, ty := range sampleTys {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(ty[0]), Unit: str(ty[1])})
+	}
+	for _, loc := range locs {
+		names := make([]string, 0, len(loc.lines))
+		for _, ln := range loc.lines {
+			if name := str(funcs[ln.functionID]); name != "" {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			names = append(names, fmt.Sprintf("0x%x", loc.address))
+		}
+		p.locations[loc.id] = names
+	}
+	p.samples = samples
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("perf: no sample types in profile")
+	}
+	return p, nil
+}
+
+// ValueIndex resolves a sample-type name ("cpu", "alloc_space",
+// "inuse_space", "samples", ...) to its value column, or -1.
+func (p *Profile) ValueIndex(name string) int {
+	for i, ty := range p.SampleTypes {
+		if ty.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultValueIndex picks the conventional headline column: "cpu" for
+// CPU profiles, "alloc_space" for heap profiles, else the last column.
+func (p *Profile) DefaultValueIndex() int {
+	if i := p.ValueIndex("cpu"); i >= 0 {
+		return i
+	}
+	if i := p.ValueIndex("alloc_space"); i >= 0 {
+		return i
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// Total sums the given value column over every sample.
+func (p *Profile) Total(valueIndex int) int64 {
+	var total int64
+	for _, s := range p.samples {
+		if valueIndex < len(s.values) {
+			total += s.values[valueIndex]
+		}
+	}
+	return total
+}
+
+// Symbol is one function's aggregate weight in a profile: Flat is the
+// weight of samples whose leaf frame is this function, Cum the weight
+// of samples with this function anywhere on the stack.
+type Symbol struct {
+	Name      string
+	Flat, Cum int64
+}
+
+// Top returns the n heaviest symbols by flat weight of the given value
+// column (ties broken by name, so tables are deterministic).
+func (p *Profile) Top(n, valueIndex int) []Symbol {
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	seen := map[string]bool{}
+	for _, s := range p.samples {
+		if valueIndex >= len(s.values) {
+			continue
+		}
+		v := s.values[valueIndex]
+		if v == 0 {
+			continue
+		}
+		// Leaf frame: first location, innermost line.
+		if len(s.locs) > 0 {
+			if names := p.locations[s.locs[0]]; len(names) > 0 {
+				flat[names[0]] += v
+			}
+		}
+		// Cumulative: every function on the stack, once per sample.
+		clear(seen)
+		for _, id := range s.locs {
+			for _, name := range p.locations[id] {
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	out := make([]Symbol, 0, len(flat))
+	for name, f := range flat {
+		out = append(out, Symbol{Name: name, Flat: f, Cum: cum[name]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package perf
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// burnSink defeats dead-code elimination in the CPU burner.
+var burnSink uint64
+
+// perfTestBurn spins arithmetic long enough for the profiler's 100 Hz
+// sampler to land a useful number of samples on it.
+func perfTestBurn(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := uint64(2463534242)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1_000_000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		burnSink += x
+	}
+}
+
+// allocSink retains heap allocations so they show as live in the heap
+// profile.
+var allocSink [][]byte
+
+// perfTestAlloc allocates enough to clear the heap profiler's default
+// 512 KiB sampling interval many times over.
+func perfTestAlloc() {
+	for i := 0; i < 64; i++ {
+		allocSink = append(allocSink, make([]byte, 256<<10))
+	}
+}
+
+func TestCaptureAndParse(t *testing.T) {
+	dir := t.TempDir()
+	cap_, err := Start(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfTestBurn(500 * time.Millisecond)
+	perfTestAlloc()
+	if err := cap_.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { allocSink = nil }()
+
+	cpu, err := ParseFile(cap_.CPUPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := cpu.ValueIndex("cpu")
+	if idx < 0 {
+		t.Fatalf("cpu profile sample types %v lack a cpu column", cpu.SampleTypes)
+	}
+	if cpu.Total(idx) <= 0 {
+		t.Fatalf("cpu profile total is %d, want > 0", cpu.Total(idx))
+	}
+	top := cpu.Top(10, idx)
+	if len(top) == 0 {
+		t.Fatal("cpu profile has no symbols")
+	}
+	found := false
+	for _, sym := range top {
+		if strings.Contains(sym.Name, "perfTestBurn") {
+			found = true
+			if sym.Cum < sym.Flat {
+				t.Errorf("cum %d < flat %d for %s", sym.Cum, sym.Flat, sym.Name)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("perfTestBurn not in top-10 CPU symbols: %+v", top)
+	}
+
+	heap, err := ParseFile(cap_.HeapPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aidx := heap.ValueIndex("alloc_space")
+	if aidx < 0 {
+		t.Fatalf("heap profile sample types %v lack alloc_space", heap.SampleTypes)
+	}
+	if heap.DefaultValueIndex() != aidx {
+		t.Errorf("heap default column = %d, want alloc_space %d", heap.DefaultValueIndex(), aidx)
+	}
+	htop := heap.Top(20, aidx)
+	foundAlloc := false
+	for _, sym := range htop {
+		if strings.Contains(sym.Name, "perfTestAlloc") {
+			foundAlloc = true
+		}
+	}
+	if !foundAlloc {
+		t.Errorf("perfTestAlloc not in top-20 heap symbols: %+v", htop)
+	}
+}
+
+func TestTopTableRenders(t *testing.T) {
+	dir := t.TempDir()
+	cap_, err := Start(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfTestBurn(300 * time.Millisecond)
+	if err := cap_.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	table, err := TopTable(cap_.CPUPath(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(table, "| # | flat |") {
+		t.Errorf("table missing header:\n%s", table)
+	}
+	if !strings.Contains(table, "`") {
+		t.Errorf("table has no symbol rows:\n%s", table)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a profile")); err == nil {
+		t.Fatal("parsing garbage succeeded")
+	}
+	if _, err := ParseFile("/nonexistent/профиль.pprof"); err == nil {
+		t.Fatal("parsing a missing file succeeded")
+	}
+}
+
+func TestStartRejectsEmptyDir(t *testing.T) {
+	if _, err := Start(""); err == nil {
+		t.Fatal("Start(\"\") succeeded")
+	}
+}
+
+func TestStopWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cap_, err := Start(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cap_.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cap_.CPUPath(), cap_.HeapPath()} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TopTable parses the profile at path and renders its top-n flat
+// symbols as a markdown table — the mechanical source of the hot-spot
+// tables EXPERIMENTS.md commits. The headline value column is chosen
+// by DefaultValueIndex ("cpu" for CPU profiles, "alloc_space" for heap
+// profiles).
+func TopTable(path string, n int) (string, error) {
+	p, err := ParseFile(path)
+	if err != nil {
+		return "", err
+	}
+	idx := p.DefaultValueIndex()
+	return p.RenderTop(n, idx), nil
+}
+
+// RenderTop renders the top-n flat symbols of one value column as a
+// markdown table with flat/cum percentages of the column total.
+func (p *Profile) RenderTop(n, valueIndex int) string {
+	unit := ""
+	if valueIndex >= 0 && valueIndex < len(p.SampleTypes) {
+		unit = p.SampleTypes[valueIndex].Unit
+	}
+	total := p.Total(valueIndex)
+	var b strings.Builder
+	fmt.Fprintf(&b, "| # | flat | flat%% | cum%% | symbol |\n")
+	fmt.Fprintf(&b, "|---|------|-------|------|--------|\n")
+	for i, sym := range p.Top(n, valueIndex) {
+		flatPct, cumPct := 0.0, 0.0
+		if total > 0 {
+			flatPct = 100 * float64(sym.Flat) / float64(total)
+			cumPct = 100 * float64(sym.Cum) / float64(total)
+		}
+		fmt.Fprintf(&b, "| %d | %s | %.1f%% | %.1f%% | `%s` |\n",
+			i+1, formatValue(sym.Flat, unit), flatPct, cumPct, sym.Name)
+	}
+	return b.String()
+}
+
+// formatValue renders a profile value in its natural unit.
+func formatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.2fs", float64(v)/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.1fms", float64(v)/1e6)
+		default:
+			return fmt.Sprintf("%dns", v)
+		}
+	case "bytes":
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.2fGB", float64(v)/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fkB", float64(v)/(1<<10))
+		default:
+			return fmt.Sprintf("%dB", v)
+		}
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,226 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The perf trajectory: the committed BENCH_*.json series as a ledger.
+// Each snapshot is one PR's measurement of the Submit path on the
+// repo's fixed bench plant; loading the series turns isolated numbers
+// into a trajectory that can be rendered (EXPERIMENTS.md), summarized
+// against a local run (vodsim -bench-json), and gated (CI throughput
+// floor alongside the memory gate).
+
+// BenchWorkload identifies the workload a report measured. Reports are
+// only comparable when their workloads match exactly.
+type BenchWorkload struct {
+	Users    int    `json:"users"`
+	Programs int    `json:"programs"`
+	Days     int    `json:"days"`
+	Seed     uint64 `json:"seed"`
+	Records  int    `json:"records"`
+}
+
+// BenchRun is one measured engine configuration.
+type BenchRun struct {
+	Seconds         float64 `json:"seconds"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+}
+
+// BenchTelemetry is the collector-attached run and its overhead vs the
+// bare sharded run.
+type BenchTelemetry struct {
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	OverheadPct   float64 `json:"overhead_pct"`
+}
+
+// Report is the machine-readable -bench-json payload. Memory is kept
+// opaque here (it is the universe package's MemReport) so the ledger
+// round-trips snapshots without owning that schema.
+type Report struct {
+	Workload  BenchWorkload   `json:"workload"`
+	Memory    json.RawMessage `json:"memory,omitempty"`
+	Serial    BenchRun        `json:"serial"`
+	Sharded   BenchRun        `json:"sharded"`
+	Telemetry BenchTelemetry  `json:"telemetry"`
+}
+
+// Entry is one committed snapshot in the series.
+type Entry struct {
+	// Name is the snapshot's file stem, e.g. "BENCH_9".
+	Name string
+	// Seq is the numeric suffix ordering the series.
+	Seq int
+	// Report is the decoded payload.
+	Report Report
+}
+
+// Trajectory is the loaded BENCH series in ascending sequence order.
+type Trajectory struct {
+	Entries []Entry
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LoadTrajectory reads every BENCH_<n>.json in dir into a Trajectory,
+// ascending by n. An empty series is not an error (a fresh repo).
+func LoadTrajectory(dir string) (*Trajectory, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	t := &Trajectory{}
+	for _, path := range names {
+		m := benchName.FindStringSubmatch(filepath.Base(path))
+		if m == nil {
+			continue
+		}
+		seq, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %w", err)
+		}
+		var r Report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", path, err)
+		}
+		t.Entries = append(t.Entries, Entry{
+			Name:   strings.TrimSuffix(filepath.Base(path), ".json"),
+			Seq:    seq,
+			Report: r,
+		})
+	}
+	sort.Slice(t.Entries, func(i, j int) bool { return t.Entries[i].Seq < t.Entries[j].Seq })
+	return t, nil
+}
+
+// Newest returns the highest-sequence entry, or nil on an empty series.
+func (t *Trajectory) Newest() *Entry {
+	if len(t.Entries) == 0 {
+		return nil
+	}
+	return &t.Entries[len(t.Entries)-1]
+}
+
+// Best returns the entry with the highest serial records/s — the
+// best-ever snapshot regressions are detected against. Only entries
+// measuring the same workload as the newest snapshot are considered
+// (older entries may predate a workload change).
+func (t *Trajectory) Best() *Entry {
+	newest := t.Newest()
+	if newest == nil {
+		return nil
+	}
+	best := newest
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Report.Workload != newest.Report.Workload {
+			continue
+		}
+		if e.Report.Serial.RecordsPerSec > best.Report.Serial.RecordsPerSec {
+			best = e
+		}
+	}
+	return best
+}
+
+// DeltaPct returns the relative change from base to cur in percent
+// (positive = cur is higher).
+func DeltaPct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur/base - 1)
+}
+
+// RenderMarkdown renders the series as a markdown table with
+// per-snapshot deltas against the preceding snapshot.
+func (t *Trajectory) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| snapshot | serial rec/s | Δ | sharded rec/s | allocs/rec | bytes/rec | telemetry overhead |\n")
+	fmt.Fprintf(&b, "|----------|-------------:|---|--------------:|-----------:|----------:|-------------------:|\n")
+	for i, e := range t.Entries {
+		delta := "—"
+		if i > 0 {
+			prev := t.Entries[i-1].Report
+			if prev.Workload == e.Report.Workload && prev.Serial.RecordsPerSec > 0 {
+				delta = fmt.Sprintf("%+.0f%%", DeltaPct(e.Report.Serial.RecordsPerSec, prev.Serial.RecordsPerSec))
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.2f | %.1f | %.1f%% |\n",
+			e.Name,
+			formatRate(e.Report.Serial.RecordsPerSec), delta,
+			formatRate(e.Report.Sharded.RecordsPerSec),
+			e.Report.Serial.AllocsPerRecord,
+			e.Report.Serial.BytesPerRecord,
+			e.Report.Telemetry.OverheadPct)
+	}
+	return b.String()
+}
+
+// SummaryLine compares a fresh report against the newest committed
+// snapshot — the one-line trajectory a local -bench-json run prints so
+// nobody has to eyeball two JSON files. Empty series: a note instead.
+func (t *Trajectory) SummaryLine(r Report) string {
+	newest := t.Newest()
+	if newest == nil {
+		return "trajectory: no committed BENCH_*.json baseline yet"
+	}
+	base := newest.Report
+	if base.Workload != r.Workload {
+		return fmt.Sprintf("trajectory: %s measures a different workload (%+v); deltas not comparable",
+			newest.Name, base.Workload)
+	}
+	return fmt.Sprintf("trajectory vs %s: serial %s rec/s (%+.1f%%), sharded %s rec/s (%+.1f%%), allocs/rec %.2f (%+.1f%%), telemetry overhead %.1f%% (was %.1f%%)",
+		newest.Name,
+		formatRate(r.Serial.RecordsPerSec), DeltaPct(r.Serial.RecordsPerSec, base.Serial.RecordsPerSec),
+		formatRate(r.Sharded.RecordsPerSec), DeltaPct(r.Sharded.RecordsPerSec, base.Sharded.RecordsPerSec),
+		r.Serial.AllocsPerRecord, DeltaPct(r.Serial.AllocsPerRecord, base.Serial.AllocsPerRecord),
+		r.Telemetry.OverheadPct, base.Telemetry.OverheadPct)
+}
+
+// CheckFloor enforces the throughput floor: the report's serial
+// records/s must be within floorPct percent below the best-ever
+// committed snapshot of the same workload. It is the perf half of the
+// CI bench gate (the memory half budgets bytes/record).
+func (t *Trajectory) CheckFloor(r Report, floorPct float64) error {
+	best := t.Best()
+	if best == nil {
+		return nil // nothing committed yet: no floor
+	}
+	if best.Report.Workload != r.Workload {
+		return fmt.Errorf("perf: floor baseline %s measures workload %+v, this run measured %+v — regenerate the baseline or match the workload",
+			best.Name, best.Report.Workload, r.Workload)
+	}
+	floor := best.Report.Serial.RecordsPerSec * (1 - floorPct/100)
+	if r.Serial.RecordsPerSec < floor {
+		return fmt.Errorf("perf: throughput floor violated: serial %.0f records/s is %.1f%% below the best committed snapshot %s (%.0f records/s, floor %.0f at -%.0f%%)",
+			r.Serial.RecordsPerSec, -DeltaPct(r.Serial.RecordsPerSec, best.Report.Serial.RecordsPerSec),
+			best.Name, best.Report.Serial.RecordsPerSec, floor, floorPct)
+	}
+	return nil
+}
+
+func formatRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,148 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, r Report) {
+	t.Helper()
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchReportAt(serial float64) Report {
+	return Report{
+		Workload: BenchWorkload{Users: 100, Programs: 10, Days: 7, Seed: 1, Records: 5000},
+		Serial:   BenchRun{Seconds: 1, RecordsPerSec: serial, AllocsPerRecord: 5, BytesPerRecord: 400},
+		Sharded:  BenchRun{Seconds: 1, RecordsPerSec: serial * 0.95},
+		Telemetry: BenchTelemetry{
+			Seconds: 1, RecordsPerSec: serial * 0.9, OverheadPct: 4.2,
+		},
+	}
+}
+
+func TestTrajectoryLoadOrderAndBest(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_10.json", benchReportAt(400_000))
+	writeBench(t, dir, "BENCH_7.json", benchReportAt(100_000))
+	writeBench(t, dir, "BENCH_9.json", benchReportAt(214_000))
+	os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte("{}"), 0o644) // ignored
+	os.WriteFile(filepath.Join(dir, "other.json"), []byte("{}"), 0o644)   // ignored
+
+	tr, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(tr.Entries))
+	}
+	// Numeric, not lexicographic: 7, 9, 10.
+	for i, want := range []int{7, 9, 10} {
+		if tr.Entries[i].Seq != want {
+			t.Errorf("entry %d is BENCH_%d, want BENCH_%d", i, tr.Entries[i].Seq, want)
+		}
+	}
+	if got := tr.Newest().Name; got != "BENCH_10" {
+		t.Errorf("newest = %s, want BENCH_10", got)
+	}
+	if got := tr.Best().Name; got != "BENCH_10" {
+		t.Errorf("best = %s, want BENCH_10", got)
+	}
+}
+
+func TestTrajectoryBestIgnoresForeignWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	fast := benchReportAt(900_000)
+	fast.Workload.Users = 999 // different plant: not comparable
+	writeBench(t, dir, "BENCH_1.json", fast)
+	writeBench(t, dir, "BENCH_2.json", benchReportAt(200_000))
+	tr, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Best().Name; got != "BENCH_2" {
+		t.Errorf("best = %s, want BENCH_2 (BENCH_1 measures another workload)", got)
+	}
+}
+
+func TestTrajectoryEmptyDir(t *testing.T) {
+	tr, err := LoadTrajectory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Newest() != nil || tr.Best() != nil {
+		t.Fatal("empty series has a newest/best entry")
+	}
+	if err := tr.CheckFloor(benchReportAt(1), 10); err != nil {
+		t.Errorf("empty series floor check failed: %v", err)
+	}
+	if line := tr.SummaryLine(benchReportAt(1)); !strings.Contains(line, "no committed") {
+		t.Errorf("empty-series summary line = %q", line)
+	}
+}
+
+func TestTrajectoryFloor(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_10.json", benchReportAt(400_000))
+	tr, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within 10% of 400k: ok.
+	if err := tr.CheckFloor(benchReportAt(370_000), 10); err != nil {
+		t.Errorf("370k vs 400k floor at 10%%: %v", err)
+	}
+	// 20% below: violation.
+	err = tr.CheckFloor(benchReportAt(320_000), 10)
+	if err == nil {
+		t.Fatal("320k vs 400k floor at 10% passed")
+	}
+	if !strings.Contains(err.Error(), "BENCH_10") {
+		t.Errorf("floor error does not name the baseline: %v", err)
+	}
+	// Mismatched workload: a clear error, not a silent pass.
+	other := benchReportAt(500_000)
+	other.Workload.Days = 14
+	if err := tr.CheckFloor(other, 10); err == nil {
+		t.Fatal("mismatched workload floor check passed")
+	}
+}
+
+func TestTrajectorySummaryLine(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_9.json", benchReportAt(214_000))
+	tr, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := tr.SummaryLine(benchReportAt(428_000))
+	if !strings.Contains(line, "BENCH_9") || !strings.Contains(line, "+100.0%") {
+		t.Errorf("summary line = %q", line)
+	}
+}
+
+func TestTrajectoryRenderMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_7.json", benchReportAt(100_000))
+	writeBench(t, dir, "BENCH_9.json", benchReportAt(200_000))
+	tr, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := tr.RenderMarkdown()
+	if !strings.Contains(table, "BENCH_7") || !strings.Contains(table, "BENCH_9") {
+		t.Errorf("table missing entries:\n%s", table)
+	}
+	if !strings.Contains(table, "+100%") {
+		t.Errorf("table missing delta vs predecessor:\n%s", table)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 
 	"cablevod/internal/adversity"
 	"cablevod/internal/core"
@@ -27,6 +28,15 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
 	mux.HandleFunc("POST /fork", s.handleForkStart)
 	mux.HandleFunc("GET /fork/status", s.handleForkStatus)
+	if s.opts.EnablePprof {
+		// Index serves the named sub-profiles (heap, goroutine, ...)
+		// through the trailing-slash pattern.
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.httpRequests.Inc()
 		mux.ServeHTTP(w, r)

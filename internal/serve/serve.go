@@ -105,6 +105,11 @@ type Options struct {
 	// and snapshot during shutdown — the final snapshot flush.
 	FinalOut io.Writer
 
+	// EnablePprof mounts Go's net/http/pprof handlers under
+	// /debug/pprof/ on the daemon mux, so a live daemon can be profiled
+	// in place (go tool pprof http://ADDR/debug/pprof/profile).
+	EnablePprof bool
+
 	// Logf logs daemon lifecycle events (nil = silent).
 	Logf func(format string, args ...any)
 }

@@ -526,3 +526,38 @@ func TestServeSnapshotFork(t *testing.T) {
 		t.Errorf("/submit after fork = %d", resp.StatusCode)
 	}
 }
+
+// TestServePprof: the opt-in debug endpoints exist only when enabled.
+func TestServePprof(t *testing.T) {
+	opts := synth.TestConfig()
+	tr, err := synth.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := core.Workload{Users: tr.Users(), Lengths: core.TraceLengths(tr)}
+
+	s, err := New(Options{Addr: ":0", Engine: testEngine(), Workload: workload, EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServer(t, s)
+	code, body := getBody(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d with EnablePprof", code)
+	}
+	if !strings.Contains(body, "heap") || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index lists no profiles:\n%.200s", body)
+	}
+	if code, _ := getBody(t, base+"/debug/pprof/heap"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap = %d", code)
+	}
+
+	off, err := New(Options{Addr: ":0", Engine: testEngine(), Workload: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offBase := startServer(t, off)
+	if code := getJSON(t, offBase+"/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ = %d without EnablePprof, want 404", code)
+	}
+}

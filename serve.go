@@ -53,6 +53,10 @@ type ServeOptions struct {
 
 	// Logf logs daemon lifecycle events (nil = silent).
 	Logf func(format string, args ...any)
+
+	// EnablePprof mounts Go's net/http/pprof handlers under
+	// /debug/pprof/ on the daemon, for live profiling.
+	EnablePprof bool
 }
 
 // ServeResult is what a finished daemon hands back: the engine's final
@@ -105,6 +109,7 @@ func Serve(ctx context.Context, cfg Config, opts ServeOptions) (*ServeResult, er
 		OnCheckpoint: opts.OnCheckpoint,
 		FinalOut:     opts.FinalOut,
 		Logf:         opts.Logf,
+		EnablePprof:  opts.EnablePprof,
 	}
 
 	switch {
